@@ -1,0 +1,132 @@
+//! Comparison utilities for validating one BC computation against another.
+//!
+//! The paper validates every run: "we compare the results of the baseline
+//! and our algorithms to ensure that both yield the same results". These
+//! helpers implement that check, plus the rank-correlation view the paper
+//! recommends for interpreting scores ("the relative ranking of the
+//! vertices tends to be more informative than the magnitude").
+
+/// Largest absolute difference between two score vectors.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Largest relative difference `|a-b| / max(|a|, |b|, 1)` — the `1` floor
+/// keeps near-zero scores from exploding the metric.
+pub fn max_rel_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// True when the two score vectors agree within `tol` relatively.
+pub fn scores_match(a: &[f64], b: &[f64], tol: f64) -> bool {
+    max_rel_diff(a, b) <= tol
+}
+
+/// Spearman rank correlation between two score vectors (ties get their
+/// average rank). 1.0 means identical vertex rankings.
+pub fn spearman_rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        // A constant vector ranks everything equally; call it fully
+        // correlated (both orderings are vacuous).
+        return 1.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Ranks with ties averaged (1-indexed).
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("no NaN scores"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 2) as f64 / 2.0; // ranks are 1-indexed
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        assert_eq!(max_rel_diff(&a, &a), 0.0);
+        assert!(scores_match(&a, &a, 0.0));
+        assert!((spearman_rank_correlation(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_and_rel_diffs() {
+        let a = [10.0, 0.0];
+        let b = [11.0, 0.5];
+        assert!((max_abs_diff(&a, &b) - 1.0).abs() < 1e-12);
+        // relative: 1/11 vs 0.5/1 → 0.5 dominates.
+        assert!((max_rel_diff(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_is_anticorrelated() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rank_correlation(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = average_ranks(&[5.0, 5.0, 1.0]);
+        assert_eq!(r, [2.5, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn constant_vector_is_trivially_correlated() {
+        assert_eq!(spearman_rank_correlation(&[1.0, 1.0], &[3.0, 9.0]), 1.0);
+    }
+
+    #[test]
+    fn monotone_transform_preserves_rank_correlation() {
+        let a = [0.3, 1.7, 0.9, 4.2, 2.2];
+        let b: Vec<f64> = a.iter().map(|x| x * x + 1.0).collect();
+        assert!((spearman_rank_correlation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Edge-insertion scenario classification (Section II-D-1 of the paper).
+//!
+//! For a source `s` and an inserted edge `(u, v)`, the relationship of the
+//! endpoints' distances from `s` *before* the insertion determines how much
+//! update work the source requires:
+//!
+//! * **Case 1** (`|d_s(u) − d_s(v)| = 0`): same level — *no work*. This
+//!   covers both "all in one component" and "neither endpoint in s's
+//!   component" (`∞ = ∞`).
+//! * **Case 2** (`|d_s(u) − d_s(v)| = 1`): adjacent levels — distances are
+//!   unchanged but path counts (and hence scores) may change.
+//! * **Case 3** (`|d_s(u) − d_s(v)| > 1`): distances change; includes the
+//!   subcase where exactly one endpoint is reachable from `s` (the
+//!   component-merge insertion).
+
+use dynbc_graph::VertexId;
+
+/// Distance value marking unreachable vertices.
+pub const INF: u32 = u32::MAX;
+
+/// The three update scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertionCase {
+    /// `|Δd| = 0`: no work for this source.
+    Same,
+    /// `|Δd| = 1`: path counts may change; distances do not.
+    Adjacent,
+    /// `|Δd| > 1` (or one endpoint unreachable): distances change.
+    Distant,
+}
+
+/// A classified insertion, oriented so `u_high` is the endpoint nearer the
+/// source ("higher in the BFS tree") and `u_low` the farther one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classified {
+    /// Which scenario this source faces.
+    pub case: InsertionCase,
+    /// Endpoint closer to the source (valid for `Adjacent`/`Distant`).
+    pub u_high: VertexId,
+    /// Endpoint farther from the source.
+    pub u_low: VertexId,
+}
+
+/// Classifies the insertion `(u, v)` for a source with distance array `d`.
+///
+/// "Figuring out which case each source node has to compute is trivial":
+/// two distance lookups.
+pub fn classify(d: &[u32], u: VertexId, v: VertexId) -> Classified {
+    let du = d[u as usize];
+    let dv = d[v as usize];
+    match (du == INF, dv == INF) {
+        (true, true) => Classified {
+            case: InsertionCase::Same,
+            u_high: u,
+            u_low: v,
+        },
+        (false, true) => Classified {
+            case: InsertionCase::Distant,
+            u_high: u,
+            u_low: v,
+        },
+        (true, false) => Classified {
+            case: InsertionCase::Distant,
+            u_high: v,
+            u_low: u,
+        },
+        (false, false) => {
+            let (u_high, u_low) = if du <= dv { (u, v) } else { (v, u) };
+            let gap = du.abs_diff(dv);
+            let case = match gap {
+                0 => InsertionCase::Same,
+                1 => InsertionCase::Adjacent,
+                _ => InsertionCase::Distant,
+            };
+            Classified { case, u_high, u_low }
+        }
+    }
+}
+
+/// Tallies of the three cases across many (source × insertion) scenarios —
+/// the data behind the paper's Figure 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseCounts {
+    /// Case 1 occurrences.
+    pub same: u64,
+    /// Case 2 occurrences.
+    pub adjacent: u64,
+    /// Case 3 occurrences.
+    pub distant: u64,
+}
+
+impl CaseCounts {
+    /// Records one classified scenario.
+    pub fn record(&mut self, case: InsertionCase) {
+        match case {
+            InsertionCase::Same => self.same += 1,
+            InsertionCase::Adjacent => self.adjacent += 1,
+            InsertionCase::Distant => self.distant += 1,
+        }
+    }
+
+    /// Total scenarios.
+    pub fn total(&self) -> u64 {
+        self.same + self.adjacent + self.distant
+    }
+
+    /// Fraction of all scenarios that are Case 2 (the paper reports 37.3 %
+    /// across its suite).
+    pub fn adjacent_share(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.adjacent as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of *work-requiring* scenarios (Cases 2+3) that are Case 2
+    /// (73.5 % in the paper).
+    pub fn adjacent_share_of_work(&self) -> f64 {
+        let work = self.adjacent + self.distant;
+        if work == 0 {
+            0.0
+        } else {
+            self.adjacent as f64 / work as f64
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &CaseCounts) {
+        self.same += other.same;
+        self.adjacent += other.adjacent;
+        self.distant += other.distant;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_level_is_case1() {
+        let d = [0, 1, 1, 2];
+        let c = classify(&d, 1, 2);
+        assert_eq!(c.case, InsertionCase::Same);
+    }
+
+    #[test]
+    fn adjacent_levels_oriented_correctly() {
+        let d = [0, 1, 2, 3];
+        let c = classify(&d, 2, 1);
+        assert_eq!(c.case, InsertionCase::Adjacent);
+        assert_eq!(c.u_high, 1);
+        assert_eq!(c.u_low, 2);
+        // Argument order must not matter.
+        let c2 = classify(&d, 1, 2);
+        assert_eq!((c2.u_high, c2.u_low, c2.case), (c.u_high, c.u_low, c.case));
+    }
+
+    #[test]
+    fn distant_levels_are_case3() {
+        let d = [0, 1, 5, 3];
+        let c = classify(&d, 0, 2);
+        assert_eq!(c.case, InsertionCase::Distant);
+        assert_eq!(c.u_high, 0);
+        assert_eq!(c.u_low, 2);
+    }
+
+    #[test]
+    fn both_unreachable_is_case1() {
+        let d = [0, INF, INF];
+        assert_eq!(classify(&d, 1, 2).case, InsertionCase::Same);
+    }
+
+    #[test]
+    fn one_unreachable_is_case3_with_reachable_high() {
+        let d = [0, 2, INF];
+        let c = classify(&d, 2, 1);
+        assert_eq!(c.case, InsertionCase::Distant);
+        assert_eq!(c.u_high, 1);
+        assert_eq!(c.u_low, 2);
+    }
+
+    #[test]
+    fn counts_and_shares() {
+        let mut counts = CaseCounts::default();
+        for _ in 0..5 {
+            counts.record(InsertionCase::Same);
+        }
+        for _ in 0..3 {
+            counts.record(InsertionCase::Adjacent);
+        }
+        counts.record(InsertionCase::Distant);
+        assert_eq!(counts.total(), 9);
+        assert!((counts.adjacent_share() - 3.0 / 9.0).abs() < 1e-12);
+        assert!((counts.adjacent_share_of_work() - 0.75).abs() < 1e-12);
+        let mut more = CaseCounts::default();
+        more.add(&counts);
+        more.add(&counts);
+        assert_eq!(more.total(), 18);
+    }
+
+    #[test]
+    fn empty_counts_have_zero_shares() {
+        let c = CaseCounts::default();
+        assert_eq!(c.adjacent_share(), 0.0);
+        assert_eq!(c.adjacent_share_of_work(), 0.0);
+    }
+}

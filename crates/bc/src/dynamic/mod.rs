@@ -1,0 +1,8 @@
+//! Dynamic (incremental) betweenness-centrality engines.
+
+pub mod cpu;
+pub mod delete;
+pub mod result;
+
+pub use cpu::CpuDynamicBc;
+pub use result::{SourceOutcome, UpdateResult};

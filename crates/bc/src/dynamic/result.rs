@@ -1,0 +1,63 @@
+//! Result types shared by the dynamic engines (CPU and GPU).
+
+use crate::cases::{CaseCounts, InsertionCase};
+
+/// Per-source outcome of one edge insertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceOutcome {
+    /// Which scenario the source faced.
+    pub case: InsertionCase,
+    /// Vertices touched while updating this source (0 for Case 1) — the
+    /// `|{i ∈ V : t[i] ≠ untouched}|` statistic of the paper's Figure 4.
+    pub touched: usize,
+}
+
+/// Outcome of one edge insertion across all sources.
+#[derive(Debug, Clone)]
+pub struct UpdateResult {
+    /// Scenario tallies over the sources (Figure 2 data).
+    pub cases: CaseCounts,
+    /// Per-source details, in source order (Figure 4 data).
+    pub per_source: Vec<SourceOutcome>,
+    /// Modeled seconds for this update on the engine's machine model.
+    pub model_seconds: f64,
+    /// Real wall-clock seconds this process spent (diagnostic only; never
+    /// used in cross-machine ratios).
+    pub wall_seconds: f64,
+}
+
+impl UpdateResult {
+    /// Number of sources that required any work (Cases 2 and 3).
+    pub fn worked_sources(&self) -> usize {
+        self.per_source
+            .iter()
+            .filter(|o| o.case != InsertionCase::Same)
+            .count()
+    }
+
+    /// Largest per-source touched count.
+    pub fn max_touched(&self) -> usize {
+        self.per_source.iter().map(|o| o.touched).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_and_touched_summaries() {
+        let r = UpdateResult {
+            cases: CaseCounts { same: 1, adjacent: 1, distant: 1 },
+            per_source: vec![
+                SourceOutcome { case: InsertionCase::Same, touched: 0 },
+                SourceOutcome { case: InsertionCase::Adjacent, touched: 5 },
+                SourceOutcome { case: InsertionCase::Distant, touched: 9 },
+            ],
+            model_seconds: 0.0,
+            wall_seconds: 0.0,
+        };
+        assert_eq!(r.worked_sources(), 2);
+        assert_eq!(r.max_touched(), 9);
+    }
+}

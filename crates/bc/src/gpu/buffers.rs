@@ -1,0 +1,271 @@
+//! Device-resident data for the GPU engines.
+//!
+//! Three buffer groups mirror what a CUDA implementation would keep on the
+//! board:
+//!
+//! * [`GraphBuffers`] — the CSR pair (`R`, `C`) plus the flat arc list the
+//!   edge-parallel kernels index by thread id;
+//! * [`StateBuffers`] — the persistent O(kn) dynamic state: `BC`, and
+//!   per-source `d` / `σ` / `δ` rows;
+//! * [`ScratchBuffers`] — per-block working set: the `t` flags, hat
+//!   arrays, and the `Q`/`Q2`/`QQ` queues of Algorithm 5, one row per
+//!   thread block (each block works on one source at a time).
+//!
+//! Host↔device staging (`from_csr`, `upload_state`, snapshots) happens
+//! between updates and is never part of a timed kernel region, matching
+//! the paper's methodology (it cites STINGER for the structure update and
+//! excludes it from measurement).
+
+use crate::state::BcState;
+use dynbc_graph::{Csr, VertexId};
+use dynbc_gpusim::GpuBuffer;
+
+/// Queue-length / control slots per block in [`ScratchBuffers::lens`].
+pub const LEN_SLOTS: usize = 6;
+/// `Q_len` slot index.
+pub const SLOT_QLEN: usize = 0;
+/// `Q2_len` slot index.
+pub const SLOT_Q2LEN: usize = 1;
+/// `QQ_len` slot index.
+pub const SLOT_QQLEN: usize = 2;
+/// Current/maximum depth slot index.
+pub const SLOT_DEPTH: usize = 3;
+/// Done-flag slot index (edge-parallel termination).
+pub const SLOT_DONE: usize = 4;
+/// Scan-total slot index (duplicate removal).
+pub const SLOT_SCAN: usize = 5;
+
+/// `t[v]` flag value: not found in either stage.
+pub const T_UNTOUCHED: u8 = 0;
+/// Vertex found during the shortest-path (downward) stage.
+pub const T_DOWN: u8 = 1;
+/// Vertex found during the dependency-accumulation (upward) stage.
+pub const T_UP: u8 = 2;
+
+/// CSR and arc-list device copies.
+#[derive(Debug)]
+pub struct GraphBuffers {
+    /// Vertex count.
+    pub n: usize,
+    /// Directed arc count (2m).
+    pub num_arcs: usize,
+    /// Row offsets, `n + 1` entries.
+    pub row_offsets: GpuBuffer<u32>,
+    /// Column indices, `2m` entries.
+    pub adj: GpuBuffer<u32>,
+    /// Arc tails (the `(v, w) ∈ E` the edge-parallel kernels enumerate).
+    pub arc_tails: GpuBuffer<u32>,
+    /// Arc heads.
+    pub arc_heads: GpuBuffer<u32>,
+}
+
+impl GraphBuffers {
+    /// Uploads a CSR snapshot.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let n = csr.vertex_count();
+        let offsets: Vec<u32> = csr.offsets().iter().map(|&o| o as u32).collect();
+        let adj: Vec<u32> = csr.adjacency().to_vec();
+        let mut tails = Vec::with_capacity(adj.len());
+        let mut heads = Vec::with_capacity(adj.len());
+        for (v, w) in csr.arcs() {
+            tails.push(v);
+            heads.push(w);
+        }
+        Self {
+            n,
+            num_arcs: adj.len(),
+            row_offsets: GpuBuffer::from_vec(offsets),
+            adj: GpuBuffer::from_vec(adj),
+            arc_tails: GpuBuffer::from_vec(tails),
+            arc_heads: GpuBuffer::from_vec(heads),
+        }
+    }
+}
+
+/// Persistent dynamic-BC state on the device (the O(kn) storage).
+#[derive(Debug)]
+pub struct StateBuffers {
+    /// Vertex count.
+    pub n: usize,
+    /// Source count.
+    pub k: usize,
+    /// The source vertices, in row order.
+    pub sources: Vec<VertexId>,
+    /// BC scores (`n`).
+    pub bc: GpuBuffer<f64>,
+    /// Distances, `k × n` row-major (`d[row * n + v]`).
+    pub d: GpuBuffer<u32>,
+    /// Path counts, `k × n`.
+    pub sigma: GpuBuffer<f64>,
+    /// Dependencies, `k × n`.
+    pub delta: GpuBuffer<f64>,
+}
+
+impl StateBuffers {
+    /// Uploads a host-side [`BcState`].
+    pub fn upload(state: &BcState) -> Self {
+        let n = state.n;
+        let k = state.sources.len();
+        let mut d = Vec::with_capacity(k * n);
+        let mut sigma = Vec::with_capacity(k * n);
+        let mut delta = Vec::with_capacity(k * n);
+        for i in 0..k {
+            d.extend_from_slice(&state.d[i]);
+            sigma.extend_from_slice(&state.sigma[i]);
+            delta.extend_from_slice(&state.delta[i]);
+        }
+        Self {
+            n,
+            k,
+            sources: state.sources.clone(),
+            bc: GpuBuffer::from_slice(&state.bc),
+            d: GpuBuffer::from_vec(d),
+            sigma: GpuBuffer::from_vec(sigma),
+            delta: GpuBuffer::from_vec(delta),
+        }
+    }
+
+    /// Downloads the device state back into a host [`BcState`] (testing /
+    /// reporting).
+    pub fn download(&self) -> BcState {
+        let mut state = BcState::zeroed(self.n, self.sources.clone());
+        state.bc = self.bc.to_vec();
+        let d = self.d.host();
+        let sigma = self.sigma.host();
+        let delta = self.delta.host();
+        for i in 0..self.k {
+            state.d[i].copy_from_slice(&d[i * self.n..(i + 1) * self.n]);
+            state.sigma[i].copy_from_slice(&sigma[i * self.n..(i + 1) * self.n]);
+            state.delta[i].copy_from_slice(&delta[i * self.n..(i + 1) * self.n]);
+        }
+        state
+    }
+}
+
+/// Per-block working buffers: one row per thread block.
+#[derive(Debug)]
+pub struct ScratchBuffers {
+    /// Vertex count (width of the per-vertex rows).
+    pub n: usize,
+    /// Number of blocks (rows).
+    pub blocks: usize,
+    /// Width of the queue rows (`Q2`/`QQ`). Sized from the arc count:
+    /// one BFS level can push up to one (duplicate) entry per arc
+    /// crossing it, which on dense graphs exceeds `n`.
+    pub qw: usize,
+    /// `t` flags, `blocks × n`.
+    pub t: GpuBuffer<u8>,
+    /// `σ̂`, `blocks × n`.
+    pub sigma_hat: GpuBuffer<f64>,
+    /// `δ̂`, `blocks × n`.
+    pub delta_hat: GpuBuffer<f64>,
+    /// `d̂` (Case 3 relocations; also the static kernels' working `d`),
+    /// `blocks × n`.
+    pub d_hat: GpuBuffer<u32>,
+    /// Current-level queue `Q`, `blocks × qw`.
+    pub q: GpuBuffer<u32>,
+    /// Next-level queue `Q2` (duplicates allowed), `blocks × qw`.
+    pub q2: GpuBuffer<u32>,
+    /// Level-ordered discovered list `QQ`, `blocks × qw` (Case 3 may
+    /// re-enqueue relocated vertices).
+    pub qq: GpuBuffer<u32>,
+    /// Scan ping-pong scratch for duplicate removal, `blocks × 2·qw`.
+    pub scan: GpuBuffer<u32>,
+    /// Control slots (`Q_len`, `Q2_len`, `QQ_len`, depth, done, scan
+    /// total), `blocks × LEN_SLOTS`.
+    pub lens: GpuBuffer<u32>,
+}
+
+impl ScratchBuffers {
+    /// Allocates scratch for `blocks` blocks over `n`-vertex rows, with
+    /// queue rows wide enough for `num_arcs` per-level pushes.
+    pub fn new(blocks: usize, n: usize, num_arcs: usize) -> Self {
+        // Bitonic dedup pads to the next power of two, so make the row
+        // itself a power of two at least as large as any level's pushes.
+        let qw = (num_arcs + n + 64).next_power_of_two();
+        Self {
+            n,
+            blocks,
+            qw,
+            t: GpuBuffer::new(blocks * n, T_UNTOUCHED),
+            sigma_hat: GpuBuffer::new(blocks * n, 0.0),
+            delta_hat: GpuBuffer::new(blocks * n, 0.0),
+            d_hat: GpuBuffer::new(blocks * n, 0),
+            q: GpuBuffer::new(blocks * qw, 0),
+            q2: GpuBuffer::new(blocks * qw, 0),
+            qq: GpuBuffer::new(blocks * qw, 0),
+            scan: GpuBuffer::new(blocks * 2 * qw, 0),
+            lens: GpuBuffer::new(blocks * LEN_SLOTS, 0),
+        }
+    }
+
+    /// Base offset of block `b`'s `n`-wide rows.
+    #[inline]
+    pub fn row(&self, b: usize) -> usize {
+        b * self.n
+    }
+
+    /// Base offset of block `b`'s queue rows (`q`, `q2`, `qq`).
+    #[inline]
+    pub fn qrow(&self, b: usize) -> usize {
+        b * self.qw
+    }
+
+    /// Base offset of block `b`'s scan rows (`2·qw` wide).
+    #[inline]
+    pub fn scan_row(&self, b: usize) -> usize {
+        b * 2 * self.qw
+    }
+
+    /// Base offset of block `b`'s control slots.
+    #[inline]
+    pub fn lens_row(&self, b: usize) -> usize {
+        b * LEN_SLOTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::brandes_state;
+    use dynbc_graph::EdgeList;
+
+    #[test]
+    fn graph_buffers_mirror_csr() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let csr = Csr::from_edge_list(&el);
+        let gb = GraphBuffers::from_csr(&csr);
+        assert_eq!(gb.n, 4);
+        assert_eq!(gb.num_arcs, 8);
+        assert_eq!(gb.row_offsets.to_vec(), [0, 2, 4, 6, 8]);
+        let tails = gb.arc_tails.to_vec();
+        let heads = gb.arc_heads.to_vec();
+        assert_eq!(tails.len(), 8);
+        for (t, h) in tails.iter().zip(&heads) {
+            assert!(csr.has_edge(*t, *h));
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_device() {
+        let el = EdgeList::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let csr = Csr::from_edge_list(&el);
+        let state = brandes_state(&csr, &[0, 2]);
+        let dev = StateBuffers::upload(&state);
+        let back = dev.download();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn scratch_row_offsets() {
+        let scr = ScratchBuffers::new(3, 10, 40);
+        assert_eq!(scr.row(2), 20);
+        assert!(scr.qw.is_power_of_two());
+        assert!(scr.qw >= 50);
+        assert_eq!(scr.qrow(2), 2 * scr.qw);
+        assert_eq!(scr.scan_row(1), 2 * scr.qw);
+        assert_eq!(scr.lens_row(1), LEN_SLOTS);
+        assert_eq!(scr.t.len(), 30);
+        assert_eq!(scr.q2.len(), 3 * scr.qw);
+    }
+}

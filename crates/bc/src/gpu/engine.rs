@@ -1,0 +1,691 @@
+//! The dynamic-BC GPU engine: per-insertion orchestration.
+//!
+//! Follows the paper's execution shape (Section III, Figure 3): the grid
+//! has one thread block per SM; blocks exploit coarse-grained parallelism
+//! by taking independent source vertices, threads within a block the
+//! fine-grained (edge- or node-) parallelism. Per insertion:
+//!
+//! 1. a classification kernel reads `d_s(u)` and `d_s(v)` for every
+//!    source ("figuring out which case each source node has to compute is
+//!    trivial");
+//! 2. sources facing Case 1 are skipped outright — the fast path behind
+//!    Table III's sub-millisecond best cases;
+//! 3. one fused kernel launch processes the remaining sources: each block
+//!    runs init (Alg 3) → shortest-path recount (Alg 4/5) → dependency
+//!    accumulation (Alg 6/7) → commit (Alg 8) for each source it owns,
+//!    with the Case 3 generalization substituted when distances move.
+//!
+//! Simulated time accumulates on the engine's [`Gpu`] clock; host↔device
+//! staging (CSR re-upload after the structure update, result downloads)
+//! stays off the clock, as in the paper's methodology.
+
+use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers, T_UNTOUCHED};
+use super::kernels::{case2_edge, case2_node, case3_edge, case3_node, common, Ctx};
+use crate::brandes::brandes_state;
+use crate::cases::{CaseCounts, InsertionCase};
+use crate::dynamic::result::{SourceOutcome, UpdateResult};
+use crate::state::BcState;
+use dynbc_graph::{Csr, DynGraph, EdgeList, VertexId};
+use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer, KernelStats};
+
+/// Fine-grained work decomposition: one thread per arc, or one thread per
+/// frontier vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One thread per edge (arc), rescanning all of `E` every level.
+    Edge,
+    /// One thread per queued vertex, with explicit work queues.
+    Node,
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Edge => write!(f, "Edge"),
+            Parallelism::Node => write!(f, "Node"),
+        }
+    }
+}
+
+/// How the node-parallel frontier avoids duplicate queue entries.
+///
+/// The paper chooses sort-based removal precisely to avoid an atomic
+/// test-and-set per discovered vertex; [`DedupStrategy::AtomicCas`] is the
+/// alternative it argues against, kept here for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupStrategy {
+    /// Bitonic sort → flag → scan-compact (the paper's choice).
+    #[default]
+    SortScan,
+    /// `atomicCAS` on the `t` flag gates each push; no post-pass.
+    AtomicCas,
+}
+
+/// Classification codes written by the device classifier.
+const CODE_SAME: u32 = 0;
+const CODE_ADJ_U_HIGH: u32 = 1;
+const CODE_ADJ_V_HIGH: u32 = 2;
+const CODE_DIST_U_HIGH: u32 = 3;
+const CODE_DIST_V_HIGH: u32 = 4;
+
+/// Dynamic betweenness centrality on the simulated GPU.
+#[derive(Debug)]
+pub struct GpuDynamicBc {
+    gpu: Gpu,
+    par: Parallelism,
+    graph: DynGraph,
+    gbuf: GraphBuffers,
+    st: StateBuffers,
+    scr: ScratchBuffers,
+    case_buf: GpuBuffer<u32>,
+    num_blocks: usize,
+    dedup: DedupStrategy,
+    force_general: bool,
+}
+
+impl GpuDynamicBc {
+    /// Builds the engine: host-side Brandes seeds the state, which is then
+    /// uploaded along with the graph.
+    pub fn new(
+        el: &EdgeList,
+        sources: &[VertexId],
+        device: DeviceConfig,
+        par: Parallelism,
+    ) -> Self {
+        let csr = Csr::from_edge_list(el);
+        let state = brandes_state(&csr, sources);
+        let gbuf = GraphBuffers::from_csr(&csr);
+        let num_blocks = device.num_sms;
+        // Queue rows sized for the arc count with headroom for the
+        // insertion stream growing the graph.
+        let scr = ScratchBuffers::new(num_blocks, el.vertex_count(), gbuf.num_arcs + 4096);
+        Self {
+            gpu: Gpu::new(device),
+            par,
+            graph: DynGraph::from_edge_list(el),
+            gbuf,
+            st: StateBuffers::upload(&state),
+            scr,
+            case_buf: GpuBuffer::new(sources.len(), 0),
+            num_blocks,
+            dedup: DedupStrategy::default(),
+            force_general: false,
+        }
+    }
+
+    /// Selects the frontier duplicate-removal strategy (ablation knob).
+    pub fn with_dedup_strategy(mut self, dedup: DedupStrategy) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
+    /// Routes Case 2 insertions through the general (Case 3) relocation
+    /// machinery, which is correct but skips the specialised incremental
+    /// add/retract bookkeeping (ablation knob).
+    pub fn with_force_general(mut self, force: bool) -> Self {
+        self.force_general = force;
+        self
+    }
+
+    /// The decomposition this engine uses.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// The engine's current graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Cumulative simulated seconds across all updates.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.gpu.elapsed_seconds()
+    }
+
+    /// Cumulative device work counters.
+    pub fn total_stats(&self) -> &KernelStats {
+        self.gpu.total_stats()
+    }
+
+    /// Downloads the device state (testing / reporting).
+    pub fn state_snapshot(&self) -> BcState {
+        self.st.download()
+    }
+
+    /// Inserts the undirected edge `{u, v}` and updates BC on the device.
+    ///
+    /// # Panics
+    /// Panics on self loops, out-of-range endpoints, or duplicate edges.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
+        let wall_start = std::time::Instant::now();
+        assert!(u != v, "self-loop insertion");
+        assert!(self.graph.insert_edge(u, v), "edge ({u}, {v}) already present");
+        // Structure update + device re-upload: off the simulated clock.
+        self.gbuf = GraphBuffers::from_csr(&self.graph.to_csr());
+        let clock_before = self.gpu.elapsed_seconds();
+
+        // Kernel 0: classification (two distance loads per source).
+        let k = self.st.k;
+        let n = self.st.n;
+        let (st, case_buf) = (&self.st, &self.case_buf);
+        self.gpu.launch(1, |block, _| {
+            block.parallel_for(k, |lane, i| {
+                let du = lane.read(&st.d, i * n + u as usize);
+                let dv = lane.read(&st.d, i * n + v as usize);
+                let code = if du == dv {
+                    CODE_SAME // includes the both-∞ subcase
+                } else if du < dv {
+                    // dv may be ∞ here: a gap > 1 either way.
+                    if dv != u32::MAX && dv - du == 1 {
+                        CODE_ADJ_U_HIGH
+                    } else {
+                        CODE_DIST_U_HIGH
+                    }
+                } else if du != u32::MAX && du - dv == 1 {
+                    CODE_ADJ_V_HIGH
+                } else {
+                    CODE_DIST_V_HIGH
+                };
+                lane.write(case_buf, i, code);
+            });
+        });
+        let codes = self.case_buf.to_vec(); // staging read
+
+        let mut cases = CaseCounts::default();
+        let mut per_source: Vec<SourceOutcome> = Vec::with_capacity(k);
+        let mut worked: Vec<(usize, InsertionCase, VertexId, VertexId)> = Vec::new();
+        for (i, &code) in codes.iter().enumerate() {
+            let (case, u_high, u_low) = match code {
+                CODE_SAME => (InsertionCase::Same, u, v),
+                CODE_ADJ_U_HIGH => (InsertionCase::Adjacent, u, v),
+                CODE_ADJ_V_HIGH => (InsertionCase::Adjacent, v, u),
+                CODE_DIST_U_HIGH => (InsertionCase::Distant, u, v),
+                _ => (InsertionCase::Distant, v, u),
+            };
+            cases.record(case);
+            per_source.push(SourceOutcome { case, touched: 0 });
+            if case != InsertionCase::Same {
+                worked.push((i, case, u_high, u_low));
+            }
+        }
+
+        if !worked.is_empty() {
+            let mut touched_out: Vec<(usize, usize)> = Vec::with_capacity(worked.len());
+            let par = self.par;
+            let dedup = self.dedup;
+            let force_general = self.force_general;
+            let num_blocks = self.num_blocks;
+            let gbuf = &self.gbuf;
+            let scr = &self.scr;
+            let worked_ref = &worked;
+            let touched_ref = &mut touched_out;
+            self.gpu.launch(num_blocks, |block, b| {
+                for (wi, &(row, case, u_high, u_low)) in worked_ref.iter().enumerate() {
+                    if wi % num_blocks != b {
+                        continue;
+                    }
+                    let ctx = Ctx {
+                        g: gbuf,
+                        st,
+                        scr,
+                        block_slot: b,
+                        src_row: row,
+                        s: st.sources[row],
+                        u_high,
+                        u_low,
+                    };
+                    let general = case == InsertionCase::Distant || force_general;
+                    let mode = if general {
+                        common::SeedMode::General
+                    } else {
+                        common::SeedMode::InsertAdjacent
+                    };
+                    common::init_kernel(block, &ctx, mode);
+                    match (general, par) {
+                        (false, Parallelism::Node) => {
+                            let deepest = case2_node::sp_node(block, &ctx, dedup);
+                            case2_node::dep_node(block, &ctx, deepest);
+                        }
+                        (false, Parallelism::Edge) => {
+                            let deepest = case2_edge::sp_edge(block, &ctx);
+                            case2_edge::dep_edge(block, &ctx, deepest);
+                        }
+                        (true, Parallelism::Node) => {
+                            let deepest = case3_node::phase1_node(block, &ctx);
+                            let max_depth = case3_node::mark_node(block, &ctx, deepest);
+                            case3_node::phase2_node(block, &ctx, max_depth);
+                        }
+                        (true, Parallelism::Edge) => {
+                            let deepest = case3_edge::phase1_edge(block, &ctx);
+                            let max_depth = case3_edge::mark_edge(block, &ctx, deepest);
+                            case3_edge::phase2_edge(block, &ctx, max_depth);
+                        }
+                    }
+                    common::update_kernel(block, &ctx, general);
+                    // Host-side instrumentation (off the clock): Figure 4's
+                    // touched-vertex statistic.
+                    let base = scr.row(b);
+                    let touched = scr.t.host()[base..base + n]
+                        .iter()
+                        .filter(|&&t| t != T_UNTOUCHED)
+                        .count();
+                    touched_ref.push((row, touched));
+                }
+            });
+            for (row, touched) in touched_out {
+                per_source[row].touched = touched;
+            }
+        }
+
+        UpdateResult {
+            cases,
+            per_source,
+            model_seconds: self.gpu.elapsed_seconds() - clock_before,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}` and updates BC on the device
+    /// (the decremental mirror of [`insert_edge`](Self::insert_edge); see
+    /// `dynamic::delete` for the case taxonomy).
+    ///
+    /// # Panics
+    /// Panics if the edge is absent or a self loop.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
+        use super::kernels::delete;
+        use super::static_bc::{static_source_edge, static_source_node};
+
+        let wall_start = std::time::Instant::now();
+        assert!(u != v, "self-loop removal");
+        assert!(self.graph.remove_edge(u, v), "edge ({u}, {v}) not present");
+        self.gbuf = GraphBuffers::from_csr(&self.graph.to_csr());
+        let clock_before = self.gpu.elapsed_seconds();
+
+        // Kernel 0: deletion classifier (needs post-removal adjacency for
+        // the surviving-predecessor scan).
+        let k = self.st.k;
+        let n = self.st.n;
+        let (st, case_buf, gbuf) = (&self.st, &self.case_buf, &self.gbuf);
+        self.gpu.launch(1, |block, _| {
+            delete::classify_deletion(block, gbuf, st, case_buf, u, v);
+        });
+        let codes = self.case_buf.to_vec();
+
+        let mut cases = CaseCounts::default();
+        let mut per_source: Vec<SourceOutcome> = Vec::with_capacity(k);
+        // (row, uses fallback, u_high, u_low)
+        let mut worked: Vec<(usize, bool, VertexId, VertexId)> = Vec::new();
+        for (i, &code) in codes.iter().enumerate() {
+            let (case, fallback, u_high, u_low) = match code {
+                0 => (InsertionCase::Same, false, u, v),
+                1 => (InsertionCase::Adjacent, false, u, v),
+                2 => (InsertionCase::Adjacent, false, v, u),
+                3 => (InsertionCase::Distant, true, u, v),
+                _ => (InsertionCase::Distant, true, v, u),
+            };
+            cases.record(case);
+            per_source.push(SourceOutcome { case, touched: 0 });
+            if case != InsertionCase::Same {
+                worked.push((i, fallback, u_high, u_low));
+            }
+        }
+
+        if !worked.is_empty() {
+            let mut touched_out: Vec<(usize, usize)> = Vec::with_capacity(worked.len());
+            let par = self.par;
+            let dedup = self.dedup;
+            let num_blocks = self.num_blocks;
+            let scr = &self.scr;
+            self.gpu.launch(num_blocks, |block, b| {
+                for (wi, &(row, fallback, u_high, u_low)) in worked.iter().enumerate() {
+                    if wi % num_blocks != b {
+                        continue;
+                    }
+                    let s = st.sources[row];
+                    let ctx = Ctx {
+                        g: gbuf,
+                        st,
+                        scr,
+                        block_slot: b,
+                        src_row: row,
+                        s,
+                        u_high,
+                        u_low,
+                    };
+                    if fallback {
+                        // Case D3: subtract old scores, recompute this
+                        // source from scratch on the device, commit.
+                        delete::fallback_subtract_old(block, &ctx);
+                        match par {
+                            Parallelism::Node => {
+                                static_source_node(block, gbuf, scr, &st.bc, b, s)
+                            }
+                            Parallelism::Edge => {
+                                static_source_edge(block, gbuf, scr, &st.bc, b, s)
+                            }
+                        }
+                        // Touched statistic (host instrumentation, off
+                        // the clock): state entries the commit will change.
+                        let base = scr.row(b);
+                        let krow = row * n;
+                        let touched = {
+                            let dh = scr.d_hat.host();
+                            let sh = scr.sigma_hat.host();
+                            let delh = scr.delta_hat.host();
+                            let d = st.d.host();
+                            let sg = st.sigma.host();
+                            let dl = st.delta.host();
+                            (0..n)
+                                .filter(|&x| {
+                                    dh[base + x] != d[krow + x]
+                                        || sh[base + x] != sg[krow + x]
+                                        || delh[base + x] != dl[krow + x]
+                                })
+                                .count()
+                        };
+                        delete::fallback_commit(block, &ctx);
+                        touched_out.push((row, touched));
+                    } else {
+                        // Case D2: Algorithm 2 machinery with a negative
+                        // seed and the phantom retraction.
+                        common::init_kernel(block, &ctx, common::SeedMode::DeleteAdjacent);
+                        let deepest = match par {
+                            Parallelism::Node => {
+                                case2_node::sp_node(block, &ctx, dedup)
+                            }
+                            Parallelism::Edge => case2_edge::sp_edge(block, &ctx),
+                        };
+                        delete::phantom_retraction(block, &ctx);
+                        // The inserted-pair exclusion never applies to a
+                        // deletion: disable it with an unmatchable pair.
+                        let dep_ctx = Ctx {
+                            g: gbuf,
+                            st,
+                            scr,
+                            block_slot: b,
+                            src_row: row,
+                            s,
+                            u_high: u32::MAX,
+                            u_low: u32::MAX,
+                        };
+                        match par {
+                            Parallelism::Node => case2_node::dep_node(block, &dep_ctx, deepest),
+                            Parallelism::Edge => case2_edge::dep_edge(block, &dep_ctx, deepest),
+                        }
+                        common::update_kernel(block, &ctx, false);
+                        let base = scr.row(b);
+                        let touched = scr.t.host()[base..base + n]
+                            .iter()
+                            .filter(|&&t| t != super::buffers::T_UNTOUCHED)
+                            .count();
+                        touched_out.push((row, touched));
+                    }
+                }
+            });
+            for (row, touched) in touched_out {
+                per_source[row].touched = touched;
+            }
+        }
+
+        UpdateResult {
+            cases,
+            per_source,
+            model_seconds: self.gpu.elapsed_seconds() - clock_before,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::sample_sources;
+    use dynbc_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_matches_recompute(engine: &GpuDynamicBc, ctx: &str) {
+        let csr = engine.graph().to_csr();
+        let st = engine.state_snapshot();
+        let fresh = brandes_state(&csr, &st.sources);
+        for i in 0..st.sources.len() {
+            assert_eq!(st.d[i], fresh.d[i], "{ctx}: d mismatch source {i}");
+            for v in 0..st.n {
+                assert!(
+                    (st.sigma[i][v] - fresh.sigma[i][v]).abs() < 1e-6,
+                    "{ctx}: sigma mismatch source {i} vertex {v}"
+                );
+                assert!(
+                    (st.delta[i][v] - fresh.delta[i][v]).abs() < 1e-6,
+                    "{ctx}: delta mismatch source {i} vertex {v}: {} vs {}",
+                    st.delta[i][v],
+                    fresh.delta[i][v]
+                );
+            }
+        }
+        for v in 0..st.n {
+            assert!(
+                (st.bc[v] - fresh.bc[v]).abs() < 1e-6,
+                "{ctx}: BC mismatch at {v}: {} vs {}",
+                st.bc[v],
+                fresh.bc[v]
+            );
+        }
+    }
+
+    fn engine(el: &EdgeList, sources: &[u32], par: Parallelism) -> GpuDynamicBc {
+        GpuDynamicBc::new(el, sources, DeviceConfig::test_tiny(), par)
+    }
+
+    #[test]
+    fn case2_node_matches_recompute() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (0, 2), (1, 3)]);
+        let mut eng = engine(&el, &[0], Parallelism::Node);
+        let r = eng.insert_edge(2, 3);
+        assert_eq!(r.cases.adjacent, 1);
+        assert!(r.per_source[0].touched > 0);
+        assert_matches_recompute(&eng, "case2 node");
+    }
+
+    #[test]
+    fn case2_edge_matches_recompute() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (0, 2), (1, 3)]);
+        let mut eng = engine(&el, &[0], Parallelism::Edge);
+        eng.insert_edge(2, 3);
+        assert_matches_recompute(&eng, "case2 edge");
+    }
+
+    #[test]
+    fn case3_both_decompositions_match_recompute() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            let el = EdgeList::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+            let mut eng = engine(&el, &[0, 2], par);
+            eng.insert_edge(0, 4);
+            assert_matches_recompute(&eng, &format!("case3 {par}"));
+        }
+    }
+
+    #[test]
+    fn component_merge_matches_recompute() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            let el = EdgeList::from_pairs(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+            let mut eng = engine(&el, &[0, 3], par);
+            let r = eng.insert_edge(2, 3);
+            assert_eq!(r.cases.distant, 2);
+            assert_matches_recompute(&eng, &format!("merge {par}"));
+        }
+    }
+
+    #[test]
+    fn case1_is_fast_path_with_no_touches() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut eng = engine(&el, &[0], Parallelism::Node);
+        let before = eng.state_snapshot();
+        let r = eng.insert_edge(1, 3);
+        assert_eq!(r.cases.same, 1);
+        assert_eq!(r.worked_sources(), 0);
+        assert_eq!(eng.state_snapshot().bc, before.bc);
+        assert_matches_recompute(&eng, "case1");
+    }
+
+    #[test]
+    fn random_streams_match_recompute_both_parallelisms() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            for seed in 0..4u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let n = 26;
+                let el = gen::er(&mut rng, n, 36);
+                let sources = sample_sources(&mut rng, n, 5);
+                let mut eng = engine(&el, &sources, par);
+                let mut done = 0;
+                while done < 5 {
+                    let a = rng.gen_range(0..n as u32);
+                    let b = rng.gen_range(0..n as u32);
+                    if a == b || eng.graph().has_edge(a, b) {
+                        continue;
+                    }
+                    eng.insert_edge(a, b);
+                    done += 1;
+                }
+                assert_matches_recompute(&eng, &format!("{par} seed {seed}"));
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_agrees_with_cpu_engine_exactly_on_cases_and_touched() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 30;
+        let el = gen::ws(&mut rng, n, 2, 0.2);
+        let sources = sample_sources(&mut rng, n, 6);
+        let mut gpu_eng = engine(&el, &sources, Parallelism::Node);
+        let mut cpu_eng = crate::dynamic::CpuDynamicBc::new(&el, &sources);
+        let mut done = 0;
+        while done < 6 {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a == b || gpu_eng.graph().has_edge(a, b) {
+                continue;
+            }
+            let rg = gpu_eng.insert_edge(a, b);
+            let rc = cpu_eng.insert_edge(a, b);
+            assert_eq!(rg.cases, rc.cases, "case tallies differ at ({a},{b})");
+            done += 1;
+        }
+        let gpu_state = gpu_eng.state_snapshot();
+        let cpu_state = cpu_eng.state();
+        for v in 0..n {
+            assert!(
+                (gpu_state.bc[v] - cpu_state.bc[v]).abs() < 1e-6,
+                "engines disagree on BC[{v}]"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_clock_advances_per_update() {
+        let el = EdgeList::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut eng = engine(&el, &[0], Parallelism::Node);
+        let r = eng.insert_edge(0, 3);
+        assert!(r.model_seconds > 0.0);
+        assert!(eng.elapsed_seconds() >= r.model_seconds);
+        assert!(eng.total_stats().lane_events > 0);
+    }
+
+    #[test]
+    fn deletion_same_level_is_free() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        let mut eng = engine(&el, &[0], Parallelism::Node);
+        let before = eng.state_snapshot();
+        let r = eng.remove_edge(1, 3);
+        assert_eq!(r.cases.same, 1);
+        assert_eq!(eng.state_snapshot().bc, before.bc);
+        assert_matches_recompute(&eng, "deletion same-level");
+    }
+
+    #[test]
+    fn deletion_sigma_only_matches_recompute_both_parallelisms() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            let el = EdgeList::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+            let mut eng = engine(&el, &[0], par);
+            let r = eng.remove_edge(2, 3);
+            assert_eq!(r.cases.adjacent, 1, "{par}");
+            assert_matches_recompute(&eng, &format!("deletion D2 {par}"));
+        }
+    }
+
+    #[test]
+    fn deletion_fallback_matches_recompute_both_parallelisms() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            // Removing (1,2) from a path disconnects the tail.
+            let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+            let mut eng = engine(&el, &[0, 3], par);
+            let r = eng.remove_edge(1, 2);
+            assert_eq!(r.cases.distant, 2, "{par}");
+            assert_matches_recompute(&eng, &format!("deletion D3 {par}"));
+            assert_eq!(eng.state_snapshot().d[0][3], u32::MAX);
+        }
+    }
+
+    #[test]
+    fn random_mixed_streams_match_recompute_and_cpu() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            let mut rng = StdRng::seed_from_u64(314);
+            let n = 26;
+            let el = gen::er(&mut rng, n, 40);
+            let sources = sample_sources(&mut rng, n, 5);
+            let mut gpu = engine(&el, &sources, par);
+            let mut cpu = crate::dynamic::CpuDynamicBc::new(&el, &sources);
+            for _ in 0..14 {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a == b {
+                    continue;
+                }
+                if gpu.graph().has_edge(a, b) {
+                    let rg = gpu.remove_edge(a, b);
+                    let rc = cpu.remove_edge(a, b);
+                    assert_eq!(rg.cases, rc.cases, "{par}: deletion cases at ({a},{b})");
+                } else {
+                    gpu.insert_edge(a, b);
+                    cpu.insert_edge(a, b);
+                }
+            }
+            assert_matches_recompute(&gpu, &format!("mixed stream {par}"));
+            let gs = gpu.state_snapshot();
+            for v in 0..n {
+                assert!(
+                    (gs.bc[v] - cpu.state().bc[v]).abs() < 1e-6,
+                    "{par}: engines disagree at BC[{v}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_decomposition_moves_more_memory_than_node() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let el = gen::geometric(&mut rng, 225, 0.05);
+        let sources = sample_sources(&mut rng, 225, 8);
+        let mut node = engine(&el, &sources, Parallelism::Node);
+        let mut edge = engine(&el, &sources, Parallelism::Edge);
+        let mut inserted = 0;
+        while inserted < 4 {
+            let a = rng.gen_range(0..225u32);
+            let b = rng.gen_range(0..225u32);
+            if a == b || node.graph().has_edge(a, b) {
+                continue;
+            }
+            node.insert_edge(a, b);
+            edge.insert_edge(a, b);
+            inserted += 1;
+        }
+        assert!(
+            edge.total_stats().mem_segments > node.total_stats().mem_segments,
+            "edge {} vs node {}",
+            edge.total_stats().mem_segments,
+            node.total_stats().mem_segments
+        );
+        assert!(edge.elapsed_seconds() > node.elapsed_seconds());
+    }
+}

@@ -1,0 +1,101 @@
+//! Edge-parallel Case 2 kernels (Algorithms 4 and 6).
+//!
+//! One thread per *arc*, rescanning the whole arc list every level. Most
+//! threads fail the `d[v] = current_depth` test and retire having done
+//! nothing but "an unnecessary comparison for a branch instruction along
+//! with the loads it depends on" — the futile traffic that makes this
+//! decomposition lose to node-parallelism on every graph in Table II.
+//!
+//! Two departures from the paper's listings, both noted in Section III of
+//! our DESIGN.md: (1) Algorithm 4's frontier test must also require
+//! `t[v] ≠ untouched`, otherwise every same-depth vertex — touched or not
+//! — would propagate and the touched set would balloon to everything below
+//! `u_low`'s level, contradicting the paper's own Figure 4; (2) Algorithm
+//! 6's listing swaps the roles of `v` and `w` relative to Algorithm 7
+//! (σ̂[v]/σ̂[w] with v the *deeper* endpoint is dimensionally wrong); we
+//! implement the orientation consistent with Algorithms 2 and 7.
+
+use super::Ctx;
+use crate::gpu::buffers::{T_DOWN, T_UNTOUCHED, T_UP};
+use dynbc_gpusim::BlockCtx;
+
+/// Algorithm 4: edge-parallel shortest-path recount. Returns the deepest
+/// touched level.
+pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
+    let num_arcs = ctx.g.num_arcs;
+    let d_low = block.read_scalar(&ctx.st.d, ctx.kn(ctx.u_low));
+    let mut depth = d_low; // shared current_depth
+    let mut deepest = d_low;
+    loop {
+        let mut done = true; // shared
+        block.parallel_for(num_arcs, |lane, e| {
+            let v = lane.read(&ctx.g.arc_tails, e);
+            if lane.read(&ctx.st.d, ctx.kn(v)) != depth {
+                return; // the futile-thread fast path
+            }
+            if lane.read(&ctx.scr.t, ctx.sn(v)) == T_UNTOUCHED {
+                return; // see module docs: only touched vertices propagate
+            }
+            let w = lane.read(&ctx.g.arc_heads, e);
+            if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
+                if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
+                    lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN); // benign race
+                    done = false;
+                }
+                let push = lane.read(&ctx.scr.sigma_hat, ctx.sn(v))
+                    - lane.read(&ctx.st.sigma, ctx.kn(v));
+                lane.atomic_add_f64(&ctx.scr.sigma_hat, ctx.sn(w), push);
+            }
+        });
+        block.barrier();
+        if done {
+            break;
+        }
+        depth += 1;
+        deepest = depth;
+    }
+    deepest
+}
+
+/// Algorithm 6 (orientation-corrected): edge-parallel dependency
+/// accumulation from `deepest` up to the source.
+pub fn dep_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
+    let num_arcs = ctx.g.num_arcs;
+    let u_high = ctx.u_high;
+    let u_low = ctx.u_low;
+    let mut depth = deepest;
+    while depth > 0 {
+        block.parallel_for(num_arcs, |lane, e| {
+            // w: the deeper endpoint (at `depth`, must be touched);
+            // v: its predecessor candidate (at `depth - 1`).
+            let w = lane.read(&ctx.g.arc_tails, e);
+            if lane.read(&ctx.st.d, ctx.kn(w)) != depth {
+                return;
+            }
+            if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
+                return;
+            }
+            let v = lane.read(&ctx.g.arc_heads, e);
+            if lane.read(&ctx.st.d, ctx.kn(v)) != depth - 1 {
+                return;
+            }
+            let mut dsv = 0.0;
+            if lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(v), T_UNTOUCHED, T_UP) == T_UNTOUCHED {
+                dsv += lane.read(&ctx.st.delta, ctx.kn(v));
+            }
+            lane.compute(2);
+            let sig_hat_w = lane.read(&ctx.scr.sigma_hat, ctx.sn(w));
+            let del_hat_w = lane.read(&ctx.scr.delta_hat, ctx.sn(w));
+            dsv += lane.read(&ctx.scr.sigma_hat, ctx.sn(v)) / sig_hat_w * (1.0 + del_hat_w);
+            if lane.read(&ctx.scr.t, ctx.sn(v)) == T_UP && !(v == u_high && w == u_low) {
+                lane.compute(2);
+                let sig_w = lane.read(&ctx.st.sigma, ctx.kn(w));
+                let del_w = lane.read(&ctx.st.delta, ctx.kn(w));
+                dsv -= lane.read(&ctx.st.sigma, ctx.kn(v)) / sig_w * (1.0 + del_w);
+            }
+            lane.atomic_add_f64(&ctx.scr.delta_hat, ctx.sn(v), dsv);
+        });
+        block.barrier();
+        depth -= 1;
+    }
+}

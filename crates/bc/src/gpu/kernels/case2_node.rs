@@ -1,0 +1,142 @@
+//! Node-parallel Case 2 kernels (Algorithms 5 and 7).
+//!
+//! One thread per *frontier vertex*: work-efficient by construction. The
+//! shortest-path stage drives explicit queues `Q`/`Q2` with sort-based
+//! duplicate removal; the dependency stage rescans the level-ordered `QQ`
+//! array each depth, filtering by `d[w] = current_depth` — the "small
+//! amount of extra work" the paper accepts in exchange for never touching
+//! vertices outside the update's footprint.
+
+use super::common::{advance_no_dedup, dedup_and_advance};
+use super::Ctx;
+use crate::gpu::buffers::{SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN, T_UNTOUCHED, T_UP};
+use crate::gpu::engine::DedupStrategy;
+use dynbc_gpusim::BlockCtx;
+
+/// Algorithm 5: node-parallel shortest-path recount. Returns the deepest
+/// touched level (the starting depth for dependency accumulation —
+/// Algorithm 5's closing `atomicMax` computes exactly this).
+///
+/// `dedup` selects how duplicate frontier entries are avoided: the
+/// paper's sort/flag/scan pipeline, or the `atomicCAS` gate on `t[w]` it
+/// argues against (kept for the ablation study).
+pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32 {
+    // Seed: Q = QQ = [u_low] (lines 3–7).
+    let u_low = ctx.u_low;
+    let d_low = block.read_scalar(&ctx.st.d, ctx.kn(u_low));
+    block.write_scalar(&ctx.scr.q, ctx.qi(0), u_low);
+    block.write_scalar(&ctx.scr.qq, ctx.qi(0), u_low);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), 1);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), 1);
+
+    let mut depth = d_low; // shared current_depth
+    loop {
+        let q_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN)) as usize;
+        block.parallel_for(q_len, |lane, tid| {
+            let v = lane.read(&ctx.scr.q, ctx.qi(tid));
+            let sig_hat_v = lane.read(&ctx.scr.sigma_hat, ctx.sn(v));
+            let sig_v = lane.read(&ctx.st.sigma, ctx.kn(v));
+            let push = sig_hat_v - sig_v;
+            let start = lane.read(&ctx.g.row_offsets, v as usize) as usize;
+            let end = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
+            for e in start..end {
+                let w = lane.read(&ctx.g.adj, e);
+                if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
+                    let discovered = match dedup {
+                        DedupStrategy::SortScan => {
+                            // Plain test-then-set: a benign race in CUDA
+                            // (duplicates are removed later), deterministic
+                            // here.
+                            let untouched =
+                                lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED;
+                            if untouched {
+                                lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN);
+                            }
+                            untouched
+                        }
+                        DedupStrategy::AtomicCas => {
+                            lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(w), T_UNTOUCHED, T_DOWN)
+                                == T_UNTOUCHED
+                        }
+                    };
+                    if discovered {
+                        let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
+                        assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
+                        lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
+                    }
+                    lane.atomic_add_f64(&ctx.scr.sigma_hat, ctx.sn(w), push);
+                }
+            }
+        });
+        block.barrier();
+        let found = match dedup {
+            DedupStrategy::SortScan => dedup_and_advance(block, ctx),
+            DedupStrategy::AtomicCas => advance_no_dedup(block, ctx),
+        };
+        if found == 0 {
+            break;
+        }
+        depth += 1;
+    }
+    depth
+}
+
+/// Algorithm 7: node-parallel dependency accumulation, starting at
+/// `deepest` and walking toward the source. Newly discovered
+/// ("up") predecessors are appended to `QQ` and participate in later
+/// (shallower) iterations.
+pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
+    let u_high = ctx.u_high;
+    let u_low = ctx.u_low;
+    let mut depth = deepest;
+    while depth > 0 {
+        let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize;
+        block.parallel_for(qq_len, |lane, tid| {
+            let w = lane.read(&ctx.scr.qq, ctx.qi(tid));
+            // Only this depth's vertices work; the rest of QQ is the
+            // node-parallel method's (small) futile scan.
+            if lane.read(&ctx.st.d, ctx.kn(w)) != depth {
+                return;
+            }
+            let sig_hat_w = lane.read(&ctx.scr.sigma_hat, ctx.sn(w));
+            let del_hat_w = lane.read(&ctx.scr.delta_hat, ctx.sn(w));
+            let sig_w = lane.read(&ctx.st.sigma, ctx.kn(w));
+            let del_w = lane.read(&ctx.st.delta, ctx.kn(w));
+            let start = lane.read(&ctx.g.row_offsets, w as usize) as usize;
+            let end = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
+            for e in start..end {
+                let v = lane.read(&ctx.g.adj, e);
+                if lane.read(&ctx.st.d, ctx.kn(v)) != depth - 1 {
+                    continue;
+                }
+                let mut dsv = 0.0;
+                // First toucher seeds δ̂[v] with the old dependency and
+                // publishes v for shallower iterations.
+                if lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(v), T_UNTOUCHED, T_UP) == T_UNTOUCHED {
+                    dsv += lane.read(&ctx.st.delta, ctx.kn(v));
+                    let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
+                    assert!(qq_len + (i as usize) < ctx.scr.qw, "QQ overflow");
+                    lane.write(&ctx.scr.qq, ctx.qi(qq_len + i as usize), v);
+                }
+                lane.compute(2); // the divide + multiply-add below
+                dsv += lane.read(&ctx.scr.sigma_hat, ctx.sn(v)) / sig_hat_w * (1.0 + del_hat_w);
+                if lane.read(&ctx.scr.t, ctx.sn(v)) == T_UP && !(v == u_high && w == u_low) {
+                    lane.compute(2);
+                    dsv -= lane.read(&ctx.st.sigma, ctx.kn(v)) / sig_w * (1.0 + del_w);
+                }
+                lane.atomic_add_f64(&ctx.scr.delta_hat, ctx.sn(v), dsv);
+            }
+        });
+        block.barrier();
+        // Lines 18–19: absorb the vertices discovered this round.
+        let added = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN));
+        block.write_scalar(
+            &ctx.scr.lens,
+            ctx.li(SLOT_QQLEN),
+            qq_len as u32 + added,
+        );
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+        depth -= 1;
+    }
+}

@@ -1,0 +1,149 @@
+//! Edge-parallel Case 3 kernels — the arc-scanning twin of
+//! [`case3_node`](super::case3_node).
+//!
+//! Every phase rescans the full arc list per level (plus an O(n) σ̂-zero
+//! pass), so the futile-work gap versus the node-parallel variant is even
+//! wider than in Case 2: relocation sweeps, marking rounds, and the pull
+//! sweep each pay O(E) per iteration regardless of how little changed.
+
+use super::Ctx;
+use crate::gpu::buffers::{SLOT_DEPTH, SLOT_DONE, T_DOWN, T_UNTOUCHED, T_UP};
+use dynbc_gpusim::BlockCtx;
+
+/// Phase 1: relocation + σ̂ recount, arc-parallel. Returns the deepest
+/// down-level.
+pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
+    let n = ctx.n();
+    let num_arcs = ctx.g.num_arcs;
+    let start = block.read_scalar(&ctx.scr.d_hat, ctx.sn(ctx.u_low));
+    let mut level = start;
+    let mut deepest = start;
+    loop {
+        // Pass A: zero σ̂ of this level's down set (they are about to be
+        // recounted; untouched vertices keep σ̂ = σ from init).
+        block.parallel_for(n, |lane, v| {
+            let v = v as u32;
+            if lane.read(&ctx.scr.t, ctx.sn(v)) == T_DOWN
+                && lane.read(&ctx.scr.d_hat, ctx.sn(v)) == level
+            {
+                lane.write(&ctx.scr.sigma_hat, ctx.sn(v), 0.0);
+            }
+        });
+        block.barrier();
+        // Pass B: accumulate σ̂ from predecessors into this level.
+        block.parallel_for(num_arcs, |lane, e| {
+            let b = lane.read(&ctx.g.arc_tails, e);
+            if lane.read(&ctx.scr.d_hat, ctx.sn(b)) != level
+                || lane.read(&ctx.scr.t, ctx.sn(b)) != T_DOWN
+            {
+                return;
+            }
+            let a = lane.read(&ctx.g.arc_heads, e);
+            if lane.read(&ctx.scr.d_hat, ctx.sn(a)) == level - 1 {
+                let sig_a = lane.read(&ctx.scr.sigma_hat, ctx.sn(a));
+                lane.atomic_add_f64(&ctx.scr.sigma_hat, ctx.sn(b), sig_a);
+            }
+        });
+        block.barrier();
+        // Pass C: relocate farther neighbours and mark next-level ones.
+        let mut done = true; // shared
+        block.parallel_for(num_arcs, |lane, e| {
+            let a = lane.read(&ctx.g.arc_tails, e);
+            if lane.read(&ctx.scr.d_hat, ctx.sn(a)) != level
+                || lane.read(&ctx.scr.t, ctx.sn(a)) != T_DOWN
+            {
+                return;
+            }
+            let b = lane.read(&ctx.g.arc_heads, e);
+            let db = lane.read(&ctx.scr.d_hat, ctx.sn(b));
+            if db > level + 1 {
+                lane.write(&ctx.scr.d_hat, ctx.sn(b), level + 1);
+                lane.write(&ctx.scr.t, ctx.sn(b), T_DOWN);
+                done = false;
+            } else if db == level + 1 && lane.read(&ctx.scr.t, ctx.sn(b)) == T_UNTOUCHED {
+                lane.write(&ctx.scr.t, ctx.sn(b), T_DOWN);
+                done = false;
+            }
+        });
+        block.barrier();
+        if done {
+            break;
+        }
+        level += 1;
+        deepest = level;
+    }
+    deepest
+}
+
+/// Phase 2a: closure marking over both DAGs, arc-parallel rounds until a
+/// fixpoint. Returns the deepest touched level.
+pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 {
+    let num_arcs = ctx.g.num_arcs;
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH), deepest_down);
+    loop {
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DONE), 1);
+        block.parallel_for(num_arcs, |lane, e| {
+            let w = lane.read(&ctx.g.arc_tails, e);
+            if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
+                return;
+            }
+            let x = lane.read(&ctx.g.arc_heads, e);
+            if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {
+                return;
+            }
+            let dw_new = lane.read(&ctx.scr.d_hat, ctx.sn(w));
+            let dw_old = lane.read(&ctx.st.d, ctx.kn(w));
+            let dx = lane.read(&ctx.st.d, ctx.kn(x)); // untouched: old = new
+            let new_pred = dw_new > 0 && dx == dw_new - 1;
+            let old_pred = dw_old != u32::MAX && dw_old > 0 && dx == dw_old - 1;
+            if (new_pred || old_pred)
+                && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP) == T_UNTOUCHED
+            {
+                lane.atomic_max_u32(&ctx.scr.lens, ctx.li(SLOT_DEPTH), dx);
+                lane.write(&ctx.scr.lens, ctx.li(SLOT_DONE), 0);
+            }
+        });
+        block.barrier();
+        if block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_DONE)) == 1 {
+            break;
+        }
+    }
+    block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH))
+}
+
+/// Phase 2b: pull-based dependency sweep, arc-parallel. Each arc
+/// contributes at exactly one depth (its deeper endpoint's), so δ̂
+/// accumulates without a zeroing pass (δ̂ starts at 0 from init).
+pub fn phase2_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
+    let num_arcs = ctx.g.num_arcs;
+    let mut depth = max_depth;
+    loop {
+        block.parallel_for(num_arcs, |lane, e| {
+            let a = lane.read(&ctx.g.arc_tails, e);
+            if lane.read(&ctx.scr.t, ctx.sn(a)) == T_UNTOUCHED {
+                return;
+            }
+            if lane.read(&ctx.scr.d_hat, ctx.sn(a)) != depth {
+                return;
+            }
+            let b = lane.read(&ctx.g.arc_heads, e);
+            if lane.read(&ctx.scr.d_hat, ctx.sn(b)) != depth + 1 {
+                return;
+            }
+            lane.compute(2);
+            let sig_a = lane.read(&ctx.scr.sigma_hat, ctx.sn(a));
+            let sig_b = lane.read(&ctx.scr.sigma_hat, ctx.sn(b));
+            let del_b = if lane.read(&ctx.scr.t, ctx.sn(b)) != T_UNTOUCHED {
+                lane.read(&ctx.scr.delta_hat, ctx.sn(b))
+            } else {
+                lane.read(&ctx.st.delta, ctx.kn(b))
+            };
+            lane.atomic_add_f64(&ctx.scr.delta_hat, ctx.sn(a), sig_a / sig_b * (1.0 + del_b));
+        });
+        block.barrier();
+        if depth == 0 {
+            break;
+        }
+        depth -= 1;
+    }
+}

@@ -1,0 +1,208 @@
+//! Node-parallel Case 3 kernels — our generalization of Algorithms 5/7 to
+//! insertions that change distances (`|Δd| > 1`, including component
+//! merges).
+//!
+//! Three phases, mirroring the sequential engine in
+//! `dynamic::cpu::case3_update`:
+//!
+//! 1. **Relocate + recount** — a level-synchronous sweep from `u_low`'s
+//!    new level. Each frontier vertex *pulls* its σ̂ fresh from its
+//!    new-level predecessors (pull is idempotent, so relocated vertices
+//!    that appear in stale queue entries are simply skipped), then
+//!    relocates farther neighbours to `level + 1` and marks same-level
+//!    successors `down`.
+//! 2. **Mark** — closure of dependency changes over *both* DAGs: a
+//!    predecessor in the new DAG gains/changes a term, a predecessor in
+//!    the old DAG loses one (the relocated-vertex case a new-DAG-only walk
+//!    would miss). Discovered vertices are appended to `QQ`; the deepest
+//!    new level among them is tracked with `atomicMax` (an `up` vertex can
+//!    sit *deeper* than every `down` vertex).
+//! 3. **Pull sweep** — dependency accumulation by decreasing new level,
+//!    recomputing each touched vertex's δ̂ from scratch out of its
+//!    new-DAG successors. No add/subtract bookkeeping: that is only sound
+//!    when levels are static.
+
+use super::common::dedup_and_advance;
+use super::Ctx;
+use crate::gpu::buffers::{
+    SLOT_DEPTH, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN, T_UNTOUCHED, T_UP,
+};
+use dynbc_gpusim::BlockCtx;
+
+/// Phase 1: relocation + σ̂ recount. Returns the deepest down-level.
+pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
+    let u_low = ctx.u_low;
+    let start = block.read_scalar(&ctx.scr.d_hat, ctx.sn(u_low));
+    block.write_scalar(&ctx.scr.q, ctx.qi(0), u_low);
+    block.write_scalar(&ctx.scr.qq, ctx.qi(0), u_low);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), 1);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), 1);
+
+    let mut level = start;
+    let mut deepest = start;
+    loop {
+        let q_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN)) as usize;
+        // Pull pass: recount σ̂ for the (final-position) frontier.
+        block.parallel_for(q_len, |lane, tid| {
+            let v = lane.read(&ctx.scr.q, ctx.qi(tid));
+            if lane.read(&ctx.scr.d_hat, ctx.sn(v)) != level {
+                return; // stale entry from before a relocation
+            }
+            let start_e = lane.read(&ctx.g.row_offsets, v as usize) as usize;
+            let end_e = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
+            let mut sig = 0.0;
+            for e in start_e..end_e {
+                let x = lane.read(&ctx.g.adj, e);
+                if lane.read(&ctx.scr.d_hat, ctx.sn(x)) == level - 1 {
+                    // Untouched x: σ̂ = σ from init. Touched x: final, its
+                    // level is fully drained.
+                    sig += lane.read(&ctx.scr.sigma_hat, ctx.sn(x));
+                }
+            }
+            lane.write(&ctx.scr.sigma_hat, ctx.sn(v), sig);
+        });
+        block.barrier();
+        // Expand pass: relocate and mark.
+        block.parallel_for(q_len, |lane, tid| {
+            let v = lane.read(&ctx.scr.q, ctx.qi(tid));
+            if lane.read(&ctx.scr.d_hat, ctx.sn(v)) != level {
+                return;
+            }
+            let start_e = lane.read(&ctx.g.row_offsets, v as usize) as usize;
+            let end_e = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
+            for e in start_e..end_e {
+                let w = lane.read(&ctx.g.adj, e);
+                let dw = lane.read(&ctx.scr.d_hat, ctx.sn(w));
+                if dw > level + 1 {
+                    // Relocation (covers dw = ∞, the merge case). The
+                    // double write is a benign same-value race in CUDA.
+                    lane.write(&ctx.scr.d_hat, ctx.sn(w), level + 1);
+                    lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN);
+                    let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
+                    assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
+                    lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
+                } else if dw == level + 1
+                    && lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED
+                {
+                    lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN);
+                    let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
+                    assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
+                    lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
+                }
+            }
+        });
+        block.barrier();
+        let found = dedup_and_advance(block, ctx);
+        if found == 0 {
+            break;
+        }
+        level += 1;
+        deepest = level;
+    }
+    deepest
+}
+
+/// Phase 2a: mark the closure of dependency changes. Returns the deepest
+/// level over all touched vertices (down or up).
+pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 {
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH), deepest_down);
+    // Round 0 walks everything already in QQ; later rounds walk the
+    // newly-marked frontier in Q.
+    let mut from_qq = true;
+    loop {
+        let list_len = if from_qq {
+            block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize
+        } else {
+            block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN)) as usize
+        };
+        block.parallel_for(list_len, |lane, tid| {
+            let w = if from_qq {
+                lane.read(&ctx.scr.qq, ctx.qi(tid))
+            } else {
+                lane.read(&ctx.scr.q, ctx.qi(tid))
+            };
+            let dw_new = lane.read(&ctx.scr.d_hat, ctx.sn(w));
+            let dw_old = lane.read(&ctx.st.d, ctx.kn(w));
+            let start_e = lane.read(&ctx.g.row_offsets, w as usize) as usize;
+            let end_e = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
+            for e in start_e..end_e {
+                let x = lane.read(&ctx.g.adj, e);
+                if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {
+                    continue;
+                }
+                // Untouched ⇒ x's old and new levels coincide.
+                let dx = lane.read(&ctx.st.d, ctx.kn(x));
+                let new_pred = dw_new > 0 && dx == dw_new - 1;
+                let old_pred = dw_old != u32::MAX && dw_old > 0 && dx == dw_old - 1;
+                if (new_pred || old_pred)
+                    && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP)
+                        == T_UNTOUCHED
+                {
+                    lane.atomic_max_u32(&ctx.scr.lens, ctx.li(SLOT_DEPTH), dx);
+                    let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
+                    assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
+                    lane.write(&ctx.scr.q2, ctx.qi(i as usize), x);
+                }
+            }
+        });
+        block.barrier();
+        // CAS-gated marking produces no duplicates: move Q2 → Q directly
+        // and append to QQ.
+        let added = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN)) as usize;
+        if added == 0 {
+            break;
+        }
+        let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize;
+        assert!(qq_len + added <= ctx.scr.qw, "QQ overflow");
+        block.parallel_for(added, |lane, i| {
+            let v = lane.read(&ctx.scr.q2, ctx.qi(i));
+            lane.write(&ctx.scr.q, ctx.qi(i), v);
+            lane.write(&ctx.scr.qq, ctx.qi(qq_len + i), v);
+        });
+        block.barrier();
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), added as u32);
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), (qq_len + added) as u32);
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+        from_qq = false;
+    }
+    block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH))
+}
+
+/// Phase 2b: pull-based dependency sweep by decreasing new level.
+pub fn phase2_node(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
+    let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize;
+    let mut depth = max_depth;
+    loop {
+        block.parallel_for(qq_len, |lane, tid| {
+            let w = lane.read(&ctx.scr.qq, ctx.qi(tid));
+            if lane.read(&ctx.scr.d_hat, ctx.sn(w)) != depth {
+                return; // stale/duplicate entries: pull is idempotent
+            }
+            let sig_hat_w = lane.read(&ctx.scr.sigma_hat, ctx.sn(w));
+            let start_e = lane.read(&ctx.g.row_offsets, w as usize) as usize;
+            let end_e = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
+            let mut acc = 0.0;
+            for e in start_e..end_e {
+                let x = lane.read(&ctx.g.adj, e);
+                if lane.read(&ctx.scr.d_hat, ctx.sn(x)) != depth + 1 {
+                    continue;
+                }
+                lane.compute(2);
+                let sig_x = lane.read(&ctx.scr.sigma_hat, ctx.sn(x));
+                let del_x = if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {
+                    lane.read(&ctx.scr.delta_hat, ctx.sn(x))
+                } else {
+                    lane.read(&ctx.st.delta, ctx.kn(x))
+                };
+                acc += sig_hat_w / sig_x * (1.0 + del_x);
+            }
+            lane.write(&ctx.scr.delta_hat, ctx.sn(w), acc);
+        });
+        block.barrier();
+        if depth == 0 {
+            break;
+        }
+        depth -= 1;
+    }
+}

@@ -1,0 +1,243 @@
+//! Kernels shared by both decompositions: initialization (Algorithm 3),
+//! the global-state commit (Algorithm 8), and the Merrill-style duplicate
+//! removal used by the node-parallel frontier (Section III-A).
+
+use super::Ctx;
+use crate::gpu::buffers::{
+    SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN, T_UNTOUCHED,
+};
+use dynbc_gpusim::BlockCtx;
+
+/// How [`init_kernel`] seeds `u_low` (the update flavours share the rest
+/// of Algorithm 3 verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Insertion Case 2: `σ̂[u_low] ← σ[u_low] + σ[u_high]` (the new edge
+    /// routes all of `u_high`'s paths to `u_low`).
+    InsertAdjacent,
+    /// The general (Case 3) path: distances relocate, σ̂ is pulled fresh,
+    /// so only `d̂[u_low] ← d[u_high] + 1` is seeded.
+    General,
+    /// Deletion Case D2: `σ̂[u_low] ← σ[u_low] − σ[u_high]` (the removed
+    /// edge carried exactly `σ[u_high]` of `u_low`'s paths).
+    DeleteAdjacent,
+}
+
+/// Algorithm 3: per-source initialization of the local variables.
+///
+/// Sets, for all `v`: `t[v] ← untouched`, `σ̂[v] ← σ[v]`, `δ̂[v] ← 0`;
+/// `u_low` is marked `down` and seeded per `mode`. The [`SeedMode::General`]
+/// flavour also copies `d̂[v] ← d[v]` (relocations need it).
+pub fn init_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, mode: SeedMode) {
+    let n = ctx.n();
+    let u_low = ctx.u_low;
+    let u_high = ctx.u_high;
+    block.parallel_for(n, |lane, v| {
+        let v = v as u32;
+        let sigma_v = lane.read(&ctx.st.sigma, ctx.kn(v));
+        if v == u_low {
+            lane.write(&ctx.scr.t, ctx.sn(v), T_DOWN);
+            match mode {
+                SeedMode::InsertAdjacent => {
+                    let sigma_high = lane.read(&ctx.st.sigma, ctx.kn(u_high));
+                    lane.write(&ctx.scr.sigma_hat, ctx.sn(v), sigma_v + sigma_high);
+                }
+                SeedMode::DeleteAdjacent => {
+                    let sigma_high = lane.read(&ctx.st.sigma, ctx.kn(u_high));
+                    lane.write(&ctx.scr.sigma_hat, ctx.sn(v), sigma_v - sigma_high);
+                }
+                SeedMode::General => {
+                    lane.write(&ctx.scr.sigma_hat, ctx.sn(v), sigma_v);
+                    let d_high = lane.read(&ctx.st.d, ctx.kn(u_high));
+                    lane.write(&ctx.scr.d_hat, ctx.sn(v), d_high + 1);
+                }
+            }
+        } else {
+            lane.write(&ctx.scr.t, ctx.sn(v), T_UNTOUCHED);
+            lane.write(&ctx.scr.sigma_hat, ctx.sn(v), sigma_v);
+            if mode == SeedMode::General {
+                let dv = lane.read(&ctx.st.d, ctx.kn(v));
+                lane.write(&ctx.scr.d_hat, ctx.sn(v), dv);
+            }
+        }
+        lane.write(&ctx.scr.delta_hat, ctx.sn(v), 0.0);
+    });
+    block.barrier();
+}
+
+/// Algorithm 8: commit the update to the global per-source state and the
+/// BC scores.
+///
+/// `BC[v] += δ̂[v] − δ[v]` (atomically — blocks working on different
+/// sources race on this array, which the paper argues is low-contention),
+/// `σ[v] ← σ̂[v]` unconditionally, `δ[v] ← δ̂[v]` for touched vertices,
+/// and with `case3 = true` also `d[v] ← d̂[v]` for touched vertices.
+pub fn update_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, case3: bool) {
+    let n = ctx.n();
+    let s = ctx.s;
+    block.parallel_for(n, |lane, v| {
+        let v = v as u32;
+        let tv = lane.read(&ctx.scr.t, ctx.sn(v));
+        if tv != T_UNTOUCHED && v != s {
+            let dh = lane.read(&ctx.scr.delta_hat, ctx.sn(v));
+            let dl = lane.read(&ctx.st.delta, ctx.kn(v));
+            lane.atomic_add_f64(&ctx.st.bc, v as usize, dh - dl);
+        }
+        let sh = lane.read(&ctx.scr.sigma_hat, ctx.sn(v));
+        lane.write(&ctx.st.sigma, ctx.kn(v), sh);
+        if tv != T_UNTOUCHED {
+            let dh = lane.read(&ctx.scr.delta_hat, ctx.sn(v));
+            lane.write(&ctx.st.delta, ctx.kn(v), dh);
+            if case3 {
+                let dhat = lane.read(&ctx.scr.d_hat, ctx.sn(v));
+                lane.write(&ctx.st.d, ctx.kn(v), dhat);
+            }
+        }
+    });
+    block.barrier();
+}
+
+/// Moves `Q2` into `Q` and appends it to `QQ` *without* duplicate removal
+/// — valid only when the producer already guarantees uniqueness (the
+/// `atomicCAS` discovery gate of [`DedupStrategy::AtomicCas`] and the
+/// Case 3 marking rounds). Returns the entry count.
+///
+/// [`DedupStrategy::AtomicCas`]: crate::gpu::engine::DedupStrategy::AtomicCas
+pub fn advance_no_dedup(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
+    let len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN)) as usize;
+    let qbase = ctx.qi(0);
+    if len == 0 {
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), 0);
+        return 0;
+    }
+    let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize;
+    assert!(qq_len + len <= ctx.scr.qw, "QQ overflow");
+    block.parallel_for(len, |lane, i| {
+        let v = lane.read(&ctx.scr.q2, qbase + i);
+        lane.write(&ctx.scr.q, qbase + i, v);
+        lane.write(&ctx.scr.qq, qbase + qq_len + i, v);
+    });
+    block.barrier();
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), len as u32);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), (qq_len + len) as u32);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+    len
+}
+
+/// The paper's three-step `remove_duplicates(Q2, Q2_len)` followed by the
+/// transfer of the unique entries into `Q` and their append onto `QQ`
+/// (lines 22–28 of Algorithm 5):
+///
+/// 1. bitonic-sort `Q2` (padding to the next power of two with `u32::MAX`
+///    sentinels),
+/// 2. flag first occurrences,
+/// 3. Hillis–Steele prefix-scan the flags and scatter-compact into `Q`.
+///
+/// Updates `Q_len`, `QQ_len`, and resets `Q2_len`. Returns the unique
+/// count.
+pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
+    let len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN)) as usize;
+    let qbase = ctx.qi(0);
+    if len == 0 {
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), 0);
+        return 0;
+    }
+    let unique = if len == 1 {
+        let v = block.read_scalar(&ctx.scr.q2, qbase);
+        block.write_scalar(&ctx.scr.q, qbase, v);
+        1
+    } else {
+        let padded = len.next_power_of_two();
+        assert!(
+            padded <= ctx.scr.qw,
+            "frontier queue overflow: {len} pushes exceed queue width {}",
+            ctx.scr.qw
+        );
+        // Step 0: pad with +inf sentinels.
+        block.parallel_for(padded - len, |lane, i| {
+            lane.write(&ctx.scr.q2, qbase + len + i, u32::MAX);
+        });
+        block.barrier();
+        // Step 1: bitonic sorting network (one barrier per stage).
+        let mut k = 2usize;
+        while k <= padded {
+            let mut j = k / 2;
+            while j > 0 {
+                block.parallel_for(padded, |lane, i| {
+                    let partner = i ^ j;
+                    if partner > i {
+                        let a = lane.read(&ctx.scr.q2, qbase + i);
+                        let b = lane.read(&ctx.scr.q2, qbase + partner);
+                        let ascending = (i & k) == 0;
+                        if (a > b) == ascending {
+                            lane.write(&ctx.scr.q2, qbase + i, b);
+                            lane.write(&ctx.scr.q2, qbase + partner, a);
+                        }
+                    }
+                });
+                block.barrier();
+                j /= 2;
+            }
+            k *= 2;
+        }
+        // Step 2: flag first occurrences into the scan buffer.
+        let flags = ctx.scan_base();
+        block.parallel_for(len, |lane, i| {
+            let cur = lane.read(&ctx.scr.q2, qbase + i);
+            let flag = if i == 0 {
+                1
+            } else {
+                u32::from(lane.read(&ctx.scr.q2, qbase + i - 1) != cur)
+            };
+            lane.write(&ctx.scr.scan, flags + i, flag);
+        });
+        block.barrier();
+        // Step 3a: Hillis–Steele inclusive scan, ping-ponging between the
+        // two halves of the scan buffer.
+        let half = ctx.scr.qw;
+        let mut src = flags;
+        let mut dst = flags + half;
+        let mut stride = 1usize;
+        while stride < len {
+            block.parallel_for(len, |lane, i| {
+                let mut v = lane.read(&ctx.scr.scan, src + i);
+                if i >= stride {
+                    v += lane.read(&ctx.scr.scan, src + i - stride);
+                }
+                lane.write(&ctx.scr.scan, dst + i, v);
+            });
+            block.barrier();
+            std::mem::swap(&mut src, &mut dst);
+            stride *= 2;
+        }
+        let unique = block.read_scalar(&ctx.scr.scan, src + len - 1) as usize;
+        // Step 3b: scatter-compact first occurrences into Q.
+        block.parallel_for(len, |lane, i| {
+            let cur = lane.read(&ctx.scr.q2, qbase + i);
+            let first = i == 0 || lane.read(&ctx.scr.q2, qbase + i - 1) != cur;
+            if first {
+                let pos = lane.read(&ctx.scr.scan, src + i) as usize - 1;
+                lane.write(&ctx.scr.q, qbase + pos, cur);
+            }
+        });
+        block.barrier();
+        unique
+    };
+    // Transfer bookkeeping: Q gains the unique entries, QQ appends them.
+    let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize;
+    assert!(
+        qq_len + unique <= ctx.scr.qw,
+        "QQ overflow: {} entries exceed queue width {}",
+        qq_len + unique,
+        ctx.scr.qw
+    );
+    block.parallel_for(unique, |lane, i| {
+        let v = lane.read(&ctx.scr.q, qbase + i);
+        lane.write(&ctx.scr.qq, qbase + qq_len + i, v);
+    });
+    block.barrier();
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), unique as u32);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), (qq_len + unique) as u32);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+    unique
+}

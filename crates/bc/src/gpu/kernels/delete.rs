@@ -1,0 +1,135 @@
+//! Deletion-specific device kernels.
+//!
+//! Case D2 (distances static, σ shrinks) reuses the Case 2 machinery —
+//! [`init_kernel`](super::common::init_kernel) with the
+//! [`DeleteAdjacent`](super::common::SeedMode::DeleteAdjacent) seed, then
+//! the unmodified shortest-path kernels (their pushes are simply
+//! negative), then the dependency kernels with the inserted-pair
+//! exclusion disabled. The one genuinely new piece is the **phantom
+//! retraction**: the deleted edge no longer appears in the adjacency, so
+//! `u_high`'s stale dependency term through it must be retracted
+//! explicitly before the sweep runs.
+//!
+//! Case D3 (distances grow) falls back to a from-scratch single-source
+//! pass on the device — the [`static_bc`](crate::gpu::static_bc) kernels
+//! writing into this block's scratch rows — bracketed by a subtract-old /
+//! commit-new pair so the global `BC` array receives exactly
+//! `δ_new − δ_old`.
+
+use super::Ctx;
+use crate::gpu::buffers::{SLOT_Q2LEN, SLOT_QQLEN, T_UNTOUCHED, T_UP};
+use dynbc_gpusim::BlockCtx;
+
+/// Retracts the deleted edge's stale contribution to `δ̂[u_high]` and
+/// publishes `u_high` for the dependency sweep (marked `up`, seeded with
+/// its old dependency, appended to `QQ` for the node-parallel sweep).
+///
+/// Must run after the shortest-path stage (so `QQ_len` is final) and
+/// before dependency accumulation.
+pub fn phantom_retraction(block: &mut BlockCtx, ctx: &Ctx<'_>) {
+    let u_high = ctx.u_high;
+    let u_low = ctx.u_low;
+    // One-lane kernel: CAS the flag, seed, retract, enqueue.
+    block.parallel_for(1, |lane, _| {
+        if lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(u_high), T_UNTOUCHED, T_UP) == T_UNTOUCHED {
+            let del_high = lane.read(&ctx.st.delta, ctx.kn(u_high));
+            lane.write(&ctx.scr.delta_hat, ctx.sn(u_high), del_high);
+            let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
+            let qq_len = lane.read(&ctx.scr.lens, ctx.li(SLOT_QQLEN));
+            assert!(((qq_len + i) as usize) < ctx.scr.qw, "QQ overflow");
+            lane.write(&ctx.scr.qq, ctx.qi((qq_len + i) as usize), u_high);
+        }
+        lane.compute(2);
+        let sig_high = lane.read(&ctx.st.sigma, ctx.kn(u_high));
+        let sig_low = lane.read(&ctx.st.sigma, ctx.kn(u_low));
+        let del_low = lane.read(&ctx.st.delta, ctx.kn(u_low));
+        let term = sig_high / sig_low * (1.0 + del_low);
+        lane.atomic_add_f64(&ctx.scr.delta_hat, ctx.sn(u_high), -term);
+    });
+    block.barrier();
+    // Absorb the possible QQ append.
+    let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN));
+    let added = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN));
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), qq_len + added);
+    block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
+}
+
+/// Fallback prologue: `BC[v] −= δ_old[v]` for every `v ≠ s` (the new
+/// dependencies are added back by the static pass's accumulation).
+pub fn fallback_subtract_old(block: &mut BlockCtx, ctx: &Ctx<'_>) {
+    let n = ctx.n();
+    let s = ctx.s;
+    block.parallel_for(n, |lane, v| {
+        if v as u32 != s {
+            let del = lane.read(&ctx.st.delta, ctx.kn(v as u32));
+            if del != 0.0 {
+                lane.atomic_add_f64(&ctx.st.bc, v, -del);
+            }
+        }
+    });
+    block.barrier();
+}
+
+/// Fallback epilogue: commit the freshly computed tree (`d̂`/`σ̂`/`δ̂`
+/// scratch rows) into this source's global state rows.
+pub fn fallback_commit(block: &mut BlockCtx, ctx: &Ctx<'_>) {
+    let n = ctx.n();
+    block.parallel_for(n, |lane, v| {
+        let v = v as u32;
+        let dh = lane.read(&ctx.scr.d_hat, ctx.sn(v));
+        lane.write(&ctx.st.d, ctx.kn(v), dh);
+        let sh = lane.read(&ctx.scr.sigma_hat, ctx.sn(v));
+        lane.write(&ctx.st.sigma, ctx.kn(v), sh);
+        let delh = lane.read(&ctx.scr.delta_hat, ctx.sn(v));
+        lane.write(&ctx.st.delta, ctx.kn(v), delh);
+    });
+    block.barrier();
+}
+
+/// Deletion classifier: for each source, distinguishes D1 (same level) /
+/// D2 (adjacent, surviving predecessor) / D3 (adjacent, sole
+/// predecessor), encoding the `u_high` orientation in the code. Runs
+/// *after* the edge is gone from the device adjacency (the
+/// surviving-predecessor scan must not see it).
+///
+/// Codes: 0 = D1; 1/2 = D2 with `u`/`v` high; 3/4 = D3 with `u`/`v` high.
+pub fn classify_deletion(
+    block: &mut BlockCtx,
+    g: &crate::gpu::buffers::GraphBuffers,
+    st: &crate::gpu::buffers::StateBuffers,
+    out: &dynbc_gpusim::GpuBuffer<u32>,
+    u: u32,
+    v: u32,
+) {
+    let n = st.n;
+    let k = st.k;
+    block.parallel_for(k, |lane, i| {
+        let du = lane.read(&st.d, i * n + u as usize);
+        let dv = lane.read(&st.d, i * n + v as usize);
+        let code = if du == dv {
+            0
+        } else {
+            let (u_low, d_low, u_is_high) = if du < dv { (v, dv, true) } else { (u, du, false) };
+            // Does u_low keep a predecessor at d_low - 1?
+            let start = lane.read(&g.row_offsets, u_low as usize) as usize;
+            let end = lane.read(&g.row_offsets, u_low as usize + 1) as usize;
+            let mut survives = false;
+            for e in start..end {
+                let x = lane.read(&g.adj, e);
+                let dx = lane.read(&st.d, i * n + x as usize);
+                if dx != u32::MAX && dx + 1 == d_low {
+                    survives = true;
+                    break;
+                }
+            }
+            match (survives, u_is_high) {
+                (true, true) => 1,
+                (true, false) => 2,
+                (false, true) => 3,
+                (false, false) => 4,
+            }
+        };
+        lane.write(out, i, code);
+    });
+    block.barrier();
+}

@@ -1,0 +1,83 @@
+//! Device kernels for dynamic betweenness centrality (Algorithms 3–8 of
+//! the paper, plus our Case 3 generalization).
+//!
+//! All kernels are written against `dynbc-gpusim`'s [`BlockCtx`]/[`Lane`]
+//! API: every global-memory access flows through a lane and is charged to
+//! the machine model, so the edge-vs-node comparison measures exactly the
+//! traffic each decomposition generates.
+//!
+//! Layout conventions: per-source state rows live at `src_row * n`, each
+//! block's scratch rows at `block_slot * n` (or `block_slot * qw` for
+//! queues); a block processes one source at a time, so one scratch row per
+//! block suffices even when it loops over several sources.
+
+pub mod case2_edge;
+pub mod case2_node;
+pub mod case3_edge;
+pub mod case3_node;
+pub mod common;
+pub mod delete;
+
+use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers};
+use dynbc_graph::VertexId;
+
+/// Everything a kernel needs to locate its data: graph, state, scratch,
+/// which block-scratch row to use, which source row to update, and the
+/// inserted edge oriented as `(u_high, u_low)`.
+pub struct Ctx<'a> {
+    /// Device graph.
+    pub g: &'a GraphBuffers,
+    /// Persistent per-source state.
+    pub st: &'a StateBuffers,
+    /// Per-block scratch.
+    pub scr: &'a ScratchBuffers,
+    /// This block's scratch row index.
+    pub block_slot: usize,
+    /// This source's state row index (`0..k`).
+    pub src_row: usize,
+    /// The source vertex.
+    pub s: VertexId,
+    /// Inserted-edge endpoint nearer the source.
+    pub u_high: VertexId,
+    /// Inserted-edge endpoint farther from the source.
+    pub u_low: VertexId,
+}
+
+impl Ctx<'_> {
+    /// Vertex count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.g.n
+    }
+
+    /// Index of vertex `v` in this source's state rows (`d`/`σ`/`δ`).
+    #[inline]
+    pub fn kn(&self, v: VertexId) -> usize {
+        self.src_row * self.st.n + v as usize
+    }
+
+    /// Index of vertex `v` in this block's scratch rows (`t`/`σ̂`/`δ̂`/`d̂`).
+    #[inline]
+    pub fn sn(&self, v: VertexId) -> usize {
+        self.scr.row(self.block_slot) + v as usize
+    }
+
+    /// Index `i` in this block's queue rows (`q`/`q2`/`qq`).
+    #[inline]
+    pub fn qi(&self, i: usize) -> usize {
+        self.scr.qrow(self.block_slot) + i
+    }
+
+    /// Index of control slot `slot` for this block.
+    #[inline]
+    pub fn li(&self, slot: usize) -> usize {
+        self.scr.lens_row(self.block_slot) + slot
+    }
+
+    /// Base of this block's scan scratch (width `2 * qw`; the second half
+    /// starts at `+ qw`).
+    #[inline]
+    pub fn scan_base(&self) -> usize {
+        self.scr.scan_row(self.block_slot)
+    }
+}

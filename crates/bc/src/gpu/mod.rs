@@ -1,0 +1,20 @@
+//! GPU implementations on the `dynbc-gpusim` machine model.
+//!
+//! * [`engine`] — the per-insertion dynamic-BC orchestration
+//!   ([`GpuDynamicBc`]), in both [`Parallelism`] decompositions;
+//! * [`kernels`] — Algorithms 3–8 plus the Case 3 generalization;
+//! * [`static_bc`] — from-scratch GPU BC (the Fig. 1 workload and the
+//!   Table III recomputation baseline);
+//! * [`multi`] — multi-GPU source partitioning (the paper's future-work
+//!   strong-scaling sketch);
+//! * [`buffers`] — device-resident graph, state, and scratch memory.
+
+pub mod buffers;
+pub mod engine;
+pub mod kernels;
+pub mod multi;
+pub mod static_bc;
+
+pub use engine::{DedupStrategy, GpuDynamicBc, Parallelism};
+pub use multi::MultiGpuDynamicBc;
+pub use static_bc::{static_bc_gpu, StaticBcReport};

@@ -1,0 +1,131 @@
+//! Independent, definition-level BC oracle.
+//!
+//! Computes betweenness straight from Equation (1) of the paper:
+//! `BC(v) = Σ_{s≠t≠v} σ_st(v) / σ_st`, using all-pairs BFS and the
+//! identity `σ_st(v) = σ_sv · σ_vt` when `d_sv + d_vt = d_st`. It shares
+//! no code with Brandes's algorithm, so agreement between the two is a
+//! meaningful check. O(n·m + n²·n) — only for test-sized graphs.
+
+use dynbc_graph::{Csr, VertexId};
+
+/// Single-source distances and path counts by plain BFS DP.
+fn sssp_counts(g: &Csr, s: VertexId) -> (Vec<u32>, Vec<f64>) {
+    let n = g.vertex_count();
+    let mut d = vec![u32::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    d[s as usize] = 0;
+    sigma[s as usize] = 1.0;
+    let mut frontier = vec![s];
+    let mut next = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        next.clear();
+        for &v in &frontier {
+            for &w in g.neighbors(v) {
+                if d[w as usize] == u32::MAX {
+                    d[w as usize] = level + 1;
+                    next.push(w);
+                }
+                if d[w as usize] == level + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        level += 1;
+    }
+    (d, sigma)
+}
+
+/// Exact BC from the definition. Quadratic memory (all-pairs tables);
+/// intended for graphs of at most a few hundred vertices.
+pub fn naive_bc(g: &Csr) -> Vec<f64> {
+    naive_bc_sources(g, &(0..g.vertex_count() as VertexId).collect::<Vec<_>>())
+}
+
+/// Definition-level BC restricted to the given sources (matching
+/// approximate Brandes: `BC(v) = Σ_{s ∈ sources, t ≠ s ≠ v} σ_st(v)/σ_st`).
+pub fn naive_bc_sources(g: &Csr, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.vertex_count();
+    // Per-vertex SSSP tables, computed once each.
+    let mut tables: Vec<Option<(Vec<u32>, Vec<f64>)>> = vec![None; n];
+    let ensure = |tables: &mut Vec<Option<(Vec<u32>, Vec<f64>)>>, v: VertexId| {
+        if tables[v as usize].is_none() {
+            tables[v as usize] = Some(sssp_counts(g, v));
+        }
+    };
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        ensure(&mut tables, s);
+        for v in 0..n as VertexId {
+            if v == s {
+                continue;
+            }
+            ensure(&mut tables, v);
+            for t in 0..n as VertexId {
+                if t == s || t == v {
+                    continue;
+                }
+                let (ds, sig_s) = tables[s as usize].as_ref().unwrap();
+                let d_st = ds[t as usize];
+                if d_st == u32::MAX {
+                    continue;
+                }
+                let d_sv = ds[v as usize];
+                if d_sv == u32::MAX {
+                    continue;
+                }
+                let (dv, sig_v) = tables[v as usize].as_ref().unwrap();
+                let d_vt = dv[t as usize];
+                if d_vt == u32::MAX || d_sv + d_vt != d_st {
+                    continue;
+                }
+                let paths_through = sig_s[v as usize] * sig_v[t as usize];
+                bc[v as usize] += paths_through / sig_s[t as usize];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbc_graph::EdgeList;
+
+    fn g(n: usize, edges: &[(u32, u32)]) -> Csr {
+        Csr::from_edge_list(&EdgeList::from_pairs(n, edges.iter().copied()))
+    }
+
+    #[test]
+    fn path_center() {
+        assert_eq!(naive_bc(&g(3, &[(0, 1), (1, 2)])), [0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn bridge_vertex() {
+        // Two triangles joined at 2: 2 is a cut vertex.
+        let bc = naive_bc(&g(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]));
+        assert!(bc[2] > bc[0]);
+        assert!(bc[2] > bc[3]);
+        // Leaves of each triangle are symmetric.
+        assert!((bc[0] - bc[1]).abs() < 1e-12);
+        assert!((bc[3] - bc[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_sources_subset_of_exact() {
+        let csr = g(4, &[(0, 1), (1, 2), (2, 3)]);
+        let partial = naive_bc_sources(&csr, &[0]);
+        // From source 0 only: 1 lies on 0→2, 0→3; 2 lies on 0→3.
+        assert_eq!(partial, [0.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sssp_counts_diamond() {
+        let csr = g(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let (d, sigma) = sssp_counts(&csr, 0);
+        assert_eq!(d, [0, 1, 1, 2]);
+        assert_eq!(sigma, [1.0, 1.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Persistent betweenness-centrality state.
+//!
+//! Dynamic updating requires keeping, for every source vertex `s`, the
+//! BFS distances `d_s(t)`, shortest-path counts `σ_st` and dependencies
+//! `δ_s(t)` — the O(kn) storage the paper accepts because "the performance
+//! gain is well worth the extra space".
+
+use dynbc_graph::VertexId;
+
+/// Full dynamic-BC state: scores plus the per-source SSSP data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcState {
+    /// Number of vertices.
+    pub n: usize,
+    /// The `k` source vertices used for (approximate) BC.
+    pub sources: Vec<VertexId>,
+    /// Centrality scores, accumulated over `sources`.
+    pub bc: Vec<f64>,
+    /// `d[i][t]`: distance from `sources[i]` to `t` (`u32::MAX` if
+    /// unreachable).
+    pub d: Vec<Vec<u32>>,
+    /// `sigma[i][t]`: number of shortest paths from `sources[i]` to `t`.
+    /// Stored as `f64` (exact below 2^53; ratios are what the algorithm
+    /// consumes).
+    pub sigma: Vec<Vec<f64>>,
+    /// `delta[i][t]`: dependency of `t` with respect to `sources[i]`.
+    pub delta: Vec<Vec<f64>>,
+}
+
+impl BcState {
+    /// Allocates a zeroed state for `n` vertices and the given sources.
+    pub fn zeroed(n: usize, sources: Vec<VertexId>) -> Self {
+        let k = sources.len();
+        Self {
+            n,
+            sources,
+            bc: vec![0.0; n],
+            d: vec![vec![u32::MAX; n]; k],
+            sigma: vec![vec![0.0; n]; k],
+            delta: vec![vec![0.0; n]; k],
+        }
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Index of `s` within the source list, if it is one.
+    pub fn source_index(&self, s: VertexId) -> Option<usize> {
+        self.sources.iter().position(|&x| x == s)
+    }
+
+    /// The vertices with the `top` largest BC scores, descending (ties by
+    /// vertex id). The paper notes "the relative ranking of the vertices
+    /// tends to be more informative than the magnitude of their scores".
+    pub fn top_ranked(&self, top: usize) -> Vec<(VertexId, f64)> {
+        let mut idx: Vec<VertexId> = (0..self.n as VertexId).collect();
+        idx.sort_by(|&a, &b| {
+            self.bc[b as usize]
+                .partial_cmp(&self.bc[a as usize])
+                .expect("BC scores are never NaN")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(top);
+        idx.into_iter().map(|v| (v, self.bc[v as usize])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_shapes() {
+        let s = BcState::zeroed(5, vec![0, 3]);
+        assert_eq!(s.source_count(), 2);
+        assert_eq!(s.bc.len(), 5);
+        assert_eq!(s.d.len(), 2);
+        assert_eq!(s.d[1][4], u32::MAX);
+        assert_eq!(s.sigma[0][0], 0.0);
+    }
+
+    #[test]
+    fn source_index_lookup() {
+        let s = BcState::zeroed(4, vec![2, 0]);
+        assert_eq!(s.source_index(2), Some(0));
+        assert_eq!(s.source_index(0), Some(1));
+        assert_eq!(s.source_index(3), None);
+    }
+
+    #[test]
+    fn top_ranked_orders_and_breaks_ties_by_id() {
+        let mut s = BcState::zeroed(4, vec![0]);
+        s.bc = vec![1.0, 3.0, 3.0, 0.5];
+        let top = s.top_ranked(3);
+        assert_eq!(top, [(1, 3.0), (2, 3.0), (0, 1.0)]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal graph-access trait so the algorithms run on both the immutable
+//! CSR snapshot and the mutable STINGER-lite store.
+
+use dynbc_graph::{Csr, DynGraph, VertexId};
+
+/// Read-only neighbourhood access.
+pub trait Topology {
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+    /// Calls `f` for each neighbour of `v`.
+    fn for_neighbors<F: FnMut(VertexId)>(&self, v: VertexId, f: F);
+    /// Degree of `v`.
+    fn degree_of(&self, v: VertexId) -> usize;
+}
+
+impl Topology for Csr {
+    fn vertex_count(&self) -> usize {
+        Csr::vertex_count(self)
+    }
+
+    fn for_neighbors<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        for &w in self.neighbors(v) {
+            f(w);
+        }
+    }
+
+    fn degree_of(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+}
+
+impl Topology for DynGraph {
+    fn vertex_count(&self) -> usize {
+        DynGraph::vertex_count(self)
+    }
+
+    fn for_neighbors<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        for w in self.neighbors(v) {
+            f(w);
+        }
+    }
+
+    fn degree_of(&self, v: VertexId) -> usize {
+        self.degree(v) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbc_graph::EdgeList;
+
+    #[test]
+    fn csr_and_dyngraph_agree() {
+        let el = EdgeList::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let csr = Csr::from_edge_list(&el);
+        let dyng = DynGraph::from_edge_list(&el);
+        assert_eq!(Topology::vertex_count(&csr), Topology::vertex_count(&dyng));
+        for v in 0..5u32 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            csr.for_neighbors(v, |w| a.push(w));
+            dyng.for_neighbors(v, |w| b.push(w));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "vertex {v}");
+            assert_eq!(csr.degree_of(v), dyng.degree_of(v));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the BC algorithms at the crate level.
+
+use dynbc_bc::accuracy::max_rel_diff;
+use dynbc_bc::brandes::{brandes_exact, brandes_state, source_pass};
+use dynbc_bc::cases::{classify, InsertionCase};
+use dynbc_bc::reference::naive_bc;
+use dynbc_graph::{Csr, EdgeList};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (4usize..20, proptest::collection::vec((0u32..20, 0u32..20), 0..50)).prop_map(|(n, pairs)| {
+        let n = n.max(
+            pairs
+                .iter()
+                .map(|&(a, b)| a.max(b) as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        EdgeList::from_pairs(n, pairs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn brandes_matches_definition_oracle(el in arb_graph()) {
+        let csr = Csr::from_edge_list(&el);
+        let fast = brandes_exact(&csr);
+        let slow = naive_bc(&csr);
+        prop_assert!(max_rel_diff(&fast, &slow) < 1e-9);
+    }
+
+    #[test]
+    fn bc_is_nonnegative_and_zero_on_leaves(el in arb_graph()) {
+        let csr = Csr::from_edge_list(&el);
+        let bc = brandes_exact(&csr);
+        for (v, &score) in bc.iter().enumerate() {
+            prop_assert!(score >= -1e-12, "negative BC at {}", v);
+            if csr.degree(v as u32) <= 1 {
+                prop_assert!(score.abs() < 1e-12, "leaf/isolated {} has BC {}", v, score);
+            }
+        }
+    }
+
+    #[test]
+    fn source_pass_invariants(el in arb_graph(), s_raw in 0u32..20) {
+        let csr = Csr::from_edge_list(&el);
+        let s = s_raw % csr.vertex_count() as u32;
+        let pass = source_pass(&csr, s);
+        prop_assert_eq!(pass.d[s as usize], 0);
+        prop_assert_eq!(pass.sigma[s as usize], 1.0);
+        for v in 0..csr.vertex_count() {
+            let dv = pass.d[v];
+            if dv == u32::MAX {
+                prop_assert_eq!(pass.sigma[v], 0.0);
+                prop_assert_eq!(pass.delta[v], 0.0);
+                continue;
+            }
+            if v as u32 != s {
+                // σ_v = Σ over predecessors σ_p.
+                let pred_sum: f64 = csr
+                    .neighbors(v as u32)
+                    .iter()
+                    .filter(|&&p| pass.d[p as usize] != u32::MAX && pass.d[p as usize] + 1 == dv)
+                    .map(|&p| pass.sigma[p as usize])
+                    .sum();
+                prop_assert!((pass.sigma[v] - pred_sum).abs() < 1e-9, "sigma recurrence at {}", v);
+            }
+            prop_assert!(pass.delta[v] >= -1e-12);
+        }
+        // Σ_v δ_s(v) over non-source vertices equals Σ_t (hops-weighted
+        // path identity): each reachable t contributes d(t) to the total
+        // dependency mass. (Standard identity: Σ_v δ_s(v) = Σ_t d_s(t).)
+        let total_delta: f64 = (0..csr.vertex_count())
+            .filter(|&v| v as u32 != s)
+            .map(|v| pass.delta[v])
+            .sum();
+        let total_dist: f64 = pass
+            .d
+            .iter()
+            .enumerate()
+            .filter(|&(v, &d)| v as u32 != s && d != u32::MAX)
+            .map(|(_, &d)| d as f64)
+            .sum();
+        prop_assert!(
+            (total_delta + pass.delta[s as usize] - total_dist).abs() < 1e-6,
+            "dependency mass {} vs distance mass {}",
+            total_delta + pass.delta[s as usize],
+            total_dist
+        );
+    }
+
+    #[test]
+    fn classification_is_symmetric_and_total(el in arb_graph(), s_raw in 0u32..20, u in 0u32..20, v in 0u32..20) {
+        let csr = Csr::from_edge_list(&el);
+        let n = csr.vertex_count() as u32;
+        let (s, u, v) = (s_raw % n, u % n, v % n);
+        if u == v {
+            return Ok(());
+        }
+        let pass = source_pass(&csr, s);
+        let a = classify(&pass.d, u, v);
+        let b = classify(&pass.d, v, u);
+        prop_assert_eq!(a.case, b.case, "classification must be orientation-blind");
+        if a.case != InsertionCase::Same {
+            // Orientation only matters (and is only defined) when there
+            // is work to do.
+            prop_assert_eq!(a.u_high, b.u_high);
+            prop_assert_eq!(a.u_low, b.u_low);
+        }
+        match a.case {
+            InsertionCase::Same => {
+                prop_assert_eq!(pass.d[u as usize], pass.d[v as usize]);
+            }
+            InsertionCase::Adjacent => {
+                let dh = pass.d[a.u_high as usize];
+                let dl = pass.d[a.u_low as usize];
+                prop_assert_eq!(dh + 1, dl);
+            }
+            InsertionCase::Distant => {
+                let dh = pass.d[a.u_high as usize] as u64;
+                let dl = pass.d[a.u_low as usize] as u64;
+                prop_assert!(dh != u32::MAX as u64, "u_high must be reachable");
+                prop_assert!(dl > dh + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn state_bc_is_sum_of_per_source_dependencies(el in arb_graph()) {
+        let csr = Csr::from_edge_list(&el);
+        let n = csr.vertex_count();
+        let sources: Vec<u32> = (0..n as u32).step_by(3).collect();
+        let st = brandes_state(&csr, &sources);
+        for v in 0..n {
+            let mut sum = 0.0;
+            for (i, &s) in sources.iter().enumerate() {
+                if s != v as u32 {
+                    sum += st.delta[i][v];
+                }
+            }
+            prop_assert!((st.bc[v] - sum).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion microbenches of the substrate layers: device-style data
+//! structures, graph traversal, Brandes passes, and a dynamic update.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dynbc_bc::brandes::{sample_sources, source_pass};
+use dynbc_bc::dynamic::CpuDynamicBc;
+use dynbc_ds::{bitonic_sort, remove_duplicates, DedupScratch, MultiLevelQueue};
+use dynbc_graph::algo::bfs;
+use dynbc_graph::{gen, Csr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_vec(n: usize, modulo: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..modulo)).collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let data = rand_vec(1024, u32::MAX, 1);
+    let mut g = c.benchmark_group("sort_1024");
+    g.bench_function("bitonic_network", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut v| {
+                bitonic_sort(&mut v);
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("std_unstable", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut v| {
+                v.sort_unstable();
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    // Frontier-like input: many duplicates from a small id universe.
+    let data = rand_vec(512, 64, 2);
+    c.bench_function("dedup_frontier_512", |b| {
+        let mut scratch = DedupScratch::with_capacity(512);
+        b.iter_batched(
+            || data.clone(),
+            |mut q| black_box(remove_duplicates(&mut q, 512, &mut scratch)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mlq(c: &mut Criterion) {
+    c.bench_function("mlq_enqueue_drain_4096", |b| {
+        let mut mlq = MultiLevelQueue::new(64);
+        let items = rand_vec(4096, 64, 3);
+        b.iter(|| {
+            for (i, &v) in items.iter().enumerate() {
+                mlq.enqueue((v % 64) as usize, i as u32);
+            }
+            let mut total = 0usize;
+            mlq.drain_top_down(63, |_, _| total += 1);
+            mlq.clear();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let el = gen::ws(&mut rng, 10_000, 5, 0.1);
+    let csr = Csr::from_edge_list(&el);
+    c.bench_function("bfs_smallworld_10k", |b| {
+        b.iter(|| black_box(bfs(&csr, 0)))
+    });
+    c.bench_function("brandes_source_pass_10k", |b| {
+        b.iter(|| black_box(source_pass(&csr, 17)))
+    });
+}
+
+fn bench_dynamic_update(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let el = gen::ba(&mut rng, 4_000, 5);
+    let sources = sample_sources(&mut rng, 4_000, 16);
+    // Pick a fresh edge to insert on every iteration via cloning the
+    // prepared engine (clone cost is excluded by iter_batched).
+    let engine = CpuDynamicBc::new(&el, &sources);
+    let (u, v) = {
+        loop {
+            let a = rng.gen_range(0..4000u32);
+            let b = rng.gen_range(0..4000u32);
+            if a != b && !engine.graph().has_edge(a, b) {
+                break (a, b);
+            }
+        }
+    };
+    c.bench_function("cpu_dynamic_insert_ba4k_k16", |b| {
+        b.iter_batched(
+            || engine.clone(),
+            |mut e| black_box(e.insert_edge(u, v)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sorting, bench_dedup, bench_mlq, bench_graph, bench_dynamic_update
+}
+criterion_main!(benches);

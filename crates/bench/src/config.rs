@@ -1,0 +1,66 @@
+//! Environment-driven experiment sizing.
+
+/// Experiment knobs, resolved from the environment with per-harness
+/// defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Multiplier on the suite's default vertex counts (`DYNBC_SCALE`).
+    pub scale: f64,
+    /// Number of BC sources, the paper's `k` (`DYNBC_SOURCES`; paper: 256).
+    pub sources: usize,
+    /// Number of removed-then-reinserted edges (`DYNBC_INSERTIONS`;
+    /// paper: 100).
+    pub insertions: usize,
+    /// Master seed (`DYNBC_SEED`).
+    pub seed: u64,
+}
+
+impl Config {
+    /// Builds a config with the given defaults, each overridable from the
+    /// environment.
+    pub fn from_env(default_scale: f64, default_sources: usize, default_insertions: usize) -> Self {
+        Self {
+            scale: env_parse("DYNBC_SCALE", default_scale),
+            sources: env_parse("DYNBC_SOURCES", default_sources),
+            insertions: env_parse("DYNBC_INSERTIONS", default_insertions),
+            seed: env_parse("DYNBC_SEED", 20140519), // IPDPS 2014's week
+        }
+    }
+
+    /// A one-line description for harness headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "scale={} sources={} insertions={} seed={}",
+            self.scale, self.sources, self.insertions, self.seed
+        )
+    }
+}
+
+fn env_parse<T: std::str::FromStr + Copy>(key: &str, default: T) -> T {
+    match std::env::var(key) {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: could not parse {key}={v:?}; using default");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_without_env() {
+        // (Does not set env vars: tests run in parallel and the vars are
+        // process-global.)
+        let c = Config::from_env(0.25, 8, 10);
+        if std::env::var("DYNBC_SCALE").is_err() {
+            assert_eq!(c.scale, 0.25);
+        }
+        if std::env::var("DYNBC_SOURCES").is_err() {
+            assert_eq!(c.sources, 8);
+        }
+        assert!(c.describe().contains("seed="));
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harnesses for reproducing every table and figure of
+//! McLaughlin & Bader (IPDPS Workshops 2014).
+//!
+//! Each `benches/*.rs` target regenerates one artifact:
+//!
+//! | Target | Artifact | Claim it checks |
+//! |---|---|---|
+//! | `fig1_blocks` | Figure 1 | static-BC speedup peaks at one block per SM |
+//! | `fig2_cases` | Figure 2 | Case 2 dominates the work-requiring scenarios |
+//! | `table2_cpu_vs_gpu` | Table II | node ≫ edge ≥ CPU for dynamic updates |
+//! | `table3_update_vs_recompute` | Table III | even the slowest update beats recomputation |
+//! | `fig4_touched` | Figure 4 | updates touch a tiny fraction of the graph |
+//! | `ablation` | (ours) | design choices: dedup strategy, incremental-vs-pull Case 2 |
+//! | `micro` | (ours) | Criterion microbenches of the substrate |
+//!
+//! Scale defaults are reduced so the suite finishes on one CPU core;
+//! `DYNBC_SCALE`, `DYNBC_SOURCES`, `DYNBC_INSERTIONS`, and `DYNBC_SEED`
+//! environment variables scale toward paper size. Absolute numbers are
+//! *simulated* seconds from the `dynbc-gpusim` machine model; the claims
+//! under reproduction are ratio and ordering claims.
+
+pub mod config;
+pub mod driver;
+pub mod paper;
+pub mod table;
+
+pub use config::Config;
+pub use driver::{build_setup, run_cpu, run_gpu, DynRun, Setup};

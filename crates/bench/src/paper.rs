@@ -1,0 +1,122 @@
+//! The paper's published numbers, for side-by-side reporting.
+//!
+//! Absolute seconds from the authors' Tesla C2075 / i7-2600K are not
+//! expected to match a simulator at reduced scale; the *ratios* and
+//! orderings are the reproduction targets, so those are what the
+//! harnesses print next to measured values.
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Graph short name.
+    pub graph: &'static str,
+    /// Dynamic CPU total over 100 insertions, seconds.
+    pub cpu_s: f64,
+    /// Dynamic GPU, edge-parallel, seconds.
+    pub edge_s: f64,
+    /// Dynamic GPU, node-parallel, seconds.
+    pub node_s: f64,
+}
+
+impl Table2Row {
+    /// CPU / edge speedup as published.
+    pub fn edge_speedup(&self) -> f64 {
+        self.cpu_s / self.edge_s
+    }
+
+    /// CPU / node speedup as published.
+    pub fn node_speedup(&self) -> f64 {
+        self.cpu_s / self.node_s
+    }
+}
+
+/// Table II of the paper.
+pub const TABLE2: [Table2Row; 7] = [
+    Table2Row { graph: "caida", cpu_s: 1749.98, edge_s: 84.79, node_s: 15.85 },
+    Table2Row { graph: "coPap", cpu_s: 1080.81, edge_s: 762.81, node_s: 20.49 },
+    Table2Row { graph: "del", cpu_s: 4762.75, edge_s: 4611.52, node_s: 196.48 },
+    Table2Row { graph: "eu", cpu_s: 3991.27, edge_s: 591.20, node_s: 71.23 },
+    Table2Row { graph: "kron", cpu_s: 1951.86, edge_s: 1668.27, node_s: 81.54 },
+    Table2Row { graph: "pref", cpu_s: 380.77, edge_s: 62.73, node_s: 10.38 },
+    Table2Row { graph: "small", cpu_s: 360.82, edge_s: 29.14, node_s: 7.20 },
+];
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Graph short name.
+    pub graph: &'static str,
+    /// Static GPU recomputation, seconds.
+    pub recompute_s: f64,
+    /// Slowest single update, seconds.
+    pub slowest_s: f64,
+    /// Average update, seconds.
+    pub average_s: f64,
+    /// Fastest single update, seconds.
+    pub fastest_s: f64,
+}
+
+/// Table III of the paper.
+pub const TABLE3: [Table3Row; 7] = [
+    Table3Row { graph: "caida", recompute_s: 1.99, slowest_s: 0.3295, average_s: 0.1585, fastest_s: 0.0003 },
+    Table3Row { graph: "coPap", recompute_s: 31.35, slowest_s: 0.7242, average_s: 0.2049, fastest_s: 0.0003 },
+    Table3Row { graph: "del", recompute_s: 99.60, slowest_s: 10.8997, average_s: 1.9648, fastest_s: 0.0003 },
+    Table3Row { graph: "eu", recompute_s: 21.40, slowest_s: 3.0308, average_s: 0.7123, fastest_s: 0.0003 },
+    Table3Row { graph: "kron", recompute_s: 38.69, slowest_s: 1.5658, average_s: 0.8154, fastest_s: 0.2725 },
+    Table3Row { graph: "pref", recompute_s: 1.27, slowest_s: 0.5907, average_s: 0.1038, fastest_s: 0.0603 },
+    Table3Row { graph: "small", recompute_s: 0.68, slowest_s: 0.0978, average_s: 0.0720, fastest_s: 0.0350 },
+];
+
+/// Figure 2's headline statistics.
+pub const FIG2_CASE2_SHARE: f64 = 0.373;
+/// Share of work-requiring scenarios (Cases 2+3) that are Case 2.
+pub const FIG2_CASE2_SHARE_OF_WORK: f64 = 0.735;
+
+/// Figure 4's headline: the largest observed touched fraction.
+pub const FIG4_MAX_TOUCHED_FRACTION: f64 = 0.35;
+
+/// Headline claims from the abstract.
+pub const MAX_NODE_SPEEDUP_VS_CPU: f64 = 110.0;
+/// Average node-parallel update speedup vs GPU recomputation.
+pub const AVG_UPDATE_SPEEDUP_VS_RECOMPUTE: f64 = 45.0;
+
+/// Looks up the Table II row for a graph short name.
+pub fn table2_row(graph: &str) -> Option<&'static Table2Row> {
+    TABLE2.iter().find(|r| r.graph == graph)
+}
+
+/// Looks up the Table III row for a graph short name.
+pub fn table3_row(graph: &str) -> Option<&'static Table3Row> {
+    TABLE3.iter().find(|r| r.graph == graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_speedups_match_the_paper_text() {
+        // caida node speedup is the abstract's 110x headline.
+        let caida = table2_row("caida").unwrap();
+        assert!((caida.node_speedup() - 110.41).abs() < 0.05);
+        // del's edge-parallel collapse to ~1x.
+        let del = table2_row("del").unwrap();
+        assert!((del.edge_speedup() - 1.03).abs() < 0.01);
+    }
+
+    #[test]
+    fn node_beats_edge_in_every_published_row() {
+        for row in &TABLE2 {
+            assert!(row.node_s < row.edge_s, "{}", row.graph);
+        }
+    }
+
+    #[test]
+    fn every_published_update_beats_recomputation() {
+        for row in &TABLE3 {
+            assert!(row.slowest_s < row.recompute_s, "{}", row.graph);
+            assert!(row.fastest_s <= row.average_s);
+            assert!(row.average_s <= row.slowest_s);
+        }
+    }
+}

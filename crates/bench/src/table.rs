@@ -1,0 +1,122 @@
+//! Minimal fixed-width table printing for harness output.
+
+/// A left-aligned fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[c] - cell.len()));
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats seconds with sensible precision across magnitudes.
+pub fn fmt_seconds(s: f64) -> String {
+    if s == 0.0 {
+        "0".to_string()
+    } else if s < 1e-4 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 0.1 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Graph", "Time"]);
+        t.row(vec!["caida", "1.5s"]);
+        t.row(vec!["coPapersCiteseer", "2s"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Graph"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "Time" column starts at the same offset.
+        let off0 = lines[0].find("Time").unwrap();
+        let off2 = lines[2].find("1.5s").unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["A", "B", "C"]);
+        t.row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn second_formatting() {
+        assert_eq!(fmt_seconds(0.0), "0");
+        assert_eq!(fmt_seconds(5e-6), "5.0us");
+        assert_eq!(fmt_seconds(0.05), "50.00ms");
+        assert_eq!(fmt_seconds(2.0), "2.000s");
+        assert_eq!(fmt_speedup(2.345), "2.35x");
+        assert_eq!(fmt_speedup(45.6), "45.6x");
+        assert_eq!(fmt_speedup(6095.0), "6095x");
+    }
+}

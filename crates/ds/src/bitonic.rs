@@ -1,0 +1,203 @@
+//! Bitonic sorting network.
+//!
+//! The node-parallel shortest-path kernel (Algorithm 5 of the paper) removes
+//! duplicates from the next-frontier queue `Q2` by first *sorting* it with a
+//! bitonic network — the natural in-kernel sort on a SIMT machine because
+//! every compare-exchange stage is a data-independent parallel step. The
+//! paper notes the choice "has a negligible impact on performance because
+//! `Q2_len` is typically much smaller than n".
+//!
+//! The implementation below performs exactly the network's compare-exchange
+//! schedule (so a SIMT executor can charge one parallel step per stage) while
+//! remaining a correct host-side sort. Inputs that are not a power of two are
+//! handled by virtually padding with a key greater than any real key, the
+//! standard device-side trick.
+
+/// Returns the smallest power of two `>= n` (and `1` for `n == 0`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// Sorts `data` ascending using the bitonic network schedule.
+///
+/// Equivalent to `data.sort_unstable()` but performs the exact
+/// compare-exchange sequence of a bitonic network. Inputs whose length is
+/// not a power of two are padded with copies of their maximum element (the
+/// device-side `+inf` sentinel); after the network runs, the first `n`
+/// entries of the padded buffer are exactly the sorted input.
+pub fn bitonic_sort<T: Ord + Copy>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let padded = next_pow2(n);
+    if padded == n {
+        bitonic_network(data);
+        return;
+    }
+    let pad_value = *data.iter().max().expect("nonempty");
+    let mut buf: Vec<T> = Vec::with_capacity(padded);
+    buf.extend_from_slice(data);
+    buf.resize(padded, pad_value);
+    bitonic_network(&mut buf);
+    data.copy_from_slice(&buf[..n]);
+}
+
+/// Runs the full bitonic network on a power-of-two slice.
+fn bitonic_network<T: Ord + Copy>(data: &mut [T]) {
+    let padded = data.len();
+    debug_assert!(padded.is_power_of_two());
+    // k: size of the bitonic sequences being merged; j: compare distance.
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded {
+                let partner = i ^ j;
+                if partner <= i {
+                    continue;
+                }
+                let ascending = (i & k) == 0;
+                if (data[i] > data[partner]) == ascending {
+                    data.swap(i, partner);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Sorts `keys` ascending, carrying `values` along with their keys.
+///
+/// Used when the frontier queue carries auxiliary per-entry payloads that
+/// must stay aligned with the vertex ids being sorted. Ties are broken by
+/// original position, making the sort stable.
+///
+/// # Panics
+/// Panics if `keys.len() != values.len()`.
+pub fn bitonic_sort_by_key<K: Ord + Copy, V: Copy>(keys: &mut [K], values: &mut [V]) {
+    assert_eq!(
+        keys.len(),
+        values.len(),
+        "bitonic_sort_by_key: keys and values must have equal length"
+    );
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    // Sort (key, original index) pairs so the padding sentinel
+    // (pad_key, usize::MAX) is strictly greater than every real pair and the
+    // permutation is recoverable afterwards.
+    let padded = next_pow2(n);
+    let pad_key = *keys.iter().max().expect("nonempty");
+    let mut pairs: Vec<(K, usize)> = Vec::with_capacity(padded);
+    pairs.extend(keys.iter().copied().zip(0..n));
+    pairs.resize(padded, (pad_key, usize::MAX));
+    bitonic_network(&mut pairs);
+    let old_values: Vec<V> = values.to_vec();
+    for (slot, &(k, idx)) in pairs[..n].iter().enumerate() {
+        keys[slot] = k;
+        values[slot] = old_values[idx];
+    }
+}
+
+/// Number of compare-exchange *stages* the network executes for `n` items.
+///
+/// Each stage is one lockstep parallel step on a SIMT machine; the cost model
+/// in `dynbc-gpusim` uses this to charge the in-kernel sort.
+pub fn bitonic_stage_count(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let levels = next_pow2(n).trailing_zeros() as usize;
+    // Stage (k, j) for k in 2^1..2^levels, j halving from k/2 to 1:
+    // sum_{l=1}^{levels} l = levels * (levels + 1) / 2.
+    levels * (levels + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u32> = vec![];
+        bitonic_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![7u32];
+        bitonic_sort(&mut v);
+        assert_eq!(v, [7]);
+    }
+
+    #[test]
+    fn sorts_power_of_two() {
+        let mut v = vec![5u32, 3, 8, 1, 9, 2, 7, 4];
+        bitonic_sort(&mut v);
+        assert_eq!(v, [1, 2, 3, 4, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_non_power_of_two() {
+        let mut v = vec![5u32, 3, 8, 1, 9, 2, 7];
+        bitonic_sort(&mut v);
+        assert_eq!(v, [1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let mut v = vec![4u32, 4, 1, 3, 1, 3, 4];
+        bitonic_sort(&mut v);
+        assert_eq!(v, [1, 1, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn sort_by_key_keeps_pairs_aligned() {
+        let mut keys = vec![30u32, 10, 20, 10];
+        let mut vals = vec!['c', 'a', 'b', 'a'];
+        bitonic_sort_by_key(&mut keys, &mut vals);
+        assert_eq!(keys, [10, 10, 20, 30]);
+        // Duplicate keys both carry 'a', so the pairing is unambiguous.
+        assert_eq!(vals, ['a', 'a', 'b', 'c']);
+    }
+
+    #[test]
+    fn stage_count_matches_network() {
+        assert_eq!(bitonic_stage_count(0), 0);
+        assert_eq!(bitonic_stage_count(1), 0);
+        assert_eq!(bitonic_stage_count(2), 1);
+        assert_eq!(bitonic_stage_count(4), 3);
+        assert_eq!(bitonic_stage_count(8), 6);
+        // Non-power-of-two rounds up.
+        assert_eq!(bitonic_stage_count(5), 6);
+    }
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+
+    #[test]
+    fn matches_std_sort_on_many_sizes() {
+        // Deterministic pseudo-random coverage of sizes 0..64.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 0..64 {
+            let mut v: Vec<u32> = (0..n).map(|_| (next() % 50) as u32).collect();
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            bitonic_sort(&mut v);
+            assert_eq!(v, expected, "size {n}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Merrill-style duplicate removal for frontier queues.
+//!
+//! Algorithm 5 of the paper allows multiple threads to insert the same
+//! vertex into the next-frontier queue `Q2` (avoiding an atomic
+//! test-and-set on the `t[w]` flag) and then removes duplicates before the
+//! queue is reused. The procedure, following Merrill, Garland & Grimshaw:
+//!
+//! 1. **Sort** the queue (bitonic network, see [`crate::bitonic`]).
+//! 2. **Flag** each index whose value differs from its left neighbour —
+//!    i.e. the first occurrence of each run.
+//! 3. **Scan** the flags (exclusive prefix sum) to obtain each unique
+//!    element's output slot, then **compact**.
+//!
+//! [`remove_duplicates`] runs the full pipeline; [`DedupScratch`] holds the
+//! auxiliary flag/slot arrays so repeated updates do not reallocate.
+
+use crate::bitonic::bitonic_sort;
+use crate::scan::exclusive_scan_in_place;
+
+/// Reusable scratch space for [`remove_duplicates`].
+///
+/// Sized lazily to the largest queue seen so far; a dynamic-BC engine keeps
+/// one of these per block, mirroring resident device scratch buffers.
+#[derive(Debug, Default, Clone)]
+pub struct DedupScratch {
+    flags: Vec<u32>,
+    compacted: Vec<u32>,
+}
+
+impl DedupScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates scratch pre-sized for queues up to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            flags: Vec::with_capacity(capacity),
+            compacted: Vec::with_capacity(capacity),
+        }
+    }
+}
+
+/// Sorts `queue[..len]` and removes duplicates; returns the new length.
+///
+/// This is `remove_duplicates(Q2, Q2_len)` from Algorithm 5: on return,
+/// `queue[..new_len]` holds the unique elements in ascending order and the
+/// tail of the slice is unspecified.
+pub fn remove_duplicates(queue: &mut [u32], len: usize, scratch: &mut DedupScratch) -> usize {
+    assert!(len <= queue.len(), "remove_duplicates: len out of bounds");
+    let q = &mut queue[..len];
+    if len <= 1 {
+        return len;
+    }
+    // Step 1: sort (bitonic network on the device).
+    bitonic_sort(q);
+    // Step 2: flag first occurrences (parallel adjacent-compare on device).
+    scratch.flags.clear();
+    scratch.flags.resize(len, 0);
+    scratch.flags[0] = 1;
+    for (i, flag) in scratch.flags.iter_mut().enumerate().take(len).skip(1) {
+        *flag = u32::from(q[i] != q[i - 1]);
+    }
+    // Step 3: exclusive scan for output slots, then compact (scatter).
+    let unique = exclusive_scan_in_place(&mut scratch.flags) as usize;
+    // After the scan, flags[i] is the output slot of q[i] *if* q[i] is a
+    // first occurrence. First occurrences are exactly where the slot value
+    // increases; detect by comparing with the next slot (or `unique` at end).
+    scratch.compacted.clear();
+    scratch.compacted.resize(unique, 0);
+    for (i, &x) in q.iter().enumerate() {
+        let slot = scratch.flags[i] as usize;
+        let next_slot = if i + 1 < len { scratch.flags[i + 1] as usize } else { unique };
+        if next_slot != slot {
+            scratch.compacted[slot] = x;
+        }
+    }
+    q[..unique].copy_from_slice(&scratch.compacted);
+    unique
+}
+
+/// Removes duplicates from an already-sorted slice in place; returns the
+/// unique count. Linear and branch-light — the host-side fast path used by
+/// the sequential baselines.
+pub fn dedup_sorted_in_place(data: &mut [u32]) -> usize {
+    if data.len() <= 1 {
+        return data.len();
+    }
+    let mut write = 1usize;
+    for read in 1..data.len() {
+        if data[read] != data[write - 1] {
+            data[write] = data[read];
+            write += 1;
+        }
+    }
+    write
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue() {
+        let mut scratch = DedupScratch::new();
+        let mut q: Vec<u32> = vec![];
+        assert_eq!(remove_duplicates(&mut q, 0, &mut scratch), 0);
+    }
+
+    #[test]
+    fn singleton_queue() {
+        let mut scratch = DedupScratch::new();
+        let mut q = vec![42u32];
+        assert_eq!(remove_duplicates(&mut q, 1, &mut scratch), 1);
+        assert_eq!(q[0], 42);
+    }
+
+    #[test]
+    fn all_duplicates() {
+        let mut scratch = DedupScratch::new();
+        let mut q = vec![9u32, 9, 9, 9, 9];
+        let n = remove_duplicates(&mut q, 5, &mut scratch);
+        assert_eq!(n, 1);
+        assert_eq!(q[0], 9);
+    }
+
+    #[test]
+    fn mixed_duplicates() {
+        let mut scratch = DedupScratch::new();
+        let mut q = vec![4u32, 1, 4, 2, 1, 7, 2];
+        let n = remove_duplicates(&mut q, 7, &mut scratch);
+        assert_eq!(&q[..n], &[1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn respects_len_prefix() {
+        let mut scratch = DedupScratch::new();
+        // Tail beyond len=3 must be ignored.
+        let mut q = vec![5u32, 5, 3, 999, 999];
+        let n = remove_duplicates(&mut q, 3, &mut scratch);
+        assert_eq!(&q[..n], &[3, 5]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        let mut scratch = DedupScratch::with_capacity(8);
+        let mut q1 = vec![2u32, 2, 2, 1, 1, 0, 0, 0];
+        assert_eq!(remove_duplicates(&mut q1, 8, &mut scratch), 3);
+        let mut q2 = vec![10u32, 10];
+        assert_eq!(remove_duplicates(&mut q2, 2, &mut scratch), 1);
+        let mut q3 = vec![7u32, 6, 5, 4, 3, 2, 1, 0, 7, 6, 5, 4];
+        assert_eq!(remove_duplicates(&mut q3, 12, &mut scratch), 8);
+    }
+
+    #[test]
+    fn dedup_sorted_basics() {
+        let mut v = vec![1u32, 1, 2, 3, 3, 3, 8];
+        let n = dedup_sorted_in_place(&mut v);
+        assert_eq!(&v[..n], &[1, 2, 3, 8]);
+
+        let mut v: Vec<u32> = vec![];
+        assert_eq!(dedup_sorted_in_place(&mut v), 0);
+
+        let mut v = vec![5u32];
+        assert_eq!(dedup_sorted_in_place(&mut v), 1);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_pseudorandom_inputs() {
+        let mut scratch = DedupScratch::new();
+        let mut state = 88172645463325252u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 0..48 {
+            let mut q: Vec<u32> = (0..n).map(|_| (next() % 12) as u32).collect();
+            let mut expected: Vec<u32> = q.clone();
+            expected.sort_unstable();
+            expected.dedup();
+            let got = remove_duplicates(&mut q, n, &mut scratch);
+            assert_eq!(&q[..got], &expected[..], "size {n}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Flat frontier queues `Q` / `Q2` / `QQ` from Algorithm 5.
+//!
+//! The node-parallel kernels replace pointer-chasing queues with three flat
+//! arrays and monotone tail counters, because on a SIMT machine "enqueue" is
+//! an `atomicAdd` on the tail followed by a scatter:
+//!
+//! * `Q`  — vertices being processed at the current BFS level,
+//! * `Q2` — vertices discovered for the next level (may contain duplicates
+//!   until [`dedup`](FrontierQueues::dedup_next) runs),
+//! * `QQ` — every vertex discovered so far, in level order, consumed later
+//!   by the dependency-accumulation stage (the flat encoding of the
+//!   multi-level queue).
+//!
+//! This host-side twin is used by the sequential reference implementations
+//! and by tests; the simulated kernels in `dynbc-bc::gpu` manipulate the
+//! same layout through `GpuBuffer`s so the two stay structurally identical.
+
+use crate::dedup::{remove_duplicates, DedupScratch};
+
+/// The `Q`/`Q2`/`QQ` triple with explicit lengths.
+#[derive(Debug, Clone)]
+pub struct FrontierQueues {
+    q: Vec<u32>,
+    q_len: usize,
+    q2: Vec<u32>,
+    q2_len: usize,
+    qq: Vec<u32>,
+    qq_len: usize,
+    scratch: DedupScratch,
+}
+
+impl FrontierQueues {
+    /// Creates queues able to hold up to `capacity` vertices each.
+    ///
+    /// `Q` and `QQ` hold at most `n` entries (they stay duplicate-free); `Q2`
+    /// can transiently exceed `n` when several threads discover the same
+    /// vertex, so it is given `2 * capacity` slack, matching the device
+    /// buffer sizing used by the kernels.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            q: vec![0; capacity],
+            q_len: 0,
+            q2: vec![0; capacity.saturating_mul(2)],
+            q2_len: 0,
+            qq: vec![0; capacity],
+            qq_len: 0,
+            scratch: DedupScratch::with_capacity(capacity),
+        }
+    }
+
+    /// Resets all three queues and seeds them with `root` (lines 3–7 of
+    /// Algorithm 5: `Q[0] = u_low`, `QQ[0] = u_low`).
+    pub fn reset_with_root(&mut self, root: u32) {
+        self.q[0] = root;
+        self.q_len = 1;
+        self.q2_len = 0;
+        self.qq[0] = root;
+        self.qq_len = 1;
+    }
+
+    /// Clears all queues without seeding.
+    pub fn clear(&mut self) {
+        self.q_len = 0;
+        self.q2_len = 0;
+        self.qq_len = 0;
+    }
+
+    /// Current-level frontier.
+    pub fn current(&self) -> &[u32] {
+        &self.q[..self.q_len]
+    }
+
+    /// Length of the current-level frontier (`Q_len`).
+    pub fn current_len(&self) -> usize {
+        self.q_len
+    }
+
+    /// Next-level frontier, possibly containing duplicates.
+    pub fn next_raw(&self) -> &[u32] {
+        &self.q2[..self.q2_len]
+    }
+
+    /// Length of the raw next-level frontier (`Q2_len`).
+    pub fn next_len(&self) -> usize {
+        self.q2_len
+    }
+
+    /// All vertices discovered so far in level order (`QQ[..QQ_len]`).
+    pub fn discovered(&self) -> &[u32] {
+        &self.qq[..self.qq_len]
+    }
+
+    /// Length of the discovered list (`QQ_len`).
+    pub fn discovered_len(&self) -> usize {
+        self.qq_len
+    }
+
+    /// Appends `v` to `Q2` (the `i = atomicAdd(&Q2_len, 1); Q2[i] = w`
+    /// idiom). Duplicates are permitted by design.
+    ///
+    /// # Panics
+    /// Panics if `Q2` overflows its 2×capacity slack — which indicates the
+    /// caller inserted more duplicates than the kernels ever can (each edge
+    /// contributes at most one insertion per level).
+    pub fn push_next(&mut self, v: u32) {
+        assert!(
+            self.q2_len < self.q2.len(),
+            "frontier Q2 overflow: more pending inserts than 2x capacity"
+        );
+        self.q2[self.q2_len] = v;
+        self.q2_len += 1;
+    }
+
+    /// Sorts `Q2`, removes duplicates, and returns the unique count.
+    pub fn dedup_next(&mut self) -> usize {
+        self.q2_len = remove_duplicates(&mut self.q2, self.q2_len, &mut self.scratch);
+        self.q2_len
+    }
+
+    /// Promotes the (deduplicated) `Q2` into `Q` for the next level and
+    /// appends its contents to `QQ` (lines 23–28 of Algorithm 5), then
+    /// clears `Q2`. Returns the new `Q_len`.
+    pub fn advance_level(&mut self) -> usize {
+        let n = self.q2_len;
+        self.q[..n].copy_from_slice(&self.q2[..n]);
+        self.q_len = n;
+        self.qq[self.qq_len..self.qq_len + n].copy_from_slice(&self.q2[..n]);
+        self.qq_len += n;
+        self.q2_len = 0;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_seeds_q_and_qq() {
+        let mut f = FrontierQueues::new(8);
+        f.reset_with_root(3);
+        assert_eq!(f.current(), [3]);
+        assert_eq!(f.discovered(), [3]);
+        assert_eq!(f.next_len(), 0);
+    }
+
+    #[test]
+    fn bfs_level_cycle() {
+        let mut f = FrontierQueues::new(8);
+        f.reset_with_root(0);
+        // Discover 2, 1, 2 (duplicate) at the next level.
+        f.push_next(2);
+        f.push_next(1);
+        f.push_next(2);
+        assert_eq!(f.next_raw(), [2, 1, 2]);
+        assert_eq!(f.dedup_next(), 2);
+        let qlen = f.advance_level();
+        assert_eq!(qlen, 2);
+        assert_eq!(f.current(), [1, 2]);
+        assert_eq!(f.discovered(), [0, 1, 2]);
+        assert_eq!(f.next_len(), 0);
+    }
+
+    #[test]
+    fn empty_next_level_terminates() {
+        let mut f = FrontierQueues::new(4);
+        f.reset_with_root(1);
+        assert_eq!(f.dedup_next(), 0);
+        assert_eq!(f.advance_level(), 0);
+        assert_eq!(f.current_len(), 0);
+        assert_eq!(f.discovered(), [1]);
+    }
+
+    #[test]
+    fn qq_accumulates_in_level_order() {
+        let mut f = FrontierQueues::new(16);
+        f.reset_with_root(9);
+        f.push_next(4);
+        f.push_next(5);
+        f.dedup_next();
+        f.advance_level();
+        f.push_next(1);
+        f.dedup_next();
+        f.advance_level();
+        assert_eq!(f.discovered(), [9, 4, 5, 1]);
+    }
+
+    #[test]
+    fn q2_tolerates_duplicates_up_to_slack() {
+        let mut f = FrontierQueues::new(4);
+        f.reset_with_root(0);
+        for _ in 0..8 {
+            f.push_next(1); // 2x capacity duplicates allowed
+        }
+        assert_eq!(f.dedup_next(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q2 overflow")]
+    fn q2_overflow_panics() {
+        let mut f = FrontierQueues::new(2);
+        f.reset_with_root(0);
+        for _ in 0..5 {
+            f.push_next(1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! GPU-style data-structure building blocks, implemented on the host.
+//!
+//! The node-parallel kernels of McLaughlin & Bader keep *explicit* track of
+//! the work that needs doing, which requires a small zoo of data structures
+//! that are idiomatic on a SIMT machine:
+//!
+//! * [`bitonic`] — the bitonic sorting network used to sort the next-frontier
+//!   queue in-kernel (the paper, Section III-A, step 1 of duplicate removal).
+//! * [`scan`] — inclusive/exclusive prefix sums (step 3 of duplicate removal
+//!   and the general compaction workhorse).
+//! * [`dedup`] — the Merrill-style sort → flag → scan-compact duplicate
+//!   removal pipeline (`remove_duplicates()` in Algorithm 5).
+//! * [`mlq`] — the multi-level queue `QQ[level]` of Green et al.
+//!   (Algorithm 2), which replaces the stack of Brandes's Algorithm 1 because
+//!   the dependency-accumulation stage can *insert* vertices at shallower
+//!   levels while deeper levels are still being drained.
+//! * [`frontier`] — the `Q`/`Q2`/`QQ` flat-array queue triple with monotone
+//!   tail counters used by the node-parallel kernels (Algorithm 5).
+//!
+//! Everything here is deterministic and allocation-conscious: the structures
+//! are built once per engine and reused across updates, mirroring how the
+//! CUDA implementation would keep device buffers resident.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod dedup;
+pub mod frontier;
+pub mod mlq;
+pub mod scan;
+
+pub use bitonic::{bitonic_sort, bitonic_sort_by_key, next_pow2};
+pub use dedup::{dedup_sorted_in_place, remove_duplicates, DedupScratch};
+pub use frontier::FrontierQueues;
+pub use mlq::MultiLevelQueue;
+pub use scan::{exclusive_scan, exclusive_scan_in_place, inclusive_scan, inclusive_scan_in_place};

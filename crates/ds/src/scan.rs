@@ -1,0 +1,103 @@
+//! Prefix sums (scans).
+//!
+//! Step 3 of the paper's duplicate-removal procedure performs "a prefix sum
+//! on the above result to determine which indices into `Q` each corresponding
+//! unique element of `Q2` should be placed". On the device this is a
+//! Blelloch up-sweep/down-sweep; on the host a linear pass suffices, but the
+//! work-step structure is preserved in [`scan_step_count`] so the simulator
+//! can charge it faithfully.
+
+/// Returns the inclusive prefix sum of `input` as a new vector.
+///
+/// `out[i] = input[0] + ... + input[i]`. Sums wrap on overflow in release
+/// builds like ordinary integer addition; callers in this workspace scan
+/// 0/1 flag arrays, far from overflow.
+pub fn inclusive_scan(input: &[u32]) -> Vec<u32> {
+    let mut out = input.to_vec();
+    inclusive_scan_in_place(&mut out);
+    out
+}
+
+/// In-place inclusive prefix sum.
+pub fn inclusive_scan_in_place(data: &mut [u32]) {
+    let mut acc = 0u32;
+    for x in data.iter_mut() {
+        acc = acc.wrapping_add(*x);
+        *x = acc;
+    }
+}
+
+/// Returns the exclusive prefix sum of `input` as a new vector.
+///
+/// `out[0] = 0`, `out[i] = input[0] + ... + input[i-1]`.
+pub fn exclusive_scan(input: &[u32]) -> Vec<u32> {
+    let mut out = input.to_vec();
+    exclusive_scan_in_place(&mut out);
+    out
+}
+
+/// In-place exclusive prefix sum. Returns the total sum of the original
+/// input (i.e. the value that would occupy index `len`).
+pub fn exclusive_scan_in_place(data: &mut [u32]) -> u32 {
+    let mut acc = 0u32;
+    for x in data.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+/// Number of lockstep parallel steps a Blelloch scan performs over `n`
+/// elements: `2 * ceil(log2 n)` (up-sweep plus down-sweep).
+pub fn scan_step_count(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    2 * (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_empty() {
+        assert!(inclusive_scan(&[]).is_empty());
+    }
+
+    #[test]
+    fn inclusive_basic() {
+        assert_eq!(inclusive_scan(&[1, 2, 3, 4]), [1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn exclusive_basic() {
+        assert_eq!(exclusive_scan(&[1, 2, 3, 4]), [0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn exclusive_in_place_returns_total() {
+        let mut v = vec![1, 1, 0, 1];
+        let total = exclusive_scan_in_place(&mut v);
+        assert_eq!(v, [0, 1, 2, 2]);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn scan_of_flags_counts_uniques() {
+        // flags marking "first occurrence" positions: scan gives compaction slots.
+        let flags = [1u32, 0, 1, 1, 0, 0, 1];
+        let slots = exclusive_scan(&flags);
+        assert_eq!(slots, [0, 1, 1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn step_counts() {
+        assert_eq!(scan_step_count(0), 0);
+        assert_eq!(scan_step_count(1), 0);
+        assert_eq!(scan_step_count(2), 2);
+        assert_eq!(scan_step_count(8), 6);
+        assert_eq!(scan_step_count(9), 8);
+    }
+}

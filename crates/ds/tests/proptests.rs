@@ -1,0 +1,131 @@
+//! Property tests for the device-style data structures.
+
+use dynbc_ds::{
+    bitonic_sort, bitonic_sort_by_key, dedup_sorted_in_place, exclusive_scan, inclusive_scan,
+    remove_duplicates, DedupScratch, FrontierQueues, MultiLevelQueue,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitonic_equals_std_sort(mut v in proptest::collection::vec(any::<u32>(), 0..200)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        bitonic_sort(&mut v);
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn bitonic_by_key_is_a_stable_sort(
+        pairs in proptest::collection::vec((0u32..50, any::<u16>()), 0..120)
+    ) {
+        let mut keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let mut vals: Vec<u16> = pairs.iter().map(|p| p.1).collect();
+        bitonic_sort_by_key(&mut keys, &mut vals);
+        // Keys sorted.
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // The (key, value) multiset is preserved.
+        let mut got: Vec<(u32, u16)> = keys.iter().copied().zip(vals.iter().copied()).collect();
+        let mut want = pairs.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Stability: equal keys keep input order.
+        let mut expected_stable = pairs.clone();
+        expected_stable.sort_by_key(|p| p.0);
+        let stable_vals: Vec<u16> = expected_stable.iter().map(|p| p.1).collect();
+        prop_assert_eq!(vals, stable_vals);
+    }
+
+    #[test]
+    fn dedup_pipeline_equals_btreeset(
+        v in proptest::collection::vec(0u32..64, 0..150)
+    ) {
+        let mut q = v.clone();
+        let len = q.len();
+        let mut scratch = DedupScratch::new();
+        let unique = remove_duplicates(&mut q, len, &mut scratch);
+        let expected: Vec<u32> = std::collections::BTreeSet::from_iter(v).into_iter().collect();
+        prop_assert_eq!(&q[..unique], &expected[..]);
+    }
+
+    #[test]
+    fn dedup_sorted_equals_std_dedup(mut v in proptest::collection::vec(0u32..40, 0..100)) {
+        v.sort_unstable();
+        let mut expected = v.clone();
+        expected.dedup();
+        let n = dedup_sorted_in_place(&mut v);
+        prop_assert_eq!(&v[..n], &expected[..]);
+    }
+
+    #[test]
+    fn scans_are_consistent(v in proptest::collection::vec(0u32..1000, 0..100)) {
+        let inc = inclusive_scan(&v);
+        let exc = exclusive_scan(&v);
+        prop_assert_eq!(inc.len(), v.len());
+        for i in 0..v.len() {
+            prop_assert_eq!(inc[i], exc[i] + v[i], "index {}", i);
+        }
+        if let Some(&last) = inc.last() {
+            prop_assert_eq!(last, v.iter().sum::<u32>());
+        }
+    }
+
+    #[test]
+    fn mlq_preserves_level_order_and_fifo(
+        items in proptest::collection::vec((0usize..8, any::<u32>()), 0..100)
+    ) {
+        let mut q = MultiLevelQueue::new(8);
+        for &(lvl, v) in &items {
+            q.enqueue(lvl, v);
+        }
+        let mut seen: Vec<(usize, u32)> = Vec::new();
+        q.drain_top_down(7, |lvl, v| seen.push((lvl, v)));
+        // Drained deepest-first; level 0 stays.
+        prop_assert!(seen.windows(2).all(|w| w[0].0 >= w[1].0));
+        // FIFO within each level.
+        for lvl in 1..8 {
+            let drained: Vec<u32> =
+                seen.iter().filter(|&&(l, _)| l == lvl).map(|&(_, v)| v).collect();
+            let inserted: Vec<u32> =
+                items.iter().filter(|&&(l, _)| l == lvl).map(|&(_, v)| v).collect();
+            prop_assert_eq!(drained, inserted, "level {}", lvl);
+        }
+        prop_assert_eq!(q.len(), items.iter().filter(|&&(l, _)| l == 0).count());
+    }
+
+    #[test]
+    fn frontier_cycle_preserves_unique_sets(
+        levels in proptest::collection::vec(
+            proptest::collection::vec(0u32..32, 0..20),
+            0..6
+        )
+    ) {
+        // Real BFS frontiers never rediscover a vertex (the t-flag gates
+        // pushes), so give each level a disjoint id range — the invariant
+        // FrontierQueues is entitled to assume.
+        let mut f = FrontierQueues::new(256);
+        f.reset_with_root(255);
+        let mut expected_discovered: Vec<u32> = vec![255];
+        for (li, level) in levels.iter().enumerate() {
+            let offset = li as u32 * 32;
+            for &v in level {
+                f.push_next(offset + v);
+            }
+            let unique = f.dedup_next();
+            let mut uniq: Vec<u32> =
+                std::collections::BTreeSet::from_iter(level.iter().map(|&v| offset + v))
+                    .into_iter()
+                    .collect();
+            prop_assert_eq!(unique, uniq.len());
+            let qlen = f.advance_level();
+            prop_assert_eq!(qlen, uniq.len());
+            prop_assert_eq!(f.current(), &uniq[..]);
+            expected_discovered.append(&mut uniq);
+            if level.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(f.discovered(), &expected_discovered[..]);
+    }
+}

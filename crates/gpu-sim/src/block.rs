@@ -1,0 +1,534 @@
+//! Block-level SIMT execution context.
+//!
+//! A kernel is a closure receiving a [`BlockCtx`]. Inside it,
+//! [`BlockCtx::parallel_for`] maps items to lanes in warps of
+//! `warp_size`, runs them in lockstep order, and charges the cost model
+//! per warp:
+//!
+//! * **compute** — `warp_base_cycles` plus `event_instr_cycles ×` the
+//!   *longest* lane's event count (lockstep: a warp is as slow as its
+//!   busiest lane, which is how degree skew becomes "severe workload
+//!   imbalance among threads");
+//! * **memory** — each distinct 32-byte segment the warp touches costs
+//!   `seg_cycles` of the SM's bandwidth share (the coalescing model:
+//!   contiguous lane accesses share segments, scattered ones don't);
+//! * **atomics** — base cost per operation plus a serialization penalty
+//!   per same-address conflict within the warp.
+//!
+//! Costs accumulate into a barrier-delimited *interval*; at each
+//! [`BlockCtx::barrier`] the block's clock advances by
+//! `max(compute, memory) + atomics` — warps overlap, so the slower
+//! pipeline bounds progress while atomics serialize on the L2.
+//!
+//! Execution is sequential and deterministic; parallelism is *modeled*,
+//! never raced. Functionally, lanes see each other's writes immediately,
+//! which is a superset of CUDA's intra-block visibility; the kernels
+//! ported here only rely on races the paper itself proves benign.
+
+use crate::device::DeviceConfig;
+use crate::mem::GpuBuffer;
+use crate::stats::KernelStats;
+
+/// Open-addressed set of 32-byte segment ids, cleared per warp via a
+/// generation counter (no rehash/zeroing in the hot path).
+#[derive(Debug)]
+struct SegSet {
+    keys: Vec<u64>,
+    gens: Vec<u32>,
+    gen: u32,
+    live: usize,
+}
+
+impl SegSet {
+    fn new() -> Self {
+        let cap = 256;
+        Self {
+            keys: vec![0; cap],
+            gens: vec![0; cap],
+            gen: 0,
+            live: 0,
+        }
+    }
+
+    fn next_generation(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        self.live = 0;
+        if self.gen == 0 {
+            // Generation counter wrapped: hard-clear to avoid stale hits.
+            self.gens.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was not present this generation.
+    fn insert(&mut self, key: u64) -> bool {
+        if self.live * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        // Multiplicative hash; segments are sequential-ish so mixing matters.
+        let mut idx = (key.wrapping_mul(0x9E3779B97F4A7C15) >> 40) as usize & mask;
+        loop {
+            if self.gens[idx] != self.gen {
+                self.keys[idx] = key;
+                self.gens[idx] = self.gen;
+                self.live += 1;
+                return true;
+            }
+            if self.keys[idx] == key {
+                return false;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; 0]);
+        let old_gens = std::mem::replace(&mut self.gens, vec![0; 0]);
+        let new_cap = old_keys.len() * 2;
+        self.keys = vec![0; new_cap];
+        self.gens = vec![0; new_cap];
+        let live: Vec<u64> = old_keys
+            .iter()
+            .zip(&old_gens)
+            .filter(|&(_, &g)| g == self.gen)
+            .map(|(&k, _)| k)
+            .collect();
+        self.live = 0;
+        for k in live {
+            self.insert(k);
+        }
+    }
+}
+
+/// Execution context of one thread block.
+#[derive(Debug)]
+pub struct BlockCtx {
+    dev: DeviceConfig,
+    // Interval accumulators (since the previous barrier).
+    compute_cycles: f64,
+    mem_cycles: f64,
+    atomic_cycles: f64,
+    committed_cycles: f64,
+    // Current-warp state.
+    seg_set: SegSet,
+    atomic_addrs: Vec<u64>,
+    lane_events: u32,
+    max_lane_events: u32,
+    stats: KernelStats,
+}
+
+impl BlockCtx {
+    pub(crate) fn new(dev: DeviceConfig) -> Self {
+        Self {
+            dev,
+            compute_cycles: 0.0,
+            mem_cycles: 0.0,
+            atomic_cycles: 0.0,
+            committed_cycles: 0.0,
+            seg_set: SegSet::new(),
+            atomic_addrs: Vec::with_capacity(64),
+            lane_events: 0,
+            max_lane_events: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The device this block runs on.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    /// Number of threads available to `parallel_for` (one block's worth;
+    /// grid-stride looping over larger item counts is implicit).
+    pub fn thread_count(&self) -> usize {
+        self.dev.threads_per_block
+    }
+
+    /// Executes `f(lane, i)` for every `i in 0..n`, mapped onto warps of
+    /// `warp_size` lanes in lockstep. This is the `do in parallel` of the
+    /// paper's Algorithms 3–8.
+    pub fn parallel_for<F: FnMut(&mut Lane<'_>, usize)>(&mut self, n: usize, mut f: F) {
+        let ws = self.dev.warp_size;
+        let mut base = 0usize;
+        while base < n {
+            let end = (base + ws).min(n);
+            self.begin_warp();
+            for i in base..end {
+                self.lane_events = 0;
+                let mut lane = Lane { block: self };
+                f(&mut lane, i);
+                self.max_lane_events = self.max_lane_events.max(self.lane_events);
+            }
+            self.end_warp();
+            base = end;
+        }
+    }
+
+    /// Block-wide barrier: commits the current interval at
+    /// `max(compute, memory) + atomics` and pays the synchronization cost.
+    pub fn barrier(&mut self) {
+        self.commit_interval();
+        self.committed_cycles += self.dev.barrier_cycles;
+        self.stats.barriers += 1;
+    }
+
+    /// Single-thread scalar read (e.g. one lane reading a queue length into
+    /// shared memory). Charged as a one-lane warp.
+    pub fn read_scalar<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
+        self.begin_warp();
+        self.lane_events = 0;
+        self.touch(buf.addr(i));
+        self.max_lane_events = self.lane_events;
+        self.end_warp();
+        buf.data.borrow()[i]
+    }
+
+    /// Single-thread scalar write, charged as a one-lane warp.
+    pub fn write_scalar<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
+        self.begin_warp();
+        self.lane_events = 0;
+        self.touch(buf.addr(i));
+        self.max_lane_events = self.lane_events;
+        self.end_warp();
+        buf.data.borrow_mut()[i] = v;
+    }
+
+    fn begin_warp(&mut self) {
+        self.seg_set.next_generation();
+        self.atomic_addrs.clear();
+        self.max_lane_events = 0;
+    }
+
+    fn end_warp(&mut self) {
+        self.stats.warp_execs += 1;
+        self.compute_cycles += self.dev.warp_base_cycles
+            + self.dev.event_instr_cycles * self.max_lane_events as f64;
+        if !self.atomic_addrs.is_empty() {
+            self.atomic_addrs.sort_unstable();
+            let mut run = 1u64;
+            let mut total_conflicts = 0u64;
+            for w in self.atomic_addrs.windows(2) {
+                if w[0] == w[1] {
+                    run += 1;
+                } else {
+                    total_conflicts += run - 1;
+                    run = 1;
+                }
+            }
+            total_conflicts += run - 1;
+            let n_ops = self.atomic_addrs.len() as u64;
+            self.atomic_cycles += n_ops as f64 * self.dev.atomic_cycles
+                + total_conflicts as f64 * self.dev.atomic_conflict_cycles;
+            self.stats.atomic_conflicts += total_conflicts;
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, addr: u64) {
+        self.lane_events += 1;
+        self.stats.lane_events += 1;
+        if self.seg_set.insert(addr >> 5) {
+            self.stats.mem_segments += 1;
+            self.mem_cycles += self.dev.seg_cycles;
+        }
+    }
+
+    fn commit_interval(&mut self) {
+        self.committed_cycles +=
+            self.compute_cycles.max(self.mem_cycles) + self.atomic_cycles;
+        self.compute_cycles = 0.0;
+        self.mem_cycles = 0.0;
+        self.atomic_cycles = 0.0;
+    }
+
+    /// Finalizes the block: commits the trailing interval and returns
+    /// `(cycles, stats)`.
+    pub(crate) fn finish(mut self) -> (f64, KernelStats) {
+        self.commit_interval();
+        (self.committed_cycles, self.stats)
+    }
+
+    /// Cycles committed so far (testing/diagnostics; excludes the open
+    /// interval).
+    pub fn committed_cycles(&self) -> f64 {
+        self.committed_cycles
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+}
+
+/// One SIMT lane inside a `parallel_for`. All device-memory traffic flows
+/// through these methods, so functional behaviour and cost accounting are
+/// inseparable.
+pub struct Lane<'a> {
+    block: &'a mut BlockCtx,
+}
+
+impl Lane<'_> {
+    /// Global-memory read of `buf[i]`.
+    #[inline]
+    pub fn read<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
+        self.block.touch(buf.addr(i));
+        buf.data.borrow()[i]
+    }
+
+    /// Global-memory write of `buf[i] = v`.
+    #[inline]
+    pub fn write<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
+        self.block.touch(buf.addr(i));
+        buf.data.borrow_mut()[i] = v;
+    }
+
+    /// Charges `units` of pure-arithmetic lane work (no memory traffic):
+    /// the σ̂/σ divides and multiply-adds of the dependency kernels.
+    #[inline]
+    pub fn compute(&mut self, units: u32) {
+        self.block.lane_events += units;
+        self.block.stats.lane_events += units as u64;
+    }
+
+    /// `atomicAdd` on an `f64` cell; returns the previous value.
+    #[inline]
+    pub fn atomic_add_f64(&mut self, buf: &GpuBuffer<f64>, i: usize, v: f64) -> f64 {
+        self.record_atomic(buf.addr(i));
+        let mut data = buf.data.borrow_mut();
+        let old = data[i];
+        data[i] = old + v;
+        old
+    }
+
+    /// `atomicAdd` on a `u32` cell; returns the previous value (the queue
+    /// tail-allocation idiom).
+    #[inline]
+    pub fn atomic_add_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
+        self.record_atomic(buf.addr(i));
+        let mut data = buf.data.borrow_mut();
+        let old = data[i];
+        data[i] = old.wrapping_add(v);
+        old
+    }
+
+    /// `atomicMax` on a `u32` cell; returns the previous value.
+    #[inline]
+    pub fn atomic_max_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
+        self.record_atomic(buf.addr(i));
+        let mut data = buf.data.borrow_mut();
+        let old = data[i];
+        data[i] = old.max(v);
+        old
+    }
+
+    /// `atomicCAS` on a `u32` cell; returns the previous value, storing
+    /// `new` only if it equalled `expect` (the BFS frontier-discovery
+    /// idiom: CAS the distance from ∞).
+    #[inline]
+    pub fn atomic_cas_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, expect: u32, new: u32) -> u32 {
+        self.record_atomic(buf.addr(i));
+        let mut data = buf.data.borrow_mut();
+        let old = data[i];
+        if old == expect {
+            data[i] = new;
+        }
+        old
+    }
+
+    /// `atomicCAS` on a `u8` cell (the `t[v]` state flags); returns the
+    /// previous value, storing `new` only if it equalled `expect`.
+    #[inline]
+    pub fn atomic_cas_u8(&mut self, buf: &GpuBuffer<u8>, i: usize, expect: u8, new: u8) -> u8 {
+        self.record_atomic(buf.addr(i));
+        let mut data = buf.data.borrow_mut();
+        let old = data[i];
+        if old == expect {
+            data[i] = new;
+        }
+        old
+    }
+
+    #[inline]
+    fn record_atomic(&mut self, addr: u64) {
+        self.block.touch(addr);
+        self.block.atomic_addrs.push(addr);
+        self.block.stats.atomics += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn ctx() -> BlockCtx {
+        BlockCtx::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn parallel_for_covers_all_items_in_order() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(10, 0);
+        b.parallel_for(10, |lane, i| {
+            lane.write(&buf, i, i as u32 + 1);
+        });
+        assert_eq!(buf.to_vec(), [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        // warp_size = 4 → ceil(10/4) = 3 warps.
+        assert_eq!(b.stats().warp_execs, 3);
+        assert_eq!(b.stats().lane_events, 10);
+    }
+
+    #[test]
+    fn coalesced_warp_touches_one_segment() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(8, 7);
+        // 4 consecutive u32 = 16 bytes -> exactly one 32-byte segment
+        // (base is 256-aligned).
+        b.parallel_for(4, |lane, i| {
+            lane.read(&buf, i);
+        });
+        assert_eq!(b.stats().mem_segments, 1);
+    }
+
+    #[test]
+    fn scattered_warp_touches_many_segments() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(1024, 0);
+        // Stride 32 elements = 128 bytes apart: every lane its own segment.
+        b.parallel_for(4, |lane, i| {
+            lane.read(&buf, i * 32);
+        });
+        assert_eq!(b.stats().mem_segments, 4);
+    }
+
+    #[test]
+    fn lockstep_charges_longest_lane() {
+        let dev = DeviceConfig::test_tiny();
+        // Warp A: every lane does 1 event. Warp B: one lane does 4 events.
+        let mut a = BlockCtx::new(dev);
+        let buf = GpuBuffer::<u32>::new(64, 0);
+        a.parallel_for(4, |lane, i| {
+            lane.read(&buf, i);
+        });
+        let (cycles_a, _) = a.finish();
+
+        let mut b = BlockCtx::new(dev);
+        b.parallel_for(4, |lane, i| {
+            if i == 0 {
+                for j in 0..4 {
+                    lane.read(&buf, j * 16);
+                }
+            }
+        });
+        let (cycles_b, _) = b.finish();
+        assert!(
+            cycles_b > cycles_a,
+            "imbalanced warp ({cycles_b}) must cost more than balanced ({cycles_a})"
+        );
+    }
+
+    #[test]
+    fn atomics_functional_and_conflicts_counted() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(1, 0);
+        // 4 lanes atomically bump the same counter: 3 conflicts in the warp.
+        let mut olds = Vec::new();
+        b.parallel_for(4, |lane, _| {
+            olds.push(lane.atomic_add_u32(&buf, 0, 1));
+        });
+        assert_eq!(buf.host_get(0), 4);
+        assert_eq!(olds, [0, 1, 2, 3]);
+        assert_eq!(b.stats().atomics, 4);
+        assert_eq!(b.stats().atomic_conflicts, 3);
+    }
+
+    #[test]
+    fn atomics_on_distinct_addresses_do_not_conflict() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(4, 0);
+        b.parallel_for(4, |lane, i| {
+            lane.atomic_add_u32(&buf, i, 1);
+        });
+        assert_eq!(b.stats().atomics, 4);
+        assert_eq!(b.stats().atomic_conflicts, 0);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut b = ctx();
+        let flags = GpuBuffer::<u8>::new(1, 0);
+        let mut results = Vec::new();
+        b.parallel_for(3, |lane, _| {
+            results.push(lane.atomic_cas_u8(&flags, 0, 0, 2));
+        });
+        // Only the first CAS succeeds (sees 0); later lanes see 2.
+        assert_eq!(results, [0, 2, 2]);
+        assert_eq!(flags.host_get(0), 2);
+    }
+
+    #[test]
+    fn atomic_max_semantics() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(1, 5);
+        b.parallel_for(4, |lane, i| {
+            lane.atomic_max_u32(&buf, 0, i as u32 * 3);
+        });
+        assert_eq!(buf.host_get(0), 9);
+    }
+
+    #[test]
+    fn barrier_commits_max_of_compute_and_memory() {
+        let dev = DeviceConfig::test_tiny();
+        let mut b = BlockCtx::new(dev);
+        let buf = GpuBuffer::<u32>::new(256, 0);
+        // One warp, 4 lanes, one scattered read each: compute = base 1 +
+        // 1 event * 1 = 2; mem = 4 segments * 2 = 8. Interval = max = 8.
+        b.parallel_for(4, |lane, i| {
+            lane.read(&buf, i * 32);
+        });
+        b.barrier();
+        let expected = 8.0 + dev.barrier_cycles;
+        assert!(
+            (b.committed_cycles() - expected).abs() < 1e-9,
+            "got {} want {expected}",
+            b.committed_cycles()
+        );
+    }
+
+    #[test]
+    fn scalar_accessors_round_trip_and_charge() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(4, 0);
+        b.write_scalar(&buf, 2, 42);
+        assert_eq!(b.read_scalar(&buf, 2), 42);
+        assert_eq!(b.stats().warp_execs, 2);
+        assert_eq!(b.stats().mem_segments, 2);
+    }
+
+    #[test]
+    fn seg_set_survives_growth() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(100_000, 0);
+        // One warp where a single lane touches 3000 distinct segments —
+        // forces SegSet growth mid-warp.
+        b.parallel_for(1, |lane, _| {
+            for j in 0..3000 {
+                lane.read(&buf, j * 8);
+            }
+        });
+        assert_eq!(b.stats().mem_segments, 3000);
+    }
+
+    #[test]
+    fn repeated_segment_in_same_warp_counted_once() {
+        let mut b = ctx();
+        let buf = GpuBuffer::<u32>::new(64, 0);
+        b.parallel_for(4, |lane, _| {
+            lane.read(&buf, 0);
+            lane.read(&buf, 1);
+        });
+        assert_eq!(b.stats().mem_segments, 1);
+        assert_eq!(b.stats().lane_events, 8);
+    }
+}

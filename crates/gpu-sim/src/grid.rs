@@ -1,0 +1,223 @@
+//! Kernel launches and block-to-SM scheduling.
+//!
+//! A [`Gpu`] owns a device description and a simulated clock. Each
+//! [`Gpu::launch`] runs `num_blocks` block closures (sequentially and
+//! deterministically), then schedules the measured block times onto the
+//! device's SMs with the hardware's greedy block scheduler: each block
+//! goes to the SM that frees up first. Kernel time is the makespan plus a
+//! fixed launch overhead.
+//!
+//! This scheduling model is what makes Figure 1 reproducible: with fewer
+//! blocks than SMs the device is underutilized; at exactly one block per
+//! SM throughput peaks; beyond that, blocks queue behind one another on
+//! the saturated memory bus ("the memory bus will become saturated", as
+//! the paper puts it), so extra blocks only rebalance — they cannot add
+//! bandwidth.
+
+use crate::block::BlockCtx;
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// Outcome of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Simulated kernel time in seconds (makespan + launch overhead).
+    pub seconds: f64,
+    /// Makespan over SMs, in device cycles.
+    pub makespan_cycles: f64,
+    /// Per-block cycle counts, in block-id order.
+    pub block_cycles: Vec<f64>,
+    /// Work counters summed over all blocks.
+    pub stats: KernelStats,
+}
+
+/// A simulated GPU with an accumulating clock.
+#[derive(Debug)]
+pub struct Gpu {
+    dev: DeviceConfig,
+    elapsed_s: f64,
+    total_stats: KernelStats,
+    launches: u64,
+}
+
+impl Gpu {
+    /// Creates a device with the clock at zero.
+    pub fn new(dev: DeviceConfig) -> Self {
+        Self {
+            dev,
+            elapsed_s: 0.0,
+            total_stats: KernelStats::default(),
+            launches: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    /// Launches a kernel over `num_blocks` blocks; `f(block, block_id)` is
+    /// the kernel body. Returns the launch's cost report and advances the
+    /// simulated clock.
+    pub fn launch<F: FnMut(&mut BlockCtx, usize)>(
+        &mut self,
+        num_blocks: usize,
+        mut f: F,
+    ) -> LaunchReport {
+        let mut block_cycles = Vec::with_capacity(num_blocks);
+        let mut stats = KernelStats::default();
+        for b in 0..num_blocks {
+            let mut ctx = BlockCtx::new(self.dev);
+            f(&mut ctx, b);
+            let (cycles, block_stats) = ctx.finish();
+            block_cycles.push(cycles);
+            stats.add(&block_stats);
+        }
+        let makespan_cycles = schedule_makespan(&block_cycles, self.dev.num_sms);
+        let seconds = self.dev.cycles_to_seconds(makespan_cycles) + self.dev.launch_overhead_s;
+        self.elapsed_s += seconds;
+        self.total_stats.add(&stats);
+        self.launches += 1;
+        LaunchReport {
+            seconds,
+            makespan_cycles,
+            block_cycles,
+            stats,
+        }
+    }
+
+    /// Simulated seconds elapsed across all launches since the last reset.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Resets the clock (not the cumulative stats).
+    pub fn reset_clock(&mut self) {
+        self.elapsed_s = 0.0;
+    }
+
+    /// Work counters across all launches.
+    pub fn total_stats(&self) -> &KernelStats {
+        &self.total_stats
+    }
+
+    /// Number of kernel launches performed.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+}
+
+/// Greedy list scheduling: each block (in issue order) is placed on the SM
+/// with the least accumulated work — the behaviour of the hardware block
+/// dispatcher under the memory-bound assumption that co-resident blocks
+/// time-share an SM's bandwidth rather than multiply it.
+fn schedule_makespan(block_cycles: &[f64], num_sms: usize) -> f64 {
+    let mut sm_load = vec![0.0f64; num_sms.max(1)];
+    for &c in block_cycles {
+        let min = sm_load
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN loads"))
+            .expect("at least one SM");
+        *min += c;
+    }
+    sm_load.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::GpuBuffer;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::test_tiny())
+    }
+
+    #[test]
+    fn launch_runs_every_block() {
+        let mut g = gpu();
+        let buf = GpuBuffer::<u32>::new(4, 0);
+        let r = g.launch(4, |block, b| {
+            block.parallel_for(1, |lane, _| {
+                lane.atomic_add_u32(&buf, b % 4, 1);
+            });
+        });
+        assert_eq!(buf.to_vec(), [1, 1, 1, 1]);
+        assert_eq!(r.block_cycles.len(), 4);
+        assert_eq!(g.launches(), 1);
+    }
+
+    #[test]
+    fn makespan_is_balanced_over_sms() {
+        // 4 equal blocks on 2 SMs: makespan = 2 blocks' cycles.
+        let cycles = vec![10.0, 10.0, 10.0, 10.0];
+        assert_eq!(schedule_makespan(&cycles, 2), 20.0);
+        // 2 blocks on 2 SMs: one each.
+        assert_eq!(schedule_makespan(&cycles[..2], 2), 10.0);
+        // Greedy handles imbalance: big block first, the rest pack.
+        assert_eq!(schedule_makespan(&[30.0, 10.0, 10.0, 10.0], 2), 30.0);
+    }
+
+    #[test]
+    fn more_blocks_than_sms_do_not_speed_up_fixed_work() {
+        // Fixed total work split into B equal blocks, B varied.
+        let dev = DeviceConfig::test_tiny(); // 2 SMs
+        let total = 120.0;
+        let time = |b: usize| {
+            let per = total / b as f64;
+            schedule_makespan(&vec![per; b], dev.num_sms)
+        };
+        assert!(time(2) < time(1), "2 blocks beat 1");
+        // Beyond num_sms, no further gain (equal split keeps makespan flat).
+        assert!((time(4) - time(2)).abs() < 1e-9);
+        assert!((time(8) - time(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let mut g = gpu();
+        let buf = GpuBuffer::<u32>::new(8, 0);
+        g.launch(1, |block, _| {
+            block.parallel_for(8, |lane, i| {
+                lane.read(&buf, i);
+            });
+        });
+        let t1 = g.elapsed_seconds();
+        assert!(t1 > 0.0);
+        g.launch(1, |block, _| {
+            block.parallel_for(8, |lane, i| {
+                lane.read(&buf, i);
+            });
+        });
+        assert!(g.elapsed_seconds() > t1);
+        g.reset_clock();
+        assert_eq!(g.elapsed_seconds(), 0.0);
+        assert!(g.total_stats().lane_events >= 16, "stats survive reset");
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let mut g = gpu();
+        let r = g.launch(0, |_, _| {});
+        assert_eq!(r.makespan_cycles, 0.0);
+        assert!((r.seconds - g.device().launch_overhead_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut g = gpu();
+            let buf = GpuBuffer::<f64>::new(64, 0.0);
+            let r = g.launch(3, |block, b| {
+                block.parallel_for(64, |lane, i| {
+                    lane.atomic_add_f64(&buf, (i * (b + 1)) % 64, 0.5);
+                });
+                block.barrier();
+            });
+            (r.makespan_cycles, buf.to_vec())
+        };
+        let (c1, v1) = run();
+        let (c2, v2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(v1, v2);
+    }
+}

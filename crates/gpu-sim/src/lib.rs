@@ -1,0 +1,42 @@
+//! `dynbc-gpusim` — a deterministic SIMT execution-model simulator.
+//!
+//! The paper's contribution is a statement about **mapping threads to work
+//! on a SIMT machine**: edge-parallel kernels waste memory bandwidth on
+//! futile edges, node-parallel kernels track live work explicitly, atomics
+//! are cheap when contention is low, and one thread block per SM saturates
+//! the memory bus. Reproducing those claims in Rust requires a machine
+//! model that *counts* the quantities the claims are about. This crate
+//! provides it:
+//!
+//! * [`DeviceConfig`] — published board parameters (Tesla C2075, GTX 560)
+//!   and the derived cost constants;
+//! * [`GpuBuffer`] — typed device memory whose only kernel-side accessors
+//!   also charge the cost model;
+//! * [`BlockCtx`] / [`Lane`] — lockstep warp execution with 32-byte-segment
+//!   coalescing, same-address atomic serialization, and barrier-delimited
+//!   `max(compute, memory)` intervals;
+//! * [`Gpu`] — kernel launches, greedy block-to-SM scheduling, a simulated
+//!   clock;
+//! * [`OpCounter`] / [`CpuConfig`] — the matching cost model for the
+//!   sequential CPU baseline, so every reported ratio compares modelled
+//!   seconds to modelled seconds.
+//!
+//! Everything is sequential and deterministic: a seeded experiment replays
+//! bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod cpu_model;
+pub mod device;
+pub mod grid;
+pub mod mem;
+pub mod stats;
+
+pub use block::{BlockCtx, Lane};
+pub use cpu_model::OpCounter;
+pub use device::{CpuConfig, DeviceConfig};
+pub use grid::{Gpu, LaunchReport};
+pub use mem::GpuBuffer;
+pub use stats::KernelStats;

@@ -1,0 +1,135 @@
+//! Simulated global-memory buffers.
+//!
+//! A [`GpuBuffer`] is a typed device allocation. Kernel code can only reach
+//! it through a [`Lane`](crate::block::Lane), whose accessors *both*
+//! perform the access and charge the cost model — so the accounting can
+//! never drift from what the kernel actually did. Host code uses
+//! [`GpuBuffer::host`] / [`GpuBuffer::host_mut`], which model
+//! `cudaMemcpy`-style setup traffic outside the timed kernel regions
+//! (the paper excludes host↔device staging from its measurements; the
+//! engines only stage between updates).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global allocator for synthetic device addresses. Buffers get disjoint,
+/// 256-byte-aligned address ranges so segment ids never collide across
+/// buffers.
+static NEXT_BASE: AtomicU64 = AtomicU64::new(0x1000);
+
+/// A typed buffer in simulated device memory.
+#[derive(Debug)]
+pub struct GpuBuffer<T: Copy> {
+    pub(crate) data: RefCell<Vec<T>>,
+    pub(crate) base: u64,
+}
+
+impl<T: Copy> GpuBuffer<T> {
+    /// Allocates a device buffer holding `len` copies of `init`.
+    pub fn new(len: usize, init: T) -> Self {
+        Self::from_vec(vec![init; len])
+    }
+
+    /// Allocates a device buffer from host data.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let span = (bytes + 256).next_multiple_of(256);
+        let base = NEXT_BASE.fetch_add(span, Ordering::Relaxed);
+        Self {
+            data: RefCell::new(data),
+            base,
+        }
+    }
+
+    /// Allocates from a host slice.
+    pub fn from_slice(data: &[T]) -> Self {
+        Self::from_vec(data.to_vec())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Synthetic device address of element `i` (used for coalescing).
+    #[inline]
+    pub(crate) fn addr(&self, i: usize) -> u64 {
+        self.base + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Host-side read of the whole buffer (untimed staging).
+    pub fn host(&self) -> std::cell::Ref<'_, Vec<T>> {
+        self.data.borrow()
+    }
+
+    /// Host-side mutable view (untimed staging).
+    pub fn host_mut(&self) -> std::cell::RefMut<'_, Vec<T>> {
+        self.data.borrow_mut()
+    }
+
+    /// Host-side element read.
+    pub fn host_get(&self, i: usize) -> T {
+        self.data.borrow()[i]
+    }
+
+    /// Host-side element write.
+    pub fn host_set(&self, i: usize, v: T) {
+        self.data.borrow_mut()[i] = v;
+    }
+
+    /// Host-side fill (e.g. re-zeroing scratch between updates).
+    pub fn fill(&self, v: T) {
+        self.data.borrow_mut().fill(v);
+    }
+
+    /// Host-side bulk overwrite from a slice of the same length.
+    pub fn copy_from_slice(&self, src: &[T]) {
+        self.data.borrow_mut().copy_from_slice(src);
+    }
+
+    /// Clones the contents back to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_get_disjoint_address_ranges() {
+        let a = GpuBuffer::<u32>::new(100, 0);
+        let b = GpuBuffer::<u32>::new(100, 0);
+        let a_end = a.addr(99) + 4;
+        let b_end = b.addr(99) + 4;
+        assert!(a_end <= b.base || b_end <= a.base, "overlapping allocations");
+    }
+
+    #[test]
+    fn addresses_scale_with_element_size() {
+        let a = GpuBuffer::<f64>::new(10, 0.0);
+        assert_eq!(a.addr(3) - a.addr(0), 24);
+        let b = GpuBuffer::<u32>::new(10, 0);
+        assert_eq!(b.addr(3) - b.addr(0), 12);
+    }
+
+    #[test]
+    fn host_accessors_round_trip() {
+        let buf = GpuBuffer::from_slice(&[1u32, 2, 3]);
+        assert_eq!(buf.host_get(1), 2);
+        buf.host_set(1, 9);
+        assert_eq!(buf.to_vec(), [1, 9, 3]);
+        buf.fill(0);
+        assert_eq!(buf.to_vec(), [0, 0, 0]);
+        buf.copy_from_slice(&[4, 5, 6]);
+        assert_eq!(buf.to_vec(), [4, 5, 6]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Level-synchronous breadth-first search.
+//!
+//! The distance arrays produced here are the ground truth the BC kernels'
+//! `d` values are validated against, and the seed for classifying an edge
+//! insertion into the paper's Case 1/2/3.
+
+use crate::csr::Csr;
+use crate::VertexId;
+use std::collections::VecDeque;
+
+/// Distance sentinel for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Returns BFS distances from `source`; unreachable vertices get
+/// [`u32::MAX`].
+pub fn bfs(g: &Csr, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.vertex_count()];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS tree: distances plus one parent per reached vertex.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Distance from the source (`u32::MAX` when unreachable).
+    pub dist: Vec<u32>,
+    /// An arbitrary shortest-path parent (`u32::MAX` for the source and
+    /// unreachable vertices).
+    pub parent: Vec<u32>,
+}
+
+/// BFS that also records one shortest-path parent per vertex.
+pub fn bfs_with_parents(g: &Csr, source: VertexId) -> BfsTree {
+    let mut dist = vec![UNREACHABLE; g.vertex_count()];
+    let mut parent = vec![u32::MAX; g.vertex_count()];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::with_capacity(64);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                parent[w as usize] = v;
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree { dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn path_graph(n: usize) -> Csr {
+        Csr::from_edge_list(&EdgeList::from_pairs(
+            n,
+            (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)),
+        ))
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = path_graph(5);
+        assert_eq!(bfs(&g, 0), [0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), [2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Csr::from_edge_list(&EdgeList::from_pairs(4, [(0, 1)]));
+        let d = bfs(&g, 0);
+        assert_eq!(d, [0, 1, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn parents_form_shortest_tree() {
+        let g = Csr::from_edge_list(&EdgeList::from_pairs(
+            6,
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        ));
+        let t = bfs_with_parents(&g, 0);
+        assert_eq!(t.dist, [0, 1, 1, 2, 3, 4]);
+        assert_eq!(t.parent[0], u32::MAX);
+        for v in 1..6usize {
+            let p = t.parent[v] as usize;
+            assert_eq!(t.dist[v], t.dist[p] + 1, "parent of {v} not one level up");
+        }
+    }
+
+    #[test]
+    fn source_is_its_own_level() {
+        let g = path_graph(3);
+        let t = bfs_with_parents(&g, 1);
+        assert_eq!(t.dist[1], 0);
+        assert_eq!(t.parent[1], u32::MAX);
+    }
+}

@@ -1,0 +1,112 @@
+//! Connected components via union-find.
+//!
+//! Case 1 of the paper's scenario taxonomy "can actually occur for two
+//! slightly different reasons: one when `u`, `v`, and `s` all belong to the
+//! same connected component and another when neither `u` nor `v` belongs to
+//! the same connected component as `s`" — distinguishing those subcases in
+//! the Fig. 2 harness requires component labels.
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// Component labelling of a graph.
+#[derive(Debug, Clone)]
+pub struct ComponentInfo {
+    /// Component id of each vertex, in `0..count` (ids assigned by first
+    /// appearance order).
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<u32>,
+}
+
+impl ComponentInfo {
+    /// True if `u` and `v` are in the same component.
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+
+    /// Size of the largest component.
+    pub fn giant_size(&self) -> u32 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes connected components with path-halving union-find.
+pub fn connected_components(g: &Csr) -> ComponentInfo {
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for (u, v) in g.arcs() {
+        if u < v {
+            let ru = find(&mut parent, u);
+            let rv = find(&mut parent, v);
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut count = 0usize;
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v);
+        if label[root as usize] == u32::MAX {
+            label[root as usize] = count as u32;
+            sizes.push(0);
+            count += 1;
+        }
+        label[v as usize] = label[root as usize];
+        sizes[label[v as usize] as usize] += 1;
+    }
+    ComponentInfo { label, count, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    #[test]
+    fn single_component() {
+        let g = Csr::from_edge_list(&EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3)]));
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 1);
+        assert_eq!(cc.giant_size(), 4);
+        assert!(cc.same(0, 3));
+    }
+
+    #[test]
+    fn multiple_components_and_isolates() {
+        let g = Csr::from_edge_list(&EdgeList::from_pairs(6, [(0, 1), (2, 3)]));
+        let cc = connected_components(&g);
+        assert_eq!(cc.count, 4); // {0,1}, {2,3}, {4}, {5}
+        assert!(cc.same(0, 1));
+        assert!(cc.same(2, 3));
+        assert!(!cc.same(1, 2));
+        assert!(!cc.same(4, 5));
+        let mut sizes = cc.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, [1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let g = Csr::from_edge_list(&EdgeList::from_pairs(5, [(3, 4)]));
+        let cc = connected_components(&g);
+        let mut seen = vec![false; cc.count];
+        for &l in &cc.label {
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,9 @@
+//! Reference graph algorithms used across the workspace.
+
+mod bfs;
+mod cc;
+mod stats;
+
+pub use bfs::{bfs, bfs_with_parents, BfsTree};
+pub use cc::{connected_components, ComponentInfo};
+pub use stats::{degree_stats, pseudo_diameter, DegreeStats};

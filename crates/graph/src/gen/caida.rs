@@ -1,0 +1,101 @@
+//! Hierarchical router-level topology — the `caidaRouterLevel` analogue.
+//!
+//! CAIDA's router-level internet graph is tree-like at the edge (customer
+//! routers hanging off providers) with a denser transit core and a modest
+//! number of peering shortcuts. Degrees are heavy-tailed but the graph is
+//! sparse (average degree ≈ 6.3) and its effective diameter is moderate —
+//! between the mesh and the small-world cases. We reproduce it as a
+//! preferential-attachment *tree* (power-law provider choice) plus a core
+//! clique over the earliest routers plus degree-biased peering links.
+
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Generates a router-level-like topology on `n` vertices.
+///
+/// * Vertices join one at a time, each linking to one existing "provider"
+///   chosen degree-proportionally (yields a scale-free backbone tree).
+/// * The first `core` vertices are fully meshed (the transit core).
+/// * `peering_factor * n` extra links connect degree-biased pairs
+///   (regional peering), bringing the average degree to CAIDA-like levels.
+pub fn caida(rng: &mut impl Rng, n: usize, peering_factor: f64) -> EdgeList {
+    assert!(n >= 8, "caida: need at least 8 routers");
+    assert!(peering_factor >= 0.0, "caida: negative peering factor");
+    let core = 5usize.min(n);
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(4 * n);
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * 3);
+    for u in 0..core as VertexId {
+        for v in (u + 1)..core as VertexId {
+            pairs.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in core as VertexId..n as VertexId {
+        let provider = loop {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v {
+                break t;
+            }
+        };
+        pairs.push((provider, v));
+        endpoints.push(provider);
+        endpoints.push(v);
+    }
+    let peering = (peering_factor * n as f64) as usize;
+    for _ in 0..peering {
+        let a = endpoints[rng.gen_range(0..endpoints.len())];
+        let b = endpoints[rng.gen_range(0..endpoints.len())];
+        if a != b {
+            pairs.push((a, b));
+            // Peering links also influence future degree bias.
+            endpoints.push(a);
+            endpoints.push(b);
+        }
+    }
+    EdgeList::from_pairs(n, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connected_backbone() {
+        let g = caida(&mut StdRng::seed_from_u64(1), 2000, 2.0);
+        let csr = crate::csr::Csr::from_edge_list(&g);
+        let d = crate::algo::bfs(&csr, 0);
+        assert!(d.iter().all(|&x| x != u32::MAX), "tree backbone connects everything");
+    }
+
+    #[test]
+    fn average_degree_in_caida_range() {
+        let g = caida(&mut StdRng::seed_from_u64(2), 5000, 2.2);
+        let avg = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+        // caidaRouterLevel: 2 * 609066 / 192244 = 6.34.
+        assert!((4.0..8.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn heavy_tailed_core() {
+        let g = caida(&mut StdRng::seed_from_u64(3), 4000, 2.0);
+        let mut deg = g.degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(deg[0] > 50, "core routers should be hubs, max degree {}", deg[0]);
+        let leaves = deg.iter().filter(|&&d| d <= 2).count();
+        assert!(
+            leaves as f64 > 0.3 * deg.len() as f64,
+            "customer edge should be leaf-heavy ({leaves} leaves)"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = caida(&mut StdRng::seed_from_u64(4), 600, 2.0);
+        let b = caida(&mut StdRng::seed_from_u64(4), 600, 2.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+//! Erdős–Rényi G(n, m): m uniformly random distinct edges.
+
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Samples a uniform random simple graph with `n` vertices and (up to) `m`
+/// edges. Used as a neutral baseline and in property tests; no paper graph
+/// is ER, but the dynamic-BC correctness suite leans on it for unstructured
+/// coverage.
+///
+/// If `m` exceeds the number of distinct pairs, the complete graph is
+/// returned.
+pub fn er(rng: &mut impl Rng, n: usize, m: usize) -> EdgeList {
+    assert!(n >= 1, "er: need at least one vertex");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    // Dense request: enumerate and shuffle-sample; sparse: rejection-sample.
+    if m * 3 >= max_edges {
+        let mut all: Vec<(VertexId, VertexId)> = Vec::with_capacity(max_edges);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                all.push((u, v));
+            }
+        }
+        // Partial Fisher–Yates: pick m without replacement.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+        }
+        all.truncate(m);
+        EdgeList::from_pairs(n, all)
+    } else {
+        let mut set = std::collections::HashSet::with_capacity(m * 2);
+        while set.len() < m {
+            let u = rng.gen_range(0..n as VertexId);
+            let v = rng.gen_range(0..n as VertexId);
+            if u != v {
+                set.insert(if u < v { (u, v) } else { (v, u) });
+            }
+        }
+        EdgeList::from_pairs(n, set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count_sparse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = er(&mut rng, 100, 150);
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 150);
+    }
+
+    #[test]
+    fn dense_request_caps_at_complete_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = er(&mut rng, 6, 1000);
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = er(&mut StdRng::seed_from_u64(7), 50, 80);
+        let b = er(&mut StdRng::seed_from_u64(7), 50, 80);
+        assert_eq!(a, b);
+        let c = er(&mut StdRng::seed_from_u64(8), 50, 80);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,111 @@
+//! Triangulated geometric mesh — the `delaunay_n20` analogue.
+//!
+//! The DIMACS `delaunay_nXX` graphs are Delaunay triangulations of random
+//! points. What the paper's experiments exercise is not Delaunayhood but the
+//! consequences of a planar triangulation: average degree ≈ 6 with a hard
+//! upper bound, no hubs, and **O(√n) diameter** — hundreds of shallow BFS
+//! levels. That diameter is precisely why edge-parallel dynamic BC collapses
+//! to 1.03× on `delaunay_n20` (Table II): it rescans all |E| arcs on every
+//! one of those many levels.
+//!
+//! We generate a jittered √n × √n grid where each unit cell is split along
+//! one diagonal (chosen pseudo-randomly, like flipping Delaunay edges) and a
+//! small fraction of lattice edges is deleted to roughen the structure.
+//! This preserves planarity, the ~6 average degree, and the √n diameter.
+
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Generates a triangulated mesh with approximately `n` vertices
+/// (rounded up to a full `side × side` grid).
+///
+/// `roughness` in `[0, 0.5)` is the fraction of interior lattice edges
+/// randomly dropped; `0.05` matches the irregularity of a true Delaunay
+/// triangulation well enough for BFS-level statistics.
+pub fn geometric(rng: &mut impl Rng, n: usize, roughness: f64) -> EdgeList {
+    assert!(n >= 4, "geometric: need at least a 2x2 grid");
+    assert!(
+        (0.0..0.5).contains(&roughness),
+        "geometric: roughness must be in [0, 0.5)"
+    );
+    let side = (n as f64).sqrt().ceil() as usize;
+    let nn = side * side;
+    let id = |r: usize, c: usize| (r * side + c) as VertexId;
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(3 * nn);
+    for r in 0..side {
+        for c in 0..side {
+            // Horizontal and vertical lattice edges, randomly roughened
+            // (never on the boundary row/column, keeping connectivity).
+            if c + 1 < side {
+                let interior = r > 0 && r + 1 < side;
+                if !(interior && rng.gen_bool(roughness)) {
+                    pairs.push((id(r, c), id(r, c + 1)));
+                }
+            }
+            if r + 1 < side {
+                let interior = c > 0 && c + 1 < side;
+                if !(interior && rng.gen_bool(roughness)) {
+                    pairs.push((id(r, c), id(r + 1, c)));
+                }
+            }
+            // One diagonal per cell, direction chosen at random — the
+            // "edge flip" degree of freedom of a Delaunay triangulation.
+            if r + 1 < side && c + 1 < side {
+                if rng.gen_bool(0.5) {
+                    pairs.push((id(r, c), id(r + 1, c + 1)));
+                } else {
+                    pairs.push((id(r, c + 1), id(r + 1, c)));
+                }
+            }
+        }
+    }
+    EdgeList::from_pairs(nn, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn average_degree_near_six() {
+        let g = geometric(&mut StdRng::seed_from_u64(1), 10_000, 0.05);
+        let avg = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!((4.5..6.1).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn bounded_max_degree() {
+        let g = geometric(&mut StdRng::seed_from_u64(2), 4_096, 0.05);
+        let max = *g.degrees().iter().max().unwrap();
+        assert!(max <= 8, "triangulated grid max degree is 8, got {max}");
+    }
+
+    #[test]
+    fn diameter_scales_like_sqrt_n() {
+        let g = geometric(&mut StdRng::seed_from_u64(3), 2_500, 0.05);
+        let csr = crate::csr::Csr::from_edge_list(&g);
+        let d = crate::algo::bfs(&csr, 0);
+        let ecc = d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap();
+        // side = 50; eccentricity from a corner is around 50..100.
+        assert!(ecc >= 40, "mesh eccentricity {ecc} too small");
+        assert!(ecc <= 120, "mesh eccentricity {ecc} too large");
+    }
+
+    #[test]
+    fn connected_with_default_roughness() {
+        let g = geometric(&mut StdRng::seed_from_u64(4), 900, 0.05);
+        let csr = crate::csr::Csr::from_edge_list(&g);
+        let d = crate::algo::bfs(&csr, 0);
+        assert!(d.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = geometric(&mut StdRng::seed_from_u64(5), 400, 0.1);
+        let b = geometric(&mut StdRng::seed_from_u64(5), 400, 0.1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic graph generators for the paper's benchmark families.
+//!
+//! The study (Table I) uses seven 10th-DIMACS graphs chosen for "size,
+//! diversity, and relevance to dynamic graph analytics". We cannot ship the
+//! DIMACS files, so each graph is replaced by a generator for the same
+//! *family*, reproducing the structural property that drives the
+//! experiments:
+//!
+//! | Paper graph | Generator | Driving property |
+//! |---|---|---|
+//! | `caidaRouterLevel` | [`caida`] | hierarchical, tree-like with peering shortcuts |
+//! | `coPapersCiteseer` | [`copapers`] | overlapping author cliques, very high average degree |
+//! | `delaunay_n20` | [`geometric`] | planar triangulation, bounded degree, large diameter |
+//! | `eu-2005` | [`webcrawl`] | hub/authority web communities, heavy skew |
+//! | `kron_g500-simple-logn19` | [`rmat`] | Kronecker/RMAT self-similar skew |
+//! | `preferentialAttachment` | [`ba`] | Barabási–Albert power-law degrees |
+//! | `smallworld` | [`ws`] | Watts–Strogatz logarithmic diameter |
+//!
+//! Every generator is deterministic given its [`rand::Rng`], returns a
+//! canonical [`EdgeList`], and never emits self loops or duplicates.
+
+mod ba;
+mod caida;
+mod copapers;
+mod er;
+mod geometric;
+mod rmat;
+mod webcrawl;
+mod ws;
+
+pub use ba::ba;
+pub use caida::caida;
+pub use copapers::copapers;
+pub use er::er;
+pub use geometric::geometric;
+pub use rmat::{rmat, RmatParams};
+pub use webcrawl::webcrawl;
+pub use ws::ws;

@@ -1,0 +1,138 @@
+//! RMAT / stochastic Kronecker generator.
+//!
+//! Models the paper's `kron_g500-simple-logn19` input (2^19 vertices,
+//! 21.8M edges). RMAT recursively subdivides the adjacency matrix into
+//! quadrants with probabilities `(a, b, c, d)`; the Graph500 parameters
+//! `(0.57, 0.19, 0.19, 0.05)` produce the heavy self-similar degree skew
+//! and tiny effective diameter that characterise the Kronecker family —
+//! the stress case where the paper still sees a 23.9× node-parallel win.
+
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Quadrant probabilities for [`rmat`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters used by `kron_g500`.
+    pub const GRAPH500: Self = Self {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "RMAT quadrant probabilities must sum to 1 (got {sum})"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "RMAT quadrant probabilities must be non-negative"
+        );
+    }
+}
+
+/// Generates an RMAT graph over `2^scale` vertices with `edge_factor`
+/// nominal edges per vertex.
+///
+/// Self loops and duplicates are dropped after generation (the DIMACS
+/// `-simple` suffix means exactly this post-processing), so the realised
+/// edge count is somewhat below `edge_factor << scale`, increasingly so for
+/// skewed parameters — matching the published instances.
+pub fn rmat(rng: &mut impl Rng, scale: u32, edge_factor: usize, params: RmatParams) -> EdgeList {
+    params.validate();
+    assert!((1..31).contains(&scale), "rmat: scale out of range");
+    let n = 1usize << scale;
+    let nominal = n * edge_factor;
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(nominal);
+    let ab = params.a + params.b;
+    let abc = ab + params.c;
+    for _ in 0..nominal {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < ab {
+                v |= 1;
+            } else if r < abc {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        pairs.push((u, v));
+    }
+    EdgeList::from_pairs(n, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vertex_space_is_power_of_two() {
+        let g = rmat(&mut StdRng::seed_from_u64(1), 8, 8, RmatParams::GRAPH500);
+        assert_eq!(g.vertex_count(), 256);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn graph500_params_are_heavily_skewed() {
+        let g = rmat(&mut StdRng::seed_from_u64(2), 12, 16, RmatParams::GRAPH500);
+        let mut deg = g.degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let nonzero: Vec<u32> = deg.iter().copied().filter(|&d| d > 0).collect();
+        let max = nonzero[0];
+        let median = nonzero[nonzero.len() / 2];
+        assert!(
+            max as f64 > 20.0 * median as f64,
+            "kron should be extremely skewed: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn uniform_params_behave_like_er() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let g = rmat(&mut StdRng::seed_from_u64(3), 10, 8, p);
+        let deg = g.degrees();
+        let max = *deg.iter().max().unwrap();
+        // Uniform quadrant probabilities give near-Poisson degrees: the max
+        // stays within a small factor of the mean (16).
+        assert!(max < 48, "uniform RMAT max degree {max} too large");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        let p = RmatParams { a: 0.9, b: 0.2, c: 0.2, d: 0.2 };
+        let _ = rmat(&mut StdRng::seed_from_u64(4), 4, 2, p);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(&mut StdRng::seed_from_u64(5), 9, 8, RmatParams::GRAPH500);
+        let b = rmat(&mut StdRng::seed_from_u64(5), 9, 8, RmatParams::GRAPH500);
+        assert_eq!(a, b);
+    }
+}

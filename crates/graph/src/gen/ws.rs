@@ -1,0 +1,93 @@
+//! Watts–Strogatz small-world rewiring.
+//!
+//! Models the paper's `smallworld` graph (100 000 vertices, 499 998 edges,
+//! cited to Watts & Strogatz "Collective dynamics of 'small-world'
+//! networks"). The property that matters to the kernels is the logarithmic
+//! diameter with near-uniform degrees: BFS frontiers grow quickly and the
+//! per-level work is balanced — the opposite stress case from `ba`.
+
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+use rand::Rng;
+
+/// Generates a Watts–Strogatz graph: a ring lattice where each vertex
+/// connects to its `k_half` nearest neighbours on each side, then each
+/// lattice edge is rewired to a uniform random endpoint with probability
+/// `beta`.
+///
+/// `k_half = 5`, `beta = 0.1` reproduces the DIMACS instance's parameters
+/// (average degree 10, strongly small-world regime).
+pub fn ws(rng: &mut impl Rng, n: usize, k_half: usize, beta: f64) -> EdgeList {
+    assert!(n > 2 * k_half, "ws: ring needs n > 2 * k_half");
+    assert!((0.0..=1.0).contains(&beta), "ws: beta must be in [0, 1]");
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k_half);
+    for u in 0..n {
+        for offset in 1..=k_half {
+            let v = (u + offset) % n;
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint uniformly; duplicates and the
+                // occasional self loop are canonicalised away by EdgeList,
+                // costing a negligible fraction of edges (as in the
+                // reference model).
+                let w = rng.gen_range(0..n as VertexId);
+                pairs.push((u as VertexId, w));
+            } else {
+                pairs.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    EdgeList::from_pairs(n, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_exact_ring_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = ws(&mut rng, 20, 2, 0.0);
+        assert_eq!(g.edge_count(), 40);
+        assert!(g.contains(0, 1));
+        assert!(g.contains(0, 2));
+        assert!(g.contains(19, 0));
+        assert!(g.contains(19, 1));
+        assert!(!g.contains(0, 3));
+        assert_eq!(g.degrees(), vec![4; 20]);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let n = 2000;
+        let lattice = ws(&mut StdRng::seed_from_u64(2), n, 3, 0.0);
+        let rewired = ws(&mut StdRng::seed_from_u64(2), n, 3, 0.1);
+        let ecc = |el: &EdgeList| {
+            let csr = crate::csr::Csr::from_edge_list(el);
+            let d = crate::algo::bfs(&csr, 0);
+            d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap()
+        };
+        let e_lattice = ecc(&lattice);
+        let e_rewired = ecc(&rewired);
+        assert!(
+            e_rewired * 4 < e_lattice,
+            "rewiring should collapse eccentricity: {e_lattice} -> {e_rewired}"
+        );
+    }
+
+    #[test]
+    fn edge_count_is_stable_under_rewiring() {
+        let g = ws(&mut StdRng::seed_from_u64(3), 1000, 5, 0.1);
+        // Collisions lose only a tiny fraction of the nominal 5000 edges.
+        assert!(g.edge_count() > 4900, "{}", g.edge_count());
+        assert!(g.edge_count() <= 5000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ws(&mut StdRng::seed_from_u64(4), 200, 3, 0.2);
+        let b = ws(&mut StdRng::seed_from_u64(4), 200, 3, 0.2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! The benchmark suite of Table I, reconstructed from generators.
+//!
+//! Seven graphs spanning "real-world and random graphs and different classes
+//! ... such as small-world and scale-free graphs". Each entry names the
+//! paper's instance, its published size, the generator family standing in
+//! for it, and a default reduced scale chosen so that the full experiment
+//! set completes on one CPU core; `scale` multiplies the default vertex
+//! count (1.0 = reduced default; raise toward paper scale as budget
+//! allows).
+
+use crate::edgelist::EdgeList;
+use crate::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which family generator reconstructs a suite entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Hierarchical router topology (`caidaRouterLevel`).
+    Caida,
+    /// Overlapping author cliques (`coPapersCiteseer`).
+    CoPapers,
+    /// Triangulated mesh (`delaunay_n20`).
+    Delaunay,
+    /// Web crawl (`eu-2005`).
+    WebCrawl,
+    /// Kronecker / RMAT (`kron_g500-simple-logn19`).
+    Kron,
+    /// Barabási–Albert (`preferentialAttachment`).
+    Pref,
+    /// Watts–Strogatz (`smallworld`).
+    SmallWorld,
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Full DIMACS name.
+    pub name: &'static str,
+    /// The paper's abbreviation (used in its tables).
+    pub short: &'static str,
+    /// Generator family.
+    pub family: Family,
+    /// Vertex count of the published instance.
+    pub paper_vertices: usize,
+    /// Edge count of the published instance.
+    pub paper_edges: usize,
+    /// Default reduced vertex count at `scale = 1.0`.
+    pub default_vertices: usize,
+}
+
+/// The seven entries of Table I, in the paper's order.
+pub const TABLE_I: [SuiteEntry; 7] = [
+    SuiteEntry {
+        name: "caidaRouterLevel",
+        short: "caida",
+        family: Family::Caida,
+        paper_vertices: 192_244,
+        paper_edges: 609_066,
+        default_vertices: 24_000,
+    },
+    SuiteEntry {
+        name: "coPapersCiteseer",
+        short: "coPap",
+        family: Family::CoPapers,
+        paper_vertices: 434_102,
+        paper_edges: 16_036_720,
+        default_vertices: 16_000,
+    },
+    SuiteEntry {
+        name: "delaunay_n20",
+        short: "del",
+        family: Family::Delaunay,
+        paper_vertices: 1_048_576,
+        paper_edges: 3_145_686,
+        default_vertices: 40_000,
+    },
+    SuiteEntry {
+        name: "eu-2005",
+        short: "eu",
+        family: Family::WebCrawl,
+        paper_vertices: 862_664,
+        paper_edges: 16_138_468,
+        default_vertices: 20_000,
+    },
+    SuiteEntry {
+        name: "kron_g500-simple-logn19",
+        short: "kron",
+        family: Family::Kron,
+        paper_vertices: 524_288,
+        paper_edges: 21_780_787,
+        default_vertices: 16_384,
+    },
+    SuiteEntry {
+        name: "preferentialAttachment",
+        short: "pref",
+        family: Family::Pref,
+        paper_vertices: 100_000,
+        paper_edges: 499_985,
+        default_vertices: 20_000,
+    },
+    SuiteEntry {
+        name: "smallworld",
+        short: "small",
+        family: Family::SmallWorld,
+        paper_vertices: 100_000,
+        paper_edges: 499_998,
+        default_vertices: 20_000,
+    },
+];
+
+impl SuiteEntry {
+    /// Generates this entry at `scale` times its default size.
+    ///
+    /// The seed is mixed with the entry's index so different graphs never
+    /// share random streams.
+    pub fn generate(&self, scale: f64, seed: u64) -> EdgeList {
+        assert!(scale > 0.0, "scale must be positive");
+        let n = ((self.default_vertices as f64 * scale) as usize).max(64);
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.short.len() as u64) ^ hash_name(self.name));
+        match self.family {
+            Family::Caida => gen::caida(&mut rng, n, 2.2),
+            Family::CoPapers => gen::copapers(&mut rng, n, 36.0),
+            Family::Delaunay => gen::geometric(&mut rng, n, 0.05),
+            Family::WebCrawl => gen::webcrawl(&mut rng, n, 12, 3),
+            Family::Kron => {
+                // Round n to a power of two (Kronecker vertex spaces are 2^k).
+                let scale_bits = (n as f64).log2().round().max(6.0) as u32;
+                gen::rmat(&mut rng, scale_bits, 16, gen::RmatParams::GRAPH500)
+            }
+            Family::Pref => gen::ba(&mut rng, n, 5),
+            Family::SmallWorld => gen::ws(&mut rng, n, 5, 0.1),
+        }
+    }
+}
+
+/// Generates the whole suite at `scale`, in Table I order.
+pub fn benchmark_suite(scale: f64, seed: u64) -> Vec<(&'static str, EdgeList)> {
+    TABLE_I
+        .iter()
+        .map(|e| (e.short, e.generate(scale, seed)))
+        .collect()
+}
+
+/// Looks up a suite entry by its short name.
+pub fn entry_by_short(short: &str) -> Option<&'static SuiteEntry> {
+    TABLE_I.iter().find(|e| e.short == short)
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a: stable across runs/platforms (unlike `DefaultHasher`).
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_entries_generate_nonempty_graphs() {
+        for entry in &TABLE_I {
+            let g = entry.generate(0.05, 42);
+            assert!(g.vertex_count() >= 64, "{}: too few vertices", entry.short);
+            assert!(g.edge_count() > g.vertex_count() / 2, "{}: too sparse", entry.short);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = benchmark_suite(0.05, 7);
+        let b = benchmark_suite(0.05, 7);
+        for ((na, ga), (nb, gb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ga, gb, "{na} differs between identical seeds");
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = entry_by_short("pref").unwrap().generate(0.05, 1);
+        let b = entry_by_short("pref").unwrap().generate(0.05, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_by_short_name() {
+        assert_eq!(entry_by_short("kron").unwrap().name, "kron_g500-simple-logn19");
+        assert!(entry_by_short("nope").is_none());
+    }
+
+    #[test]
+    fn densities_track_paper_ordering() {
+        // coPapers and eu are the dense ones; del/caida/pref/small sparse.
+        let suite = benchmark_suite(0.1, 11);
+        let density: std::collections::HashMap<&str, f64> = suite
+            .iter()
+            .map(|(name, g)| (*name, 2.0 * g.edge_count() as f64 / g.vertex_count() as f64))
+            .collect();
+        assert!(density["coPap"] > density["del"]);
+        assert!(density["eu"] > density["caida"]);
+        assert!(density["kron"] > density["small"]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the graph substrate.
+
+use dynbc_graph::algo::{bfs, connected_components};
+use dynbc_graph::{gen, io, Csr, DynGraph, EdgeList};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary canonical edge lists over up to 24 vertices.
+fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
+    (2usize..24, proptest::collection::vec((0u32..24, 0u32..24), 0..60)).prop_map(|(n, pairs)| {
+        let n = n.max(
+            pairs
+                .iter()
+                .map(|&(a, b)| a.max(b) as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        EdgeList::from_pairs(n, pairs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_round_trips_edge_list(el in arb_edge_list()) {
+        let csr = Csr::from_edge_list(&el);
+        prop_assert_eq!(csr.to_edge_list(), el.clone());
+        prop_assert_eq!(csr.edge_count(), el.edge_count());
+        // Degree sums match arc count.
+        let total: usize = (0..csr.vertex_count() as u32).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total, csr.arc_count());
+    }
+
+    #[test]
+    fn csr_adjacency_is_symmetric_and_sorted(el in arb_edge_list()) {
+        let csr = Csr::from_edge_list(&el);
+        for v in 0..csr.vertex_count() as u32 {
+            let row = csr.neighbors(v);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {} not strictly sorted", v);
+            for &w in row {
+                prop_assert!(csr.has_edge(w, v), "arc {}->{} not mirrored", v, w);
+            }
+        }
+    }
+
+    #[test]
+    fn dyngraph_matches_edge_list_model(el in arb_edge_list()) {
+        let g = DynGraph::from_edge_list(&el);
+        prop_assert_eq!(g.edge_count(), el.edge_count());
+        for &(u, v) in el.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+        prop_assert_eq!(g.to_edge_list(), el);
+    }
+
+    #[test]
+    fn metis_round_trip(el in arb_edge_list()) {
+        let mut buf = Vec::new();
+        io::write_metis(&el, &mut buf).unwrap();
+        let back = io::read_metis(&buf[..]).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn edge_list_text_round_trip(el in arb_edge_list()) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&el, &mut buf).unwrap();
+        let back = io::read_edge_list(&buf[..], Some(el.vertex_count())).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_property(el in arb_edge_list()) {
+        let csr = Csr::from_edge_list(&el);
+        if csr.vertex_count() == 0 {
+            return Ok(());
+        }
+        let d = bfs(&csr, 0);
+        prop_assert_eq!(d[0], 0);
+        // Adjacent vertices differ by at most one level; reachable
+        // non-sources have a predecessor one level up.
+        for (u, w) in csr.arcs() {
+            let (du, dw) = (d[u as usize], d[w as usize]);
+            prop_assert_eq!(du == u32::MAX, dw == u32::MAX, "components disagree");
+            if du != u32::MAX {
+                prop_assert!(du.abs_diff(dw) <= 1, "edge ({},{}) spans {} levels", u, w, du.abs_diff(dw));
+            }
+        }
+        for v in 1..csr.vertex_count() as u32 {
+            if d[v as usize] != u32::MAX && d[v as usize] > 0 {
+                let has_pred = csr
+                    .neighbors(v)
+                    .iter()
+                    .any(|&x| d[x as usize] + 1 == d[v as usize]);
+                prop_assert!(has_pred, "vertex {} has no BFS predecessor", v);
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs_reachability(el in arb_edge_list()) {
+        let csr = Csr::from_edge_list(&el);
+        if csr.vertex_count() == 0 {
+            return Ok(());
+        }
+        let cc = connected_components(&csr);
+        let d = bfs(&csr, 0);
+        for v in 0..csr.vertex_count() as u32 {
+            prop_assert_eq!(
+                cc.same(0, v),
+                d[v as usize] != u32::MAX,
+                "vertex {} reachability vs component label", v
+            );
+        }
+        prop_assert_eq!(cc.sizes.iter().sum::<u32>() as usize, csr.vertex_count());
+    }
+
+    #[test]
+    fn generators_produce_simple_graphs(seed in 0u64..500, which in 0u8..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let el = match which {
+            0 => gen::er(&mut rng, 40, 60),
+            1 => gen::ba(&mut rng, 40, 3),
+            2 => gen::ws(&mut rng, 40, 2, 0.3),
+            3 => gen::geometric(&mut rng, 36, 0.1),
+            4 => gen::caida(&mut rng, 40, 1.5),
+            _ => gen::rmat(&mut rng, 6, 4, gen::RmatParams::GRAPH500),
+        };
+        // Canonical: strictly increasing pairs, no self loops, sorted.
+        for &(u, v) in el.edges() {
+            prop_assert!(u < v);
+            prop_assert!((v as usize) < el.vertex_count());
+        }
+        prop_assert!(el.edges().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dyngraph_insert_remove_stream(ops in proptest::collection::vec((0u32..16, 0u32..16, any::<bool>()), 0..200)) {
+        let mut g = DynGraph::new(16);
+        let mut model = EdgeList::empty(16);
+        for (u, v, insert) in ops {
+            if insert {
+                let a = g.insert_edge(u, v);
+                let b = if u == v { false } else { model.insert_edge(u, v) };
+                prop_assert_eq!(a, b);
+            } else {
+                let a = g.remove_edge(u, v);
+                let b = model.remove_edges(&[(u, v)]) == 1;
+                prop_assert_eq!(a, b);
+            }
+        }
+        prop_assert_eq!(g.to_edge_list(), model);
+    }
+}

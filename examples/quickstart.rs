@@ -1,0 +1,59 @@
+//! Quickstart: build a graph, compute BC, stream in edges, stay current.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dynbc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic small-world network (Watts–Strogatz) with 2 000
+    //    vertices — swap in `dynbc::graph::io::read_metis` for real data.
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = dynbc::graph::gen::ws(&mut rng, 2_000, 5, 0.1);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    // 2. Approximate BC from k = 64 random sources (Brandes–Pich style).
+    let sources = sample_sources(&mut rng, graph.vertex_count(), 64);
+    let mut engine = CpuDynamicBc::new(&graph, &sources);
+    let top = engine.state().top_ranked(5);
+    println!("\ninitial top-5 central vertices:");
+    for (v, score) in &top {
+        println!("  v{v}: {score:.1}");
+    }
+
+    // 3. Stream edge insertions; each update is incremental — no
+    //    recomputation.
+    println!("\nstreaming 5 insertions:");
+    let mut inserted = 0;
+    while inserted < 5 {
+        let u = rand::Rng::gen_range(&mut rng, 0..2_000u32);
+        let v = rand::Rng::gen_range(&mut rng, 0..2_000u32);
+        if u == v || engine.graph().has_edge(u, v) {
+            continue;
+        }
+        let result = engine.insert_edge(u, v);
+        println!(
+            "  +({u},{v}): {} of {} sources needed work, touched at most {} vertices, \
+             modeled {:.3} ms",
+            result.worked_sources(),
+            sources.len(),
+            result.max_touched(),
+            result.model_seconds * 1e3
+        );
+        inserted += 1;
+    }
+
+    // 4. Rankings after the stream.
+    let top = engine.state().top_ranked(5);
+    println!("\ntop-5 after the stream:");
+    for (v, score) in &top {
+        println!("  v{v}: {score:.1}");
+    }
+}

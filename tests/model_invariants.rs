@@ -1,0 +1,151 @@
+//! Cross-crate invariants of the machine model: functional results must
+//! be independent of every cost-model knob, and cost must respond to the
+//! knobs in the direction the paper's argument requires.
+
+use dynbc::bc::gpu::static_bc_gpu;
+use dynbc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_close(a: &[f64], b: &[f64], ctx: &str) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let tol = 1e-9 * x.abs().max(y.abs()).max(1.0);
+        assert!((x - y).abs() <= tol, "{ctx}: BC[{i}] {x} vs {y}");
+    }
+}
+
+fn test_graph(n: usize, seed: u64) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    dynbc::graph::gen::ws(&mut rng, n, 3, 0.15)
+}
+
+#[test]
+fn results_are_identical_across_devices() {
+    let el = test_graph(300, 1);
+    let csr = Csr::from_edge_list(&el);
+    let sources: Vec<u32> = (0..30).collect();
+    let a = static_bc_gpu(DeviceConfig::tesla_c2075(), &csr, &sources, Parallelism::Node, 14);
+    let b = static_bc_gpu(DeviceConfig::gtx560(), &csr, &sources, Parallelism::Node, 7);
+    let c = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, 3);
+    // Accumulation order differs with warp size and scheduling, so the
+    // comparison is to f64 round-off, not bit equality.
+    assert_close(&a.bc, &b.bc, "C2075 vs GTX 560");
+    assert_close(&a.bc, &c.bc, "C2075 vs test device");
+}
+
+#[test]
+fn results_are_identical_across_block_counts() {
+    let el = test_graph(200, 2);
+    let csr = Csr::from_edge_list(&el);
+    let sources: Vec<u32> = (0..20).collect();
+    let base = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, 1);
+    for blocks in [2, 3, 5, 8, 16] {
+        let other =
+            static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, blocks);
+        assert_close(&base.bc, &other.bc, "block count changed results");
+    }
+}
+
+#[test]
+fn dynamic_results_are_identical_across_devices() {
+    let el = test_graph(120, 3);
+    let mut rng = StdRng::seed_from_u64(9);
+    let sources = sample_sources(&mut rng, 120, 8);
+    let mut fast = GpuDynamicBc::new(&el, &sources, DeviceConfig::tesla_c2075(), Parallelism::Node);
+    let mut tiny = GpuDynamicBc::new(&el, &sources, DeviceConfig::test_tiny(), Parallelism::Node);
+    for (u, v) in [(0u32, 60u32), (5, 99), (30, 110), (1, 119)] {
+        if fast.graph().has_edge(u, v) {
+            continue;
+        }
+        fast.insert_edge(u, v);
+        tiny.insert_edge(u, v);
+    }
+    assert_close(&fast.state_snapshot().bc, &tiny.state_snapshot().bc, "dynamic devices");
+}
+
+#[test]
+fn edge_and_node_agree_functionally_but_not_in_cost() {
+    let el = test_graph(400, 4);
+    let csr = Csr::from_edge_list(&el);
+    let sources: Vec<u32> = (0..24).collect();
+    let node = static_bc_gpu(DeviceConfig::tesla_c2075(), &csr, &sources, Parallelism::Node, 14);
+    let edge = static_bc_gpu(DeviceConfig::tesla_c2075(), &csr, &sources, Parallelism::Edge, 14);
+    for v in 0..400 {
+        assert!(
+            (node.bc[v] - edge.bc[v]).abs() < 1e-9,
+            "decompositions disagree at {v}"
+        );
+    }
+    assert_ne!(
+        node.stats.mem_segments, edge.stats.mem_segments,
+        "the two decompositions should not move identical traffic"
+    );
+}
+
+#[test]
+fn makespan_improves_up_to_sm_count_then_plateaus() {
+    // Figure 1's mechanism at test scale: fixed total work, increasing
+    // block counts on a 14-SM device.
+    let el = test_graph(220, 5);
+    let csr = Csr::from_edge_list(&el);
+    let sources: Vec<u32> = (0..28).collect();
+    let device = DeviceConfig::tesla_c2075();
+    let t = |blocks: usize| {
+        static_bc_gpu(device, &csr, &sources, Parallelism::Node, blocks).seconds
+    };
+    let t1 = t(1);
+    let t7 = t(7);
+    let t14 = t(14);
+    let t28 = t(28);
+    assert!(t7 < t1 * 0.5, "7 blocks should be far faster than 1");
+    assert!(t14 < t7, "14 blocks beat 7 on 14 SMs");
+    // Beyond one block per SM: no further meaningful gain.
+    assert!(t28 > t14 * 0.8, "blocks beyond SM count must not keep scaling");
+}
+
+#[test]
+fn deterministic_replay_of_a_full_experiment() {
+    let run = || {
+        let el = test_graph(150, 6);
+        let mut rng = StdRng::seed_from_u64(77);
+        let sources = sample_sources(&mut rng, 150, 6);
+        let mut engine =
+            GpuDynamicBc::new(&el, &sources, DeviceConfig::tesla_c2075(), Parallelism::Edge);
+        let mut seconds = Vec::new();
+        for (u, v) in [(3u32, 77u32), (10, 140), (66, 67)] {
+            if engine.graph().has_edge(u, v) {
+                continue;
+            }
+            let r = engine.insert_edge(u, v);
+            seconds.push(r.model_seconds);
+        }
+        (seconds, engine.state_snapshot().bc)
+    };
+    let (s1, bc1) = run();
+    let (s2, bc2) = run();
+    assert_eq!(s1, s2, "simulated times must replay bit-for-bit");
+    assert_eq!(bc1, bc2);
+}
+
+#[test]
+fn case1_updates_cost_orders_of_magnitude_less_than_worked_ones() {
+    // A 4-cycle seen from one source: inserting the diagonal between the
+    // two distance-1 vertices is Case 1 for it. Compare against a real
+    // Case 3 update on the same engine.
+    let el = EdgeList::from_pairs(4096, (0..4095).map(|i| (i, i + 1)));
+    let sources = vec![0u32];
+    let mut engine =
+        GpuDynamicBc::new(&el, &sources, DeviceConfig::tesla_c2075(), Parallelism::Node);
+    let worked = engine.insert_edge(1, 4000); // huge Case 3 shortcut
+    // Vertices 2 and 4000 are now both at distance 2 from 0 → Case 1.
+    let snapshot = engine.state_snapshot();
+    assert_eq!(snapshot.d[0][2], snapshot.d[0][4000]);
+    let idle = engine.insert_edge(2, 4000);
+    assert_eq!(idle.cases.same, 1);
+    assert!(
+        idle.model_seconds * 10.0 < worked.model_seconds,
+        "case-1 insertion ({}) should be ≫ cheaper than the worked one ({})",
+        idle.model_seconds,
+        worked.model_seconds
+    );
+}

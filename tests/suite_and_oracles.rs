@@ -1,0 +1,131 @@
+//! Integration checks of the reconstructed benchmark suite and the
+//! cross-validation oracles.
+
+use dynbc::bc::accuracy::{max_rel_diff, spearman_rank_correlation};
+use dynbc::bc::reference::naive_bc_sources;
+use dynbc::graph::algo::{connected_components, degree_stats, pseudo_diameter};
+use dynbc::graph::suite::{benchmark_suite, TABLE_I};
+use dynbc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn suite_families_have_their_signature_shapes() {
+    let suite = benchmark_suite(0.08, 5);
+    let by_name: std::collections::HashMap<&str, &EdgeList> =
+        suite.iter().map(|(n, g)| (*n, g)).collect();
+
+    // Mesh: bounded degree, sqrt-ish diameter.
+    let del = Csr::from_edge_list(by_name["del"]);
+    assert!(degree_stats(&del).max <= 8);
+    let d = pseudo_diameter(&del, 0, 3);
+    assert!(d as f64 > (del.vertex_count() as f64).sqrt() * 0.5, "mesh diameter {d}");
+
+    // Small world: tiny diameter, tight degree spread.
+    let small = Csr::from_edge_list(by_name["small"]);
+    assert!(pseudo_diameter(&small, 0, 3) < 12);
+
+    // Skewed families: heavy hubs. (The web crawl's skew is partly a
+    // large-scale phenomenon — per-site hubs grow with site size — so its
+    // bar is lower at this test scale.)
+    for (name, factor) in [("pref", 8.0), ("kron", 8.0), ("caida", 8.0), ("eu", 4.0)] {
+        let g = Csr::from_edge_list(by_name[name]);
+        let s = degree_stats(&g);
+        assert!(
+            s.max as f64 > factor * s.median.max(1) as f64,
+            "{name}: max degree {} vs median {}",
+            s.max,
+            s.median
+        );
+    }
+
+    // Collaboration graph: densest of the suite.
+    let copap = Csr::from_edge_list(by_name["coPap"]);
+    let dense = degree_stats(&copap).mean;
+    for (name, g) in &suite {
+        if *name != "coPap" {
+            assert!(
+                dense > degree_stats(&Csr::from_edge_list(g)).mean,
+                "coPap should be densest, {name} is denser"
+            );
+        }
+    }
+
+    // Every graph is dominated by one giant component among its
+    // *non-isolated* vertices (Kronecker generators leave isolated
+    // vertices by construction — the published kron_g500 instances do
+    // too).
+    for (name, g) in &suite {
+        let csr = Csr::from_edge_list(g);
+        let cc = connected_components(&csr);
+        let active = g.vertex_count() - degree_stats(&csr).isolated;
+        assert!(
+            cc.giant_size() as f64 > 0.9 * active as f64,
+            "{name}: giant component only {}/{active} non-isolated",
+            cc.giant_size()
+        );
+    }
+}
+
+#[test]
+fn brandes_agrees_with_definition_oracle_on_every_family() {
+    for entry in &TABLE_I {
+        let el = entry.generate(0.004, 12345); // ~64-100 vertices
+        let csr = Csr::from_edge_list(&el);
+        let sources: Vec<u32> = (0..csr.vertex_count() as u32).step_by(7).collect();
+        let fast = dynbc::bc::brandes::brandes_approx(&csr, &sources);
+        let slow = naive_bc_sources(&csr, &sources);
+        assert!(
+            max_rel_diff(&fast, &slow) < 1e-9,
+            "{}: Brandes disagrees with the definition",
+            entry.short
+        );
+    }
+}
+
+#[test]
+fn approximate_bc_preserves_top_rankings() {
+    // Brandes & Pich: k-source approximation preserves rankings well. We
+    // check rank correlation between exact and k-source BC.
+    let mut rng = StdRng::seed_from_u64(3);
+    let el = dynbc::graph::gen::ba(&mut rng, 400, 4);
+    let csr = Csr::from_edge_list(&el);
+    let exact = dynbc::bc::brandes::brandes_exact(&csr);
+    let sources = sample_sources(&mut rng, 400, 96);
+    let approx = dynbc::bc::brandes::brandes_approx(&csr, &sources);
+    let rho = spearman_rank_correlation(&exact, &approx);
+    // BA graphs have a large plateau of near-zero leaf scores whose
+    // relative order is noise; 0.85 is a strong global agreement here.
+    assert!(rho > 0.85, "rank correlation {rho} too low for k=96/400");
+}
+
+#[test]
+fn metis_round_trip_preserves_suite_graphs() {
+    let el = TABLE_I[5].generate(0.01, 777); // pref at tiny scale
+    let mut buf = Vec::new();
+    dynbc::graph::io::write_metis(&el, &mut buf).unwrap();
+    let back = dynbc::graph::io::read_metis(&buf[..]).unwrap();
+    assert_eq!(back, el);
+}
+
+#[test]
+fn dynamic_engine_works_on_every_suite_family() {
+    for entry in &TABLE_I {
+        let mut el = entry.generate(0.004, 4242);
+        // Remove 3 edges, rebuild via the engine, verify.
+        let removed: Vec<(u32, u32)> = el.edges().iter().copied().take(3).collect();
+        el.remove_edges(&removed);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sources = sample_sources(&mut rng, el.vertex_count(), 4);
+        let mut engine = CpuDynamicBc::new(&el, &sources);
+        for (u, v) in removed {
+            engine.insert_edge(u, v);
+        }
+        let fresh = dynbc::bc::brandes::brandes_state(&engine.graph().to_csr(), &sources);
+        assert!(
+            max_rel_diff(&engine.state().bc, &fresh.bc) < 1e-9,
+            "{}: dynamic BC diverged",
+            entry.short
+        );
+    }
+}
