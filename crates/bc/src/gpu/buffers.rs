@@ -8,8 +8,9 @@
 //! * [`StateBuffers`] — the persistent O(kn) dynamic state: `BC`, and
 //!   per-source `d` / `σ` / `δ` rows;
 //! * [`ScratchBuffers`] — per-block working set: the `t` flags, hat
-//!   arrays, and the `Q`/`Q2`/`QQ` queues of Algorithm 5, one row per
-//!   thread block (each block works on one source at a time).
+//!   arrays, the `Q`/`Q2`/`QQ` queues of Algorithm 5, and the per-block
+//!   BC delta slab, one row per thread block (each block works on one
+//!   source at a time).
 //!
 //! Host↔device staging (`from_csr`, `upload_state`, snapshots) happens
 //! between updates and is never part of a timed kernel region, matching
@@ -143,6 +144,10 @@ impl StateBuffers {
 }
 
 /// Per-block working buffers: one row per thread block.
+///
+/// Allocated once per engine and reused across updates (a pool, not a
+/// per-launch allocation); [`ScratchBuffers::ensure_arc_capacity`] grows
+/// the queue rows when the insertion stream outgrows them.
 #[derive(Debug)]
 pub struct ScratchBuffers {
     /// Vertex count (width of the per-vertex rows).
@@ -153,6 +158,11 @@ pub struct ScratchBuffers {
     /// one BFS level can push up to one (duplicate) entry per arc
     /// crossing it, which on dense graphs exceeds `n`.
     pub qw: usize,
+    /// Row stride of [`ScratchBuffers::bc_delta`]: `n` rounded up so each
+    /// block's row starts 256-byte aligned, making the commit kernel's
+    /// coalescing pattern identical to a direct write of the `n`-wide
+    /// `BC` array.
+    pub bc_stride: usize,
     /// `t` flags, `blocks × n`.
     pub t: GpuBuffer<u8>,
     /// `σ̂`, `blocks × n`.
@@ -162,6 +172,16 @@ pub struct ScratchBuffers {
     /// `d̂` (Case 3 relocations; also the static kernels' working `d`),
     /// `blocks × n`.
     pub d_hat: GpuBuffer<u32>,
+    /// Per-block BC delta slab, `blocks × bc_stride`.
+    ///
+    /// Kernels never add to the shared `BC` array directly: contended
+    /// `atomicAdd(f64)` would make the bit pattern of every score depend
+    /// on how concurrent blocks interleave, which host-parallel execution
+    /// must not expose. Each block instead accumulates `δ̂ − δ` into its
+    /// own slab row; the host reduces the rows **serially in block-index
+    /// order** after the launch ([`ScratchBuffers::drain_bc_delta_into`]),
+    /// so the result is bit-identical for any `DYNBC_HOST_THREADS`.
+    pub bc_delta: GpuBuffer<f64>,
     /// Current-level queue `Q`, `blocks × qw`.
     pub q: GpuBuffer<u32>,
     /// Next-level queue `Q2` (duplicates allowed), `blocks × qw`.
@@ -180,17 +200,20 @@ impl ScratchBuffers {
     /// Allocates scratch for `blocks` blocks over `n`-vertex rows, with
     /// queue rows wide enough for `num_arcs` per-level pushes.
     pub fn new(blocks: usize, n: usize, num_arcs: usize) -> Self {
-        // Bitonic dedup pads to the next power of two, so make the row
-        // itself a power of two at least as large as any level's pushes.
-        let qw = (num_arcs + n + 64).next_power_of_two();
+        let qw = Self::queue_width(n, num_arcs);
+        // 32 f64 = 256 bytes: every slab row starts on a segment-aligned
+        // boundary, like the BC array itself.
+        let bc_stride = n.next_multiple_of(32).max(32);
         Self {
             n,
             blocks,
             qw,
+            bc_stride,
             t: GpuBuffer::new(blocks * n, T_UNTOUCHED),
             sigma_hat: GpuBuffer::new(blocks * n, 0.0),
             delta_hat: GpuBuffer::new(blocks * n, 0.0),
             d_hat: GpuBuffer::new(blocks * n, 0),
+            bc_delta: GpuBuffer::new(blocks * bc_stride, 0.0),
             q: GpuBuffer::new(blocks * qw, 0),
             q2: GpuBuffer::new(blocks * qw, 0),
             qq: GpuBuffer::new(blocks * qw, 0),
@@ -199,10 +222,64 @@ impl ScratchBuffers {
         }
     }
 
+    /// Queue-row width for a graph with `num_arcs` arcs over `n` vertices.
+    /// Bitonic dedup pads to the next power of two, so make the row
+    /// itself a power of two at least as large as any level's pushes.
+    fn queue_width(n: usize, num_arcs: usize) -> usize {
+        (num_arcs + n + 64).next_power_of_two()
+    }
+
+    /// Grows the queue rows if `num_arcs` no longer fits (the insertion
+    /// stream adds arcs). Queue contents are per-update scratch, so the
+    /// old rows are simply dropped; per-vertex rows never change size.
+    pub fn ensure_arc_capacity(&mut self, num_arcs: usize) {
+        let qw = Self::queue_width(self.n, num_arcs);
+        if qw <= self.qw {
+            return;
+        }
+        self.qw = qw;
+        self.q = GpuBuffer::new(self.blocks * qw, 0);
+        self.q2 = GpuBuffer::new(self.blocks * qw, 0);
+        self.qq = GpuBuffer::new(self.blocks * qw, 0);
+        self.scan = GpuBuffer::new(self.blocks * 2 * qw, 0);
+    }
+
     /// Base offset of block `b`'s `n`-wide rows.
     #[inline]
     pub fn row(&self, b: usize) -> usize {
         b * self.n
+    }
+
+    /// Base offset of block `b`'s BC-delta slab row.
+    #[inline]
+    pub fn bc_row(&self, b: usize) -> usize {
+        b * self.bc_stride
+    }
+
+    /// Reduces the per-block BC delta slab into `bc`, **serially in
+    /// block-index order**, re-zeroing the slab for the next launch.
+    ///
+    /// This is the deterministic half of the commit: blocks accumulate
+    /// into disjoint slab rows during the (possibly host-parallel)
+    /// launch, then this host-side pass applies the rows in a fixed
+    /// order, so every `f64` in `bc` is bit-identical no matter how many
+    /// host threads executed the blocks. Host-side staging, off the
+    /// simulated clock — the device-side cost of the adds was already
+    /// charged when the kernels wrote the slab.
+    pub fn drain_bc_delta_into(&self, bc: &GpuBuffer<f64>) {
+        assert!(bc.len() >= self.n, "BC array shorter than vertex count");
+        for b in 0..self.blocks {
+            let base = self.bc_row(b);
+            for v in 0..self.n {
+                let d = self.bc_delta.host_get(base + v);
+                if d != 0.0 {
+                    bc.host_set(v, bc.host_get(v) + d);
+                }
+                if d.to_bits() != 0 {
+                    self.bc_delta.host_set(base + v, 0.0);
+                }
+            }
+        }
     }
 
     /// Base offset of block `b`'s queue rows (`q`, `q2`, `qq`).
@@ -267,5 +344,37 @@ mod tests {
         assert_eq!(scr.lens_row(1), LEN_SLOTS);
         assert_eq!(scr.t.len(), 30);
         assert_eq!(scr.q2.len(), 3 * scr.qw);
+        assert_eq!(scr.bc_stride % 32, 0);
+        assert_eq!(scr.bc_row(2), 2 * scr.bc_stride);
+        assert_eq!(scr.bc_delta.len(), 3 * scr.bc_stride);
+    }
+
+    #[test]
+    fn bc_delta_drains_in_block_order_and_rezeroes() {
+        let scr = ScratchBuffers::new(3, 4, 0);
+        let bc = GpuBuffer::new(4, 1.0f64);
+        scr.bc_delta.host_set(scr.bc_row(0), 0.5); // block 0, v = 0
+        scr.bc_delta.host_set(scr.bc_row(2), 0.25); // block 2, v = 0
+        scr.bc_delta.host_set(scr.bc_row(1) + 3, -1.0); // block 1, v = 3
+        scr.drain_bc_delta_into(&bc);
+        assert_eq!(bc.to_vec(), [1.75, 1.0, 1.0, 0.0]);
+        assert!(scr.bc_delta.to_vec().iter().all(|d| d.to_bits() == 0));
+        // A second drain is a no-op.
+        scr.drain_bc_delta_into(&bc);
+        assert_eq!(bc.to_vec(), [1.75, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn ensure_arc_capacity_grows_queue_rows_only() {
+        let mut scr = ScratchBuffers::new(2, 10, 16);
+        let qw0 = scr.qw;
+        scr.ensure_arc_capacity(8); // smaller: no-op
+        assert_eq!(scr.qw, qw0);
+        scr.ensure_arc_capacity(8 * qw0);
+        assert!(scr.qw > qw0);
+        assert!(scr.qw.is_power_of_two());
+        assert_eq!(scr.q.len(), 2 * scr.qw);
+        assert_eq!(scr.scan.len(), 4 * scr.qw);
+        assert_eq!(scr.t.len(), 20, "per-vertex rows must not change");
     }
 }

@@ -18,6 +18,14 @@
 //! Simulated time accumulates on the engine's [`Gpu`] clock; host↔device
 //! staging (CSR re-upload after the structure update, result downloads)
 //! stays off the clock, as in the paper's methodology.
+//!
+//! Blocks of the fused launch may execute on real host threads
+//! (`DYNBC_HOST_THREADS`; see `dynbc-gpusim`). Every cross-block effect is
+//! made order-independent: the Algorithm 8 commit stages `BC` increments
+//! in per-block `bc_delta` slab rows that are reduced serially in
+//! block-index order after the launch, and the touched statistics land in
+//! per-block slots drained in the same order — so simulated seconds,
+//! stats, and every `f64` of state are bit-identical for any thread count.
 
 use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers, T_UNTOUCHED};
 use super::kernels::{case2_edge, case2_node, case3_edge, case3_node, common, Ctx};
@@ -27,6 +35,7 @@ use crate::dynamic::result::{SourceOutcome, UpdateResult};
 use crate::state::BcState;
 use dynbc_graph::{Csr, DynGraph, EdgeList, VertexId};
 use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer, KernelStats};
+use std::sync::Mutex;
 
 /// Fine-grained work decomposition: one thread per arc, or one thread per
 /// frontier vertex.
@@ -96,8 +105,10 @@ impl GpuDynamicBc {
         let state = brandes_state(&csr, sources);
         let gbuf = GraphBuffers::from_csr(&csr);
         let num_blocks = device.num_sms;
-        // Queue rows sized for the arc count with headroom for the
-        // insertion stream growing the graph.
+        // The scratch pool: allocated once, reused by every update (and
+        // grown on demand — see `ensure_arc_capacity` in the update
+        // paths). Queue rows start with headroom for the insertion
+        // stream growing the graph.
         let scr = ScratchBuffers::new(num_blocks, el.vertex_count(), gbuf.num_arcs + 4096);
         Self {
             gpu: Gpu::new(device),
@@ -125,6 +136,25 @@ impl GpuDynamicBc {
     pub fn with_force_general(mut self, force: bool) -> Self {
         self.force_general = force;
         self
+    }
+
+    /// Pins the number of host threads simulated blocks run on (builder
+    /// form; `1` forces the sequential legacy path). Results are
+    /// bit-identical for any value — this knob only trades wall-clock
+    /// time.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.gpu.set_host_threads(threads);
+        self
+    }
+
+    /// Pins the number of host threads simulated blocks run on.
+    pub fn set_host_threads(&mut self, threads: usize) {
+        self.gpu.set_host_threads(threads);
+    }
+
+    /// The number of host threads launches fan blocks over.
+    pub fn host_threads(&self) -> usize {
+        self.gpu.host_threads()
     }
 
     /// The decomposition this engine uses.
@@ -162,6 +192,7 @@ impl GpuDynamicBc {
         assert!(self.graph.insert_edge(u, v), "edge ({u}, {v}) already present");
         // Structure update + device re-upload: off the simulated clock.
         self.gbuf = GraphBuffers::from_csr(&self.graph.to_csr());
+        self.scr.ensure_arc_capacity(self.gbuf.num_arcs + 4096);
         let clock_before = self.gpu.elapsed_seconds();
 
         // Kernel 0: classification (two distance loads per source).
@@ -210,7 +241,11 @@ impl GpuDynamicBc {
         }
 
         if !worked.is_empty() {
-            let mut touched_out: Vec<(usize, usize)> = Vec::with_capacity(worked.len());
+            // Per-block slots for the touched statistic: blocks may run on
+            // different host threads, so each writes only its own slot;
+            // the slots are drained in block-index order below.
+            let touched_slots: Vec<Mutex<Vec<(usize, usize)>>> =
+                (0..self.num_blocks).map(|_| Mutex::new(Vec::new())).collect();
             let par = self.par;
             let dedup = self.dedup;
             let force_general = self.force_general;
@@ -218,7 +253,6 @@ impl GpuDynamicBc {
             let gbuf = &self.gbuf;
             let scr = &self.scr;
             let worked_ref = &worked;
-            let touched_ref = &mut touched_out;
             self.gpu.launch(num_blocks, |block, b| {
                 for (wi, &(row, case, u_high, u_low)) in worked_ref.iter().enumerate() {
                     if wi % num_blocks != b {
@@ -263,17 +297,25 @@ impl GpuDynamicBc {
                     }
                     common::update_kernel(block, &ctx, general);
                     // Host-side instrumentation (off the clock): Figure 4's
-                    // touched-vertex statistic.
+                    // touched-vertex statistic, read from this block's own
+                    // scratch row.
                     let base = scr.row(b);
-                    let touched = scr.t.host()[base..base + n]
+                    let touched = scr
+                        .t
+                        .snapshot_range(base, n)
                         .iter()
                         .filter(|&&t| t != T_UNTOUCHED)
                         .count();
-                    touched_ref.push((row, touched));
+                    touched_slots[b].lock().unwrap().push((row, touched));
                 }
             });
-            for (row, touched) in touched_out {
-                per_source[row].touched = touched;
+            // Deterministic epilogue, in block-index order: apply the
+            // per-block BC deltas, then collect the touched stats.
+            scr.drain_bc_delta_into(&st.bc);
+            for slot in &touched_slots {
+                for &(row, touched) in slot.lock().unwrap().iter() {
+                    per_source[row].touched = touched;
+                }
             }
         }
 
@@ -299,6 +341,7 @@ impl GpuDynamicBc {
         assert!(u != v, "self-loop removal");
         assert!(self.graph.remove_edge(u, v), "edge ({u}, {v}) not present");
         self.gbuf = GraphBuffers::from_csr(&self.graph.to_csr());
+        self.scr.ensure_arc_capacity(self.gbuf.num_arcs + 4096);
         let clock_before = self.gpu.elapsed_seconds();
 
         // Kernel 0: deletion classifier (needs post-removal adjacency for
@@ -331,7 +374,8 @@ impl GpuDynamicBc {
         }
 
         if !worked.is_empty() {
-            let mut touched_out: Vec<(usize, usize)> = Vec::with_capacity(worked.len());
+            let touched_slots: Vec<Mutex<Vec<(usize, usize)>>> =
+                (0..self.num_blocks).map(|_| Mutex::new(Vec::new())).collect();
             let par = self.par;
             let dedup = self.dedup;
             let num_blocks = self.num_blocks;
@@ -357,34 +401,30 @@ impl GpuDynamicBc {
                         // source from scratch on the device, commit.
                         delete::fallback_subtract_old(block, &ctx);
                         match par {
-                            Parallelism::Node => {
-                                static_source_node(block, gbuf, scr, &st.bc, b, s)
-                            }
-                            Parallelism::Edge => {
-                                static_source_edge(block, gbuf, scr, &st.bc, b, s)
-                            }
+                            Parallelism::Node => static_source_node(block, gbuf, scr, b, s),
+                            Parallelism::Edge => static_source_edge(block, gbuf, scr, b, s),
                         }
                         // Touched statistic (host instrumentation, off
-                        // the clock): state entries the commit will change.
+                        // the clock): state entries the commit will
+                        // change. Snapshots cover only rows this block
+                        // owns (its scratch row, this source's state row).
                         let base = scr.row(b);
                         let krow = row * n;
                         let touched = {
-                            let dh = scr.d_hat.host();
-                            let sh = scr.sigma_hat.host();
-                            let delh = scr.delta_hat.host();
-                            let d = st.d.host();
-                            let sg = st.sigma.host();
-                            let dl = st.delta.host();
+                            let dh = scr.d_hat.snapshot_range(base, n);
+                            let sh = scr.sigma_hat.snapshot_range(base, n);
+                            let delh = scr.delta_hat.snapshot_range(base, n);
+                            let d = st.d.snapshot_range(krow, n);
+                            let sg = st.sigma.snapshot_range(krow, n);
+                            let dl = st.delta.snapshot_range(krow, n);
                             (0..n)
                                 .filter(|&x| {
-                                    dh[base + x] != d[krow + x]
-                                        || sh[base + x] != sg[krow + x]
-                                        || delh[base + x] != dl[krow + x]
+                                    dh[x] != d[x] || sh[x] != sg[x] || delh[x] != dl[x]
                                 })
                                 .count()
                         };
                         delete::fallback_commit(block, &ctx);
-                        touched_out.push((row, touched));
+                        touched_slots[b].lock().unwrap().push((row, touched));
                     } else {
                         // Case D2: Algorithm 2 machinery with a negative
                         // seed and the phantom retraction.
@@ -414,16 +454,21 @@ impl GpuDynamicBc {
                         }
                         common::update_kernel(block, &ctx, false);
                         let base = scr.row(b);
-                        let touched = scr.t.host()[base..base + n]
+                        let touched = scr
+                            .t
+                            .snapshot_range(base, n)
                             .iter()
-                            .filter(|&&t| t != super::buffers::T_UNTOUCHED)
+                            .filter(|&&t| t != T_UNTOUCHED)
                             .count();
-                        touched_out.push((row, touched));
+                        touched_slots[b].lock().unwrap().push((row, touched));
                     }
                 }
             });
-            for (row, touched) in touched_out {
-                per_source[row].touched = touched;
+            scr.drain_bc_delta_into(&st.bc);
+            for slot in &touched_slots {
+                for &(row, touched) in slot.lock().unwrap().iter() {
+                    per_source[row].touched = touched;
+                }
             }
         }
 

@@ -68,10 +68,16 @@ pub fn init_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, mode: SeedMode) {
 /// Algorithm 8: commit the update to the global per-source state and the
 /// BC scores.
 ///
-/// `BC[v] += δ̂[v] − δ[v]` (atomically — blocks working on different
-/// sources race on this array, which the paper argues is low-contention),
-/// `σ[v] ← σ̂[v]` unconditionally, `δ[v] ← δ̂[v]` for touched vertices,
-/// and with `case3 = true` also `d[v] ← d̂[v]` for touched vertices.
+/// `BC[v] += δ̂[v] − δ[v]` — atomically in the paper (blocks working on
+/// different sources race on this array, which it argues is
+/// low-contention). Here the add lands in this block's row of the
+/// [`bc_delta`](crate::gpu::buffers::ScratchBuffers::bc_delta) slab
+/// instead: the device cost is the same (an atomic f64 add to a
+/// segment-aligned `n`-wide row), but the engine reduces the slab in
+/// block-index order afterwards so the scores stay bit-identical under
+/// host-parallel block execution. `σ[v] ← σ̂[v]` unconditionally,
+/// `δ[v] ← δ̂[v]` for touched vertices, and with `case3 = true` also
+/// `d[v] ← d̂[v]` for touched vertices.
 pub fn update_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, case3: bool) {
     let n = ctx.n();
     let s = ctx.s;
@@ -81,7 +87,7 @@ pub fn update_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, case3: bool) {
         if tv != T_UNTOUCHED && v != s {
             let dh = lane.read(&ctx.scr.delta_hat, ctx.sn(v));
             let dl = lane.read(&ctx.st.delta, ctx.kn(v));
-            lane.atomic_add_f64(&ctx.st.bc, v as usize, dh - dl);
+            lane.atomic_add_f64(&ctx.scr.bc_delta, ctx.bci(v), dh - dl);
         }
         let sh = lane.read(&ctx.scr.sigma_hat, ctx.sn(v));
         lane.write(&ctx.st.sigma, ctx.kn(v), sh);

@@ -55,7 +55,9 @@ pub fn phantom_retraction(block: &mut BlockCtx, ctx: &Ctx<'_>) {
 }
 
 /// Fallback prologue: `BC[v] −= δ_old[v]` for every `v ≠ s` (the new
-/// dependencies are added back by the static pass's accumulation).
+/// dependencies are added back by the static pass's accumulation). Like
+/// every cross-block BC write, the subtraction goes through this block's
+/// `bc_delta` slab row so host-parallel execution stays bit-exact.
 pub fn fallback_subtract_old(block: &mut BlockCtx, ctx: &Ctx<'_>) {
     let n = ctx.n();
     let s = ctx.s;
@@ -63,7 +65,7 @@ pub fn fallback_subtract_old(block: &mut BlockCtx, ctx: &Ctx<'_>) {
         if v as u32 != s {
             let del = lane.read(&ctx.st.delta, ctx.kn(v as u32));
             if del != 0.0 {
-                lane.atomic_add_f64(&ctx.st.bc, v, -del);
+                lane.atomic_add_f64(&ctx.scr.bc_delta, ctx.bci(v as u32), -del);
             }
         }
     });

@@ -62,6 +62,12 @@ impl Ctx<'_> {
         self.scr.row(self.block_slot) + v as usize
     }
 
+    /// Index of vertex `v` in this block's BC delta slab row.
+    #[inline]
+    pub fn bci(&self, v: VertexId) -> usize {
+        self.scr.bc_row(self.block_slot) + v as usize
+    }
+
     /// Index `i` in this block's queue rows (`q`/`q2`/`qq`).
     #[inline]
     pub fn qi(&self, i: usize) -> usize {

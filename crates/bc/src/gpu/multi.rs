@@ -60,6 +60,14 @@ impl MultiGpuDynamicBc {
         self.devices.len()
     }
 
+    /// Pins the host-thread count on every simulated device (results are
+    /// bit-identical for any value; see [`GpuDynamicBc::set_host_threads`]).
+    pub fn set_host_threads(&mut self, threads: usize) {
+        for dev in &mut self.devices {
+            dev.set_host_threads(threads);
+        }
+    }
+
     /// The shared graph (every replica is identical; the first is
     /// authoritative).
     pub fn graph(&self) -> &DynGraph {

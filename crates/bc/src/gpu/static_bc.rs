@@ -36,7 +36,8 @@ pub struct StaticBcReport {
 }
 
 /// Runs (approximate) static BC over `sources` with `num_blocks` thread
-/// blocks on `device`. Exact BC is `sources = 0..n`.
+/// blocks on `device`. Exact BC is `sources = 0..n`. Host threads come
+/// from `DYNBC_HOST_THREADS` (the report is bit-identical either way).
 pub fn static_bc_gpu(
     device: DeviceConfig,
     csr: &Csr,
@@ -44,9 +45,26 @@ pub fn static_bc_gpu(
     par: Parallelism,
     num_blocks: usize,
 ) -> StaticBcReport {
+    static_bc_gpu_on(device, csr, sources, par, num_blocks, None)
+}
+
+/// [`static_bc_gpu`] with an explicit host-thread count (`None` = read
+/// `DYNBC_HOST_THREADS`). Results never depend on `host_threads`; the
+/// knob only affects wall-clock time.
+pub fn static_bc_gpu_on(
+    device: DeviceConfig,
+    csr: &Csr,
+    sources: &[VertexId],
+    par: Parallelism,
+    num_blocks: usize,
+    host_threads: Option<usize>,
+) -> StaticBcReport {
     assert!(num_blocks >= 1, "need at least one block");
     let n = csr.vertex_count();
     let mut gpu = Gpu::new(device);
+    if let Some(threads) = host_threads {
+        gpu.set_host_threads(threads);
+    }
     let g = GraphBuffers::from_csr(csr);
     // CAS-gated discovery never duplicates queue entries, so queue rows of
     // width ~n suffice (ScratchBuffers rounds up internally).
@@ -58,11 +76,14 @@ pub fn static_bc_gpu(
                 continue;
             }
             match par {
-                Parallelism::Node => static_source_node(block, &g, &scr, &bc, b, s),
-                Parallelism::Edge => static_source_edge(block, &g, &scr, &bc, b, s),
+                Parallelism::Node => static_source_node(block, &g, &scr, b, s),
+                Parallelism::Edge => static_source_edge(block, &g, &scr, b, s),
             }
         }
     });
+    // Deterministic reduction: per-block BC contributions were staged in
+    // the `bc_delta` slab; apply them serially in block-index order.
+    scr.drain_bc_delta_into(&bc);
     StaticBcReport {
         bc: bc.to_vec(),
         seconds: report.seconds,
@@ -84,20 +105,17 @@ pub(crate) fn static_init(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchB
     block.write_scalar(&scr.sigma_hat, row + s as usize, 1.0);
 }
 
-/// Final per-source accumulation into the global BC array.
-fn static_accumulate_bc(
-    block: &mut BlockCtx,
-    g: &GraphBuffers,
-    scr: &ScratchBuffers,
-    bc: &GpuBuffer<f64>,
-    slot: usize,
-    s: u32,
-) {
+/// Final per-source accumulation of dependencies toward the global BC
+/// array — staged in this block's `bc_delta` slab row so the caller can
+/// reduce across blocks in a fixed order (bit-determinism under
+/// host-parallel execution).
+fn static_accumulate_bc(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchBuffers, slot: usize, s: u32) {
     let row = scr.row(slot);
+    let brow = scr.bc_row(slot);
     block.parallel_for(g.n, |lane, v| {
         if v != s as usize && lane.read(&scr.d_hat, row + v) != INF {
             let del = lane.read(&scr.delta_hat, row + v);
-            lane.atomic_add_f64(bc, v, del);
+            lane.atomic_add_f64(&scr.bc_delta, brow + v, del);
         }
     });
     block.barrier();
@@ -109,7 +127,6 @@ pub(crate) fn static_source_node(
     block: &mut BlockCtx,
     g: &GraphBuffers,
     scr: &ScratchBuffers,
-    bc: &GpuBuffer<f64>,
     slot: usize,
     s: u32,
 ) {
@@ -184,7 +201,7 @@ pub(crate) fn static_source_node(
         block.barrier();
         depth -= 1;
     }
-    static_accumulate_bc(block, g, scr, bc, slot, s);
+    static_accumulate_bc(block, g, scr, slot, s);
 }
 
 /// One source, edge-parallel (Jia et al.): scan all arcs every level in
@@ -193,7 +210,6 @@ pub(crate) fn static_source_edge(
     block: &mut BlockCtx,
     g: &GraphBuffers,
     scr: &ScratchBuffers,
-    bc: &GpuBuffer<f64>,
     slot: usize,
     s: u32,
 ) {
@@ -242,7 +258,7 @@ pub(crate) fn static_source_edge(
         block.barrier();
         depth -= 1;
     }
-    static_accumulate_bc(block, g, scr, bc, slot, s);
+    static_accumulate_bc(block, g, scr, slot, s);
 }
 
 #[cfg(test)]

@@ -1,15 +1,19 @@
 //! Criterion microbenches of the substrate layers: device-style data
-//! structures, graph traversal, Brandes passes, and a dynamic update.
+//! structures, graph traversal, Brandes passes, a dynamic update, and the
+//! host-parallel launch path of the simulator itself.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dynbc_bc::brandes::{sample_sources, source_pass};
 use dynbc_bc::dynamic::CpuDynamicBc;
+use dynbc_bench::HarnessReport;
 use dynbc_ds::{bitonic_sort, remove_duplicates, DedupScratch, MultiLevelQueue};
 use dynbc_graph::algo::bfs;
 use dynbc_graph::{gen, Csr};
+use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn rand_vec(n: usize, modulo: u32, seed: u64) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -108,9 +112,74 @@ fn bench_dynamic_update(c: &mut Criterion) {
     });
 }
 
+/// One fixed launch for the scaling sweep: 56 blocks = four full waves on
+/// the C2075's 14 SMs, each block hashing its own 512-element row and then
+/// folding it into a small contended histogram (add-only, so the result is
+/// thread-count invariant). Returns everything the simulator produced so
+/// the sweep can assert bit-identity while it measures wall time.
+fn scaling_launch(threads: usize) -> (f64, Vec<u32>, Vec<u32>) {
+    const BLOCKS: usize = 56;
+    const ROW: usize = 512;
+    let mut g = Gpu::new(DeviceConfig::tesla_c2075()).with_host_threads(threads);
+    let rows = GpuBuffer::<u32>::new(BLOCKS * ROW, 1);
+    let hist = GpuBuffer::<u32>::new(64, 0);
+    let r = g.launch(BLOCKS, |block, b| {
+        block.parallel_for(ROW, |lane, i| {
+            let idx = b * ROW + i;
+            let mut v = lane.read(&rows, idx) ^ (b * ROW + i) as u32;
+            for _ in 0..32 {
+                v = v.wrapping_mul(1664525).wrapping_add(1013904223);
+            }
+            lane.compute(8);
+            lane.write(&rows, idx, v);
+        });
+        block.barrier();
+        block.parallel_for(ROW, |lane, i| {
+            let v = lane.read(&rows, b * ROW + i);
+            lane.atomic_add_u32(&hist, (v as usize) % 64, 1);
+        });
+    });
+    (r.seconds, rows.to_vec(), hist.to_vec())
+}
+
+fn bench_launch_scaling(c: &mut Criterion) {
+    let baseline = scaling_launch(1);
+    let mut report = HarnessReport::new("launch_scaling");
+    let mut wall_1thread = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        // Every thread count must reproduce the sequential run bit-for-bit
+        // (simulated seconds and all buffer contents).
+        let got = scaling_launch(threads);
+        assert_eq!(got.0.to_bits(), baseline.0.to_bits(), "{threads} threads: seconds");
+        assert_eq!(got.1, baseline.1, "{threads} threads: rows");
+        assert_eq!(got.2, baseline.2, "{threads} threads: histogram");
+
+        // Manual timing loop feeding BENCH_dynbc.json (Criterion's numbers
+        // only go to stdout).
+        let iters = 12;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(scaling_launch(threads));
+        }
+        let wall = t0.elapsed().as_secs_f64() / iters as f64;
+        if threads == 1 {
+            wall_1thread = wall;
+        }
+        report.push_row("blocks56", &format!("{threads} host threads"), got.0, wall);
+        report.annotate("host_threads", threads as f64);
+        report.annotate("speedup_vs_1_thread", wall_1thread / wall);
+
+        c.bench_function(&format!("launch_scaling_56blocks_t{threads}"), |b| {
+            b.iter(|| black_box(scaling_launch(threads)))
+        });
+    }
+    report.write_default();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sorting, bench_dedup, bench_mlq, bench_graph, bench_dynamic_update
+    targets = bench_sorting, bench_dedup, bench_mlq, bench_graph, bench_dynamic_update,
+        bench_launch_scaling
 }
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 
 use dynbc_bc::gpu::Parallelism;
 use dynbc_bench::table::{fmt_seconds, fmt_speedup, Table};
-use dynbc_bench::{build_setup, paper, run_cpu, run_gpu, Config};
+use dynbc_bench::{build_setup, emit_bench_json, paper, run_cpu, run_gpu, Config, DynRun};
 use dynbc_graph::suite::TABLE_I;
 use dynbc_gpusim::DeviceConfig;
 
@@ -36,6 +36,7 @@ fn main() {
     let mut min_node_speedup = f64::INFINITY;
     let mut max_node_speedup: f64 = 0.0;
     let mut edge_speedups = Vec::new();
+    let mut measured: Vec<(&str, DynRun)> = Vec::new();
     for entry in &TABLE_I {
         let setup = build_setup(entry, &cfg);
         eprintln!(
@@ -67,8 +68,15 @@ fn main() {
                 fmt_speedup(p.node_speedup())
             ),
         ]);
+        measured.push((entry.short, cpu));
+        measured.push((entry.short, edge));
+        measured.push((entry.short, node));
     }
     println!("{}", table.render());
+    let rows: Vec<(&str, &DynRun)> = measured.iter().map(|(g, r)| (*g, r)).collect();
+    if let Some(path) = emit_bench_json("table2_cpu_vs_gpu", &rows) {
+        println!("machine-readable rows appended to {}", path.display());
+    }
     println!(
         "paper headline: node up to {:.0}x over CPU; node > edge on all graphs",
         paper::MAX_NODE_SPEEDUP_VS_CPU

@@ -151,6 +151,30 @@ pub fn run_cpu(setup: &Setup) -> DynRun {
     DynRun::from_results("CPU (i7-2600K model)".to_string(), results)
 }
 
+/// Emits one harness's measured runs to `BENCH_dynbc.json` at the
+/// workspace root (merge-by-harness; see [`crate::report`]): one row per
+/// `(graph, engine)` cell carrying simulated and wall-clock seconds, plus
+/// the host-thread count and git revision. Returns the path written, or
+/// `None` when the file could not be written (reporting is best-effort —
+/// it must never fail the harness).
+pub fn emit_bench_json(
+    harness: &str,
+    runs: &[(&str, &DynRun)],
+) -> Option<std::path::PathBuf> {
+    let mut report = crate::report::HarnessReport::new(harness);
+    for (graph, run) in runs {
+        report.push_row(
+            graph,
+            &run.label,
+            run.total_model_seconds,
+            run.total_wall_seconds,
+        );
+        report.annotate("updates", run.per_insertion.len() as f64);
+        report.annotate("slowest_model_seconds", run.slowest());
+    }
+    report.write_default()
+}
+
 /// Runs the insertion stream through a simulated-GPU engine.
 pub fn run_gpu(setup: &Setup, device: DeviceConfig, par: Parallelism) -> DynRun {
     let mut engine = GpuDynamicBc::new(&setup.start, &setup.sources, device, par);

@@ -22,7 +22,9 @@
 pub mod config;
 pub mod driver;
 pub mod paper;
+pub mod report;
 pub mod table;
 
 pub use config::Config;
-pub use driver::{build_setup, run_cpu, run_gpu, DynRun, Setup};
+pub use driver::{build_setup, emit_bench_json, run_cpu, run_gpu, DynRun, Setup};
+pub use report::HarnessReport;

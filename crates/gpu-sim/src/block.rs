@@ -20,14 +20,18 @@
 //! `max(compute, memory) + atomics` — warps overlap, so the slower
 //! pipeline bounds progress while atomics serialize on the L2.
 //!
-//! Execution is sequential and deterministic; parallelism is *modeled*,
-//! never raced. Functionally, lanes see each other's writes immediately,
-//! which is a superset of CUDA's intra-block visibility; the kernels
-//! ported here only rely on races the paper itself proves benign.
+//! Within a block, execution is sequential and deterministic; parallelism
+//! is *modeled*, never raced. Functionally, lanes see each other's writes
+//! immediately, which is a superset of CUDA's intra-block visibility; the
+//! kernels ported here only rely on races the paper itself proves benign.
+//! Distinct blocks of one launch may run concurrently on host threads (see
+//! [`Gpu::launch`](crate::Gpu::launch)); cross-block traffic must then
+//! follow the sharing contract documented in [`crate::mem`].
 
 use crate::device::DeviceConfig;
 use crate::mem::GpuBuffer;
 use crate::stats::KernelStats;
+use std::sync::atomic::Ordering;
 
 /// Open-addressed set of 32-byte segment ids, cleared per warp via a
 /// generation counter (no rehash/zeroing in the hot path).
@@ -181,7 +185,7 @@ impl BlockCtx {
         self.touch(buf.addr(i));
         self.max_lane_events = self.lane_events;
         self.end_warp();
-        buf.data.borrow()[i]
+        buf.get(i)
     }
 
     /// Single-thread scalar write, charged as a one-lane warp.
@@ -191,7 +195,7 @@ impl BlockCtx {
         self.touch(buf.addr(i));
         self.max_lane_events = self.lane_events;
         self.end_warp();
-        buf.data.borrow_mut()[i] = v;
+        buf.set(i, v);
     }
 
     fn begin_warp(&mut self) {
@@ -273,14 +277,14 @@ impl Lane<'_> {
     #[inline]
     pub fn read<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
         self.block.touch(buf.addr(i));
-        buf.data.borrow()[i]
+        buf.get(i)
     }
 
     /// Global-memory write of `buf[i] = v`.
     #[inline]
     pub fn write<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
         self.block.touch(buf.addr(i));
-        buf.data.borrow_mut()[i] = v;
+        buf.set(i, v);
     }
 
     /// Charges `units` of pure-arithmetic lane work (no memory traffic):
@@ -292,13 +296,30 @@ impl Lane<'_> {
     }
 
     /// `atomicAdd` on an `f64` cell; returns the previous value.
+    ///
+    /// Implemented as a CAS loop on the bit pattern (like CUDA's
+    /// pre-Pascal `atomicAdd(double*)`), so concurrent blocks never lose
+    /// updates. Note that the *sum* still depends on arrival order when
+    /// blocks contend on one cell; for bit-deterministic cross-block
+    /// accumulation the engines use per-block delta slabs reduced in block
+    /// order instead of contending here.
     #[inline]
     pub fn atomic_add_f64(&mut self, buf: &GpuBuffer<f64>, i: usize, v: f64) -> f64 {
         self.record_atomic(buf.addr(i));
-        let mut data = buf.data.borrow_mut();
-        let old = data[i];
-        data[i] = old + v;
-        old
+        let cell = buf.atomic_bits(i);
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = f64::from_bits(cur) + v;
+            match cell.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// `atomicAdd` on a `u32` cell; returns the previous value (the queue
@@ -306,20 +327,14 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_add_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
         self.record_atomic(buf.addr(i));
-        let mut data = buf.data.borrow_mut();
-        let old = data[i];
-        data[i] = old.wrapping_add(v);
-        old
+        buf.atomic(i).fetch_add(v, Ordering::Relaxed)
     }
 
     /// `atomicMax` on a `u32` cell; returns the previous value.
     #[inline]
     pub fn atomic_max_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
         self.record_atomic(buf.addr(i));
-        let mut data = buf.data.borrow_mut();
-        let old = data[i];
-        data[i] = old.max(v);
-        old
+        buf.atomic(i).fetch_max(v, Ordering::Relaxed)
     }
 
     /// `atomicCAS` on a `u32` cell; returns the previous value, storing
@@ -328,12 +343,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_cas_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, expect: u32, new: u32) -> u32 {
         self.record_atomic(buf.addr(i));
-        let mut data = buf.data.borrow_mut();
-        let old = data[i];
-        if old == expect {
-            data[i] = new;
+        match buf
+            .atomic(i)
+            .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(old) | Err(old) => old,
         }
-        old
     }
 
     /// `atomicCAS` on a `u8` cell (the `t[v]` state flags); returns the
@@ -341,12 +356,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_cas_u8(&mut self, buf: &GpuBuffer<u8>, i: usize, expect: u8, new: u8) -> u8 {
         self.record_atomic(buf.addr(i));
-        let mut data = buf.data.borrow_mut();
-        let old = data[i];
-        if old == expect {
-            data[i] = new;
+        match buf
+            .atomic(i)
+            .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(old) | Err(old) => old,
         }
-        old
     }
 
     #[inline]

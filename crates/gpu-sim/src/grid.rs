@@ -1,11 +1,23 @@
 //! Kernel launches and block-to-SM scheduling.
 //!
 //! A [`Gpu`] owns a device description and a simulated clock. Each
-//! [`Gpu::launch`] runs `num_blocks` block closures (sequentially and
-//! deterministically), then schedules the measured block times onto the
-//! device's SMs with the hardware's greedy block scheduler: each block
-//! goes to the SM that frees up first. Kernel time is the makespan plus a
-//! fixed launch overhead.
+//! [`Gpu::launch`] runs `num_blocks` block closures, then schedules the
+//! measured block times onto the device's SMs with the hardware's greedy
+//! block scheduler: each block goes to the SM that frees up first. Kernel
+//! time is the makespan plus a fixed launch overhead.
+//!
+//! # Host-parallel execution, bit-identical results
+//!
+//! Simulated blocks are independent interpreter runs, so `launch` fans
+//! them out over real host threads (`DYNBC_HOST_THREADS`, default = the
+//! machine's available cores, `1` = the legacy sequential path). Workers
+//! self-schedule chunks of block ids from an atomic counter; each block
+//! produces its own `(cycles, KernelStats)` pair, and the results are
+//! **reduced serially in block-index order** — exactly the order the
+//! sequential loop used. Because per-block cost accounting is local to the
+//! block's `BlockCtx` and the engines keep cross-block float traffic in
+//! per-block slabs, every output (simulated seconds, stats, buffer
+//! contents) is bit-identical for any thread count.
 //!
 //! This scheduling model is what makes Figure 1 reproducible: with fewer
 //! blocks than SMs the device is underutilized; at exactly one block per
@@ -17,6 +29,7 @@
 use crate::block::BlockCtx;
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome of one kernel launch.
 #[derive(Debug, Clone)]
@@ -31,6 +44,25 @@ pub struct LaunchReport {
     pub stats: KernelStats,
 }
 
+/// Environment variable selecting how many host threads a launch may use.
+/// Unset, `0`, or unparsable means "all available cores"; `1` forces the
+/// legacy sequential path.
+pub const HOST_THREADS_ENV: &str = "DYNBC_HOST_THREADS";
+
+/// Resolves the effective host-thread count from [`HOST_THREADS_ENV`]
+/// (what [`Gpu::new`] uses; public so harnesses can report the setting).
+pub fn host_threads_from_env() -> usize {
+    let requested = std::env::var(HOST_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
 /// A simulated GPU with an accumulating clock.
 #[derive(Debug)]
 pub struct Gpu {
@@ -38,17 +70,39 @@ pub struct Gpu {
     elapsed_s: f64,
     total_stats: KernelStats,
     launches: u64,
+    host_threads: usize,
 }
 
 impl Gpu {
-    /// Creates a device with the clock at zero.
+    /// Creates a device with the clock at zero. The host-thread count is
+    /// read from [`HOST_THREADS_ENV`] (default: available cores).
     pub fn new(dev: DeviceConfig) -> Self {
         Self {
             dev,
             elapsed_s: 0.0,
             total_stats: KernelStats::default(),
             launches: 0,
+            host_threads: host_threads_from_env(),
         }
+    }
+
+    /// Builder-style override of the host-thread count (clamped to ≥ 1).
+    /// Prefer this over mutating the environment in tests: process-global
+    /// env writes race between test threads.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.set_host_threads(threads);
+        self
+    }
+
+    /// Sets the host-thread count for subsequent launches (clamped to ≥ 1).
+    pub fn set_host_threads(&mut self, threads: usize) {
+        self.host_threads = threads.max(1);
+    }
+
+    /// Host threads used to execute launches. Never affects results, only
+    /// wall-clock.
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// The device configuration.
@@ -59,19 +113,37 @@ impl Gpu {
     /// Launches a kernel over `num_blocks` blocks; `f(block, block_id)` is
     /// the kernel body. Returns the launch's cost report and advances the
     /// simulated clock.
-    pub fn launch<F: FnMut(&mut BlockCtx, usize)>(
-        &mut self,
-        num_blocks: usize,
-        mut f: F,
-    ) -> LaunchReport {
+    ///
+    /// Blocks run concurrently on up to [`Gpu::host_threads`] host
+    /// threads; the closure therefore gets `&self`-style shared access
+    /// (`Fn + Sync`) and all cross-block buffer traffic must follow the
+    /// [`crate::mem`] sharing contract. Per-block results are reduced in
+    /// block-index order, so the report is bit-identical for any thread
+    /// count.
+    pub fn launch<F>(&mut self, num_blocks: usize, f: F) -> LaunchReport
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
+        let threads = self.host_threads.min(num_blocks.max(1));
+        let per_block: Vec<(f64, KernelStats)> = if threads <= 1 {
+            // Legacy sequential path: also the fallback that documents the
+            // reduction order the parallel path must reproduce.
+            (0..num_blocks)
+                .map(|b| {
+                    let mut ctx = BlockCtx::new(self.dev);
+                    f(&mut ctx, b);
+                    ctx.finish()
+                })
+                .collect()
+        } else {
+            self.run_blocks_parallel(num_blocks, threads, &f)
+        };
+
         let mut block_cycles = Vec::with_capacity(num_blocks);
         let mut stats = KernelStats::default();
-        for b in 0..num_blocks {
-            let mut ctx = BlockCtx::new(self.dev);
-            f(&mut ctx, b);
-            let (cycles, block_stats) = ctx.finish();
-            block_cycles.push(cycles);
-            stats.add(&block_stats);
+        for (cycles, block_stats) in &per_block {
+            block_cycles.push(*cycles);
+            stats.add(block_stats);
         }
         let makespan_cycles = schedule_makespan(&block_cycles, self.dev.num_sms);
         let seconds = self.dev.cycles_to_seconds(makespan_cycles) + self.dev.launch_overhead_s;
@@ -84,6 +156,69 @@ impl Gpu {
             block_cycles,
             stats,
         }
+    }
+
+    /// Fans `num_blocks` block interpreters over `threads` scoped host
+    /// threads. Workers claim chunks of block ids from a shared atomic
+    /// counter (self-scheduling, so stragglers rebalance) and return
+    /// `(block_id, result)` pairs; the caller reassembles them into
+    /// block-index order.
+    fn run_blocks_parallel<F>(
+        &self,
+        num_blocks: usize,
+        threads: usize,
+        f: &F,
+    ) -> Vec<(f64, KernelStats)>
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
+        // Small chunks keep long-tailed blocks balanced; 4× oversubscription
+        // is plenty while amortizing counter traffic for huge grids.
+        let chunk = (num_blocks / (threads * 4)).max(1);
+        let next = AtomicUsize::new(0);
+        let dev = self.dev;
+        let mut slots: Vec<Option<(f64, KernelStats)>> = Vec::with_capacity(num_blocks);
+        slots.resize_with(num_blocks, || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, (f64, KernelStats))> = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= num_blocks {
+                                break;
+                            }
+                            for b in start..(start + chunk).min(num_blocks) {
+                                let mut ctx = BlockCtx::new(dev);
+                                f(&mut ctx, b);
+                                out.push((b, ctx.finish()));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(results) => {
+                        for (b, result) in results {
+                            slots[b] = Some(result);
+                        }
+                    }
+                    // Preserve the sequential path's behaviour: a panicking
+                    // kernel (e.g. a queue-overflow assert) panics the launch.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every block id claimed exactly once"))
+            .collect()
     }
 
     /// Simulated seconds elapsed across all launches since the last reset.
@@ -204,8 +339,11 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        let run = || {
-            let mut g = gpu();
+        // Replays must agree run-to-run AND across host thread counts:
+        // the reduction happens in block-index order regardless of which
+        // host thread executed a block.
+        let run = |threads: usize| {
+            let mut g = gpu().with_host_threads(threads);
             let buf = GpuBuffer::<f64>::new(64, 0.0);
             let r = g.launch(3, |block, b| {
                 block.parallel_for(64, |lane, i| {
@@ -215,9 +353,105 @@ mod tests {
             });
             (r.makespan_cycles, buf.to_vec())
         };
-        let (c1, v1) = run();
-        let (c2, v2) = run();
+        let (c1, v1) = run(1);
+        let (c2, v2) = run(1);
         assert_eq!(c1, c2);
         assert_eq!(v1, v2);
+        for threads in [2, 8] {
+            let (ct, vt) = run(threads);
+            assert_eq!(c1.to_bits(), ct.to_bits(), "{threads} threads: cycles");
+            // 0.5-unit adds are exact in binary, so even the contended f64
+            // cells must come out bit-identical.
+            let b1: Vec<u64> = v1.iter().map(|x| x.to_bits()).collect();
+            let bt: Vec<u64> = vt.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(b1, bt, "{threads} threads: buffer contents");
+        }
+    }
+
+    #[test]
+    fn parallel_launch_is_bit_identical_across_thread_counts() {
+        // A mixed kernel exercising every access type: per-block rows via
+        // plain writes, contended u32 atomics (one op kind per buffer —
+        // add and max each commute with themselves, but not with each
+        // other), barriers, and uneven per-block work (so self-scheduling
+        // actually interleaves).
+        let run = |threads: usize| {
+            let mut g = Gpu::new(DeviceConfig::test_tiny()).with_host_threads(threads);
+            let rows = GpuBuffer::<u32>::new(16 * 64, 0);
+            let counts = GpuBuffer::<u32>::new(32, 0);
+            let maxes = GpuBuffer::<u32>::new(32, 0);
+            let hist = GpuBuffer::<u32>::new(16, 0);
+            let mut reports = Vec::new();
+            for round in 0..3usize {
+                let r = g.launch(16, |block, b| {
+                    let work = 8 + (b * 7 + round) % 29;
+                    block.parallel_for(work, |lane, i| {
+                        lane.write(&rows, b * 64 + i % 64, (b * 1000 + i) as u32);
+                        lane.atomic_add_u32(&counts, (b + i) % 32, 1);
+                        lane.atomic_max_u32(&maxes, i % 32, (b * i) as u32);
+                    });
+                    block.barrier();
+                    block.parallel_for(4, |lane, i| {
+                        let v = lane.read(&rows, b * 64 + i);
+                        lane.atomic_add_u32(&hist, (v as usize) % 16, 1);
+                    });
+                });
+                reports.push((r.seconds.to_bits(), r.makespan_cycles.to_bits(), r.stats));
+            }
+            (
+                reports,
+                g.elapsed_seconds().to_bits(),
+                *g.total_stats(),
+                rows.to_vec(),
+                counts.to_vec(),
+                maxes.to_vec(),
+                hist.to_vec(),
+            )
+        };
+        let baseline = run(1);
+        for threads in [2, 8] {
+            let got = run(threads);
+            assert_eq!(baseline.0, got.0, "{threads} threads: per-launch reports");
+            assert_eq!(baseline.1, got.1, "{threads} threads: elapsed seconds");
+            assert_eq!(baseline.2, got.2, "{threads} threads: total stats");
+            assert_eq!(baseline.3, got.3, "{threads} threads: row buffer");
+            assert_eq!(baseline.4, got.4, "{threads} threads: add-contended buffer");
+            assert_eq!(baseline.5, got.5, "{threads} threads: max-contended buffer");
+            assert_eq!(baseline.6, got.6, "{threads} threads: histogram");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_reported() {
+        let g = gpu().with_host_threads(0);
+        assert_eq!(g.host_threads(), 1);
+        let g = gpu().with_host_threads(6);
+        assert_eq!(g.host_threads(), 6);
+    }
+
+    #[test]
+    fn more_threads_than_blocks_is_fine() {
+        let mut g = gpu().with_host_threads(64);
+        let buf = GpuBuffer::<u32>::new(3, 0);
+        let r = g.launch(3, |block, b| {
+            block.parallel_for(1, |lane, _| {
+                lane.write(&buf, b, b as u32 + 1);
+            });
+        });
+        assert_eq!(buf.to_vec(), [1, 2, 3]);
+        assert_eq!(r.block_cycles.len(), 3);
+    }
+
+    #[test]
+    fn kernel_panic_propagates_from_worker_threads() {
+        let result = std::panic::catch_unwind(|| {
+            let mut g = gpu().with_host_threads(4);
+            g.launch(8, |_, b| {
+                if b == 5 {
+                    panic!("kernel assert fired in block {b}");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must fail the launch");
     }
 }

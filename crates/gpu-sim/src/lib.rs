@@ -21,10 +21,17 @@
 //!   sequential CPU baseline, so every reported ratio compares modelled
 //!   seconds to modelled seconds.
 //!
-//! Everything is sequential and deterministic: a seeded experiment replays
-//! bit-for-bit.
+//! Everything is deterministic: a seeded experiment replays bit-for-bit.
+//! Within a block, execution is sequential; *across* blocks, [`Gpu::launch`]
+//! may fan work out over real host threads (`DYNBC_HOST_THREADS`), and the
+//! per-block results are reduced serially in block-index order so simulated
+//! seconds, stats, and buffer contents never depend on the thread count.
+//!
+//! The only `unsafe` in the crate lives in [`mem`]: `GpuBuffer` stores its
+//! elements in `UnsafeCell`s so blocks on different host threads can share
+//! it, under the access contract documented there.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // granted back, cell-by-cell, in mem.rs only
 #![warn(missing_docs)]
 
 pub mod block;
@@ -37,6 +44,6 @@ pub mod stats;
 pub use block::{BlockCtx, Lane};
 pub use cpu_model::OpCounter;
 pub use device::{CpuConfig, DeviceConfig};
-pub use grid::{Gpu, LaunchReport};
+pub use grid::{host_threads_from_env, Gpu, LaunchReport, HOST_THREADS_ENV};
 pub use mem::GpuBuffer;
 pub use stats::KernelStats;

@@ -4,26 +4,80 @@
 //! it through a [`Lane`](crate::block::Lane), whose accessors *both*
 //! perform the access and charge the cost model — so the accounting can
 //! never drift from what the kernel actually did. Host code uses
-//! [`GpuBuffer::host`] / [`GpuBuffer::host_mut`], which model
+//! [`GpuBuffer::host`] and the element accessors, which model
 //! `cudaMemcpy`-style setup traffic outside the timed kernel regions
 //! (the paper excludes host↔device staging from its measurements; the
 //! engines only stage between updates).
+//!
+//! # Sharing model
+//!
+//! Buffers are [`Sync`] so that [`Gpu::launch`](crate::Gpu::launch) can run
+//! simulated blocks on real host threads. Storage is a slab of
+//! [`UnsafeCell`] elements; soundness rests on the same contract a real GPU
+//! imposes on global memory:
+//!
+//! * plain reads/writes from concurrent blocks must target **disjoint
+//!   cells** (the engines partition scratch and state rows per block);
+//! * any cell that concurrent blocks *do* contend on must be accessed only
+//!   through the atomic methods, which operate on real
+//!   [`AtomicU32`]/[`AtomicU64`]/[`AtomicU8`] views of the same storage —
+//!   and, for the *result* (not just memory safety) to stay
+//!   thread-count-independent, with a single self-commuting operation per
+//!   cell per launch (all adds, or all maxes, or all CAS gates with one
+//!   expected value; mixing e.g. add and max on one cell is
+//!   order-dependent on real hardware too);
+//! * whole-buffer views ([`GpuBuffer::host`], [`GpuBuffer::to_vec`], …) are
+//!   host-side staging and must not be taken while a launch is running;
+//!   inside a launch, use [`GpuBuffer::snapshot_range`], which reads
+//!   element-wise and is safe as long as the range is not concurrently
+//!   written by another block.
+//!
+//! Cross-block `f64` accumulation is deliberately **not** offered as a
+//! shared-cell atomic in the engines: floating-point addition does not
+//! commute bitwise, so contended `atomicAdd(f64)` would make results depend
+//! on thread interleaving. The BC engines instead write per-block delta
+//! slabs and reduce them serially in block order (see
+//! `ScratchBuffers::bc_delta` in `dynbc-bc`), which keeps every float
+//! bit-identical for any `DYNBC_HOST_THREADS`.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// Global allocator for synthetic device addresses. Buffers get disjoint,
 /// 256-byte-aligned address ranges so segment ids never collide across
 /// buffers.
 static NEXT_BASE: AtomicU64 = AtomicU64::new(0x1000);
 
+/// Interior-mutable element storage shareable across block threads.
+///
+/// `repr(transparent)` guarantees the same layout as `T`, so an atomic view
+/// of the inner value is layout-compatible with the plain value.
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: `SyncCell` is shared across the scoped threads of a launch. The
+// access contract is documented on the module: concurrent plain access is
+// only ever to disjoint cells, and contended cells go through the atomic
+// views below. Host-side (single-threaded) access is unrestricted.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
 /// A typed buffer in simulated device memory.
-#[derive(Debug)]
 pub struct GpuBuffer<T: Copy> {
-    pub(crate) data: RefCell<Vec<T>>,
+    data: Box<[SyncCell<T>]>,
     pub(crate) base: u64,
 }
 
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for GpuBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuBuffer")
+            .field("len", &self.data.len())
+            .field("base", &self.base)
+            .finish_non_exhaustive()
+    }
+}
+
+#[allow(unsafe_code)]
 impl<T: Copy> GpuBuffer<T> {
     /// Allocates a device buffer holding `len` copies of `init`.
     pub fn new(len: usize, init: T) -> Self {
@@ -35,10 +89,11 @@ impl<T: Copy> GpuBuffer<T> {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let span = (bytes + 256).next_multiple_of(256);
         let base = NEXT_BASE.fetch_add(span, Ordering::Relaxed);
-        Self {
-            data: RefCell::new(data),
-            base,
-        }
+        let data: Box<[SyncCell<T>]> = data
+            .into_iter()
+            .map(|v| SyncCell(UnsafeCell::new(v)))
+            .collect();
+        Self { data, base }
     }
 
     /// Allocates from a host slice.
@@ -48,12 +103,12 @@ impl<T: Copy> GpuBuffer<T> {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.borrow().len()
+        self.data.len()
     }
 
     /// True if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.data.is_empty()
     }
 
     /// Synthetic device address of element `i` (used for coalescing).
@@ -62,39 +117,107 @@ impl<T: Copy> GpuBuffer<T> {
         self.base + (i * std::mem::size_of::<T>()) as u64
     }
 
-    /// Host-side read of the whole buffer (untimed staging).
-    pub fn host(&self) -> std::cell::Ref<'_, Vec<T>> {
-        self.data.borrow()
+    /// Raw element read.
+    ///
+    /// Sound while every concurrent writer of cell `i` (if any) is this
+    /// thread — the per-block disjointness contract.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> T {
+        // SAFETY: module contract — no other thread is writing cell `i`
+        // concurrently with this read.
+        unsafe { *self.data[i].0.get() }
     }
 
-    /// Host-side mutable view (untimed staging).
-    pub fn host_mut(&self) -> std::cell::RefMut<'_, Vec<T>> {
-        self.data.borrow_mut()
+    /// Raw element write (same contract as [`Self::get`]).
+    #[inline]
+    pub(crate) fn set(&self, i: usize, v: T) {
+        // SAFETY: module contract — this thread is the only one accessing
+        // cell `i` concurrently.
+        unsafe { *self.data[i].0.get() = v }
+    }
+
+    /// Element-wise copy of `buf[start..start + len]`.
+    ///
+    /// Usable *inside* a launch, unlike [`Self::host`]: it never forms a
+    /// reference spanning cells other blocks may be writing. The caller
+    /// must still own the cells in the range (per-block rows).
+    pub fn snapshot_range(&self, start: usize, len: usize) -> Vec<T> {
+        (start..start + len).map(|i| self.get(i)).collect()
+    }
+
+    /// Host-side read of the whole buffer (untimed staging). Must not be
+    /// called while a launch is executing on another thread.
+    pub fn host(&self) -> &[T] {
+        // SAFETY: `SyncCell<T>` is repr(transparent) over `T`, so a slice
+        // of cells reinterprets as a slice of values; host-side calls are
+        // serialized with launches by construction (Gpu::launch borrows the
+        // closure for its full duration and joins all workers on exit).
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr().cast::<T>(), self.data.len()) }
     }
 
     /// Host-side element read.
     pub fn host_get(&self, i: usize) -> T {
-        self.data.borrow()[i]
+        self.get(i)
     }
 
     /// Host-side element write.
     pub fn host_set(&self, i: usize, v: T) {
-        self.data.borrow_mut()[i] = v;
+        self.set(i, v);
     }
 
     /// Host-side fill (e.g. re-zeroing scratch between updates).
     pub fn fill(&self, v: T) {
-        self.data.borrow_mut().fill(v);
+        for i in 0..self.data.len() {
+            self.set(i, v);
+        }
     }
 
     /// Host-side bulk overwrite from a slice of the same length.
     pub fn copy_from_slice(&self, src: &[T]) {
-        self.data.borrow_mut().copy_from_slice(src);
+        assert_eq!(src.len(), self.data.len(), "length mismatch");
+        for (i, &v) in src.iter().enumerate() {
+            self.set(i, v);
+        }
     }
 
     /// Clones the contents back to the host.
     pub fn to_vec(&self) -> Vec<T> {
-        self.data.borrow().clone()
+        self.host().to_vec()
+    }
+}
+
+#[allow(unsafe_code)]
+impl GpuBuffer<u32> {
+    /// Atomic view of cell `i`, for contended cross-block access.
+    #[inline]
+    pub(crate) fn atomic(&self, i: usize) -> &AtomicU32 {
+        // SAFETY: cell storage is layout-compatible with `u32` and properly
+        // aligned; `AtomicU32` has the same size and alignment. All
+        // contended access to this cell goes through atomic views.
+        unsafe { AtomicU32::from_ptr(self.data[i].0.get()) }
+    }
+}
+
+#[allow(unsafe_code)]
+impl GpuBuffer<u8> {
+    /// Atomic view of cell `i`, for contended cross-block access.
+    #[inline]
+    pub(crate) fn atomic(&self, i: usize) -> &AtomicU8 {
+        // SAFETY: as for `GpuBuffer::<u32>::atomic`, with `u8`/`AtomicU8`.
+        unsafe { AtomicU8::from_ptr(self.data[i].0.get()) }
+    }
+}
+
+#[allow(unsafe_code)]
+impl GpuBuffer<f64> {
+    /// Atomic bit-view of cell `i`: `f64` atomics are CAS loops on the
+    /// bit pattern, exactly like CUDA's pre-Pascal `atomicAdd(double*)`.
+    #[inline]
+    pub(crate) fn atomic_bits(&self, i: usize) -> &AtomicU64 {
+        // SAFETY: `f64` and `AtomicU64` share size and (on every supported
+        // 64-bit target) alignment; the cell pointer is valid, and all
+        // contended access to this cell goes through this view.
+        unsafe { AtomicU64::from_ptr(self.data[i].0.get().cast::<u64>()) }
     }
 }
 
@@ -131,5 +254,45 @@ mod tests {
         assert_eq!(buf.to_vec(), [4, 5, 6]);
         assert_eq!(buf.len(), 3);
         assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn snapshot_range_reads_a_window() {
+        let buf = GpuBuffer::from_slice(&[10u32, 11, 12, 13, 14]);
+        assert_eq!(buf.snapshot_range(1, 3), [11, 12, 13]);
+        assert_eq!(buf.snapshot_range(0, 0), []);
+    }
+
+    #[test]
+    fn atomic_views_share_storage_with_plain_access() {
+        let buf = GpuBuffer::<u32>::new(4, 7);
+        buf.atomic(2).fetch_add(5, Ordering::Relaxed);
+        assert_eq!(buf.host_get(2), 12);
+        buf.host_set(2, 100);
+        assert_eq!(buf.atomic(2).load(Ordering::Relaxed), 100);
+
+        let fb = GpuBuffer::<f64>::new(2, 1.5);
+        let bits = fb.atomic_bits(0).load(Ordering::Relaxed);
+        assert_eq!(f64::from_bits(bits), 1.5);
+        fb.atomic_bits(0)
+            .store(2.25f64.to_bits(), Ordering::Relaxed);
+        assert_eq!(fb.host_get(0), 2.25);
+    }
+
+    #[test]
+    fn buffers_are_sync_and_concurrent_atomics_total_correctly() {
+        let buf = GpuBuffer::<u32>::new(8, 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..8 {
+                        for _ in 0..1000 {
+                            buf.atomic(i).fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.to_vec(), [4000u32; 8]);
     }
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Repo verification gate: tier-1 build+tests, the host-thread determinism
+# regression at 1 and 4 threads, and a warnings-clean workspace build.
+# Run from anywhere inside the repo; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== determinism regression: DYNBC_HOST_THREADS=1 =="
+DYNBC_HOST_THREADS=1 cargo test -q --test determinism_host_threads
+
+echo "== determinism regression: DYNBC_HOST_THREADS=4 =="
+DYNBC_HOST_THREADS=4 cargo test -q --test determinism_host_threads
+
+echo "== warnings-clean workspace build =="
+RUSTFLAGS="-D warnings" cargo build --workspace --all-targets
+
+echo "verify.sh: all gates passed"

@@ -55,7 +55,7 @@ pub mod prelude {
     pub use dynbc_bc::brandes::{brandes_approx, brandes_exact, brandes_state, sample_sources};
     pub use dynbc_bc::cases::{classify, CaseCounts, InsertionCase};
     pub use dynbc_bc::dynamic::{CpuDynamicBc, SourceOutcome, UpdateResult};
-    pub use dynbc_bc::gpu::{static_bc_gpu, GpuDynamicBc, Parallelism, StaticBcReport};
+    pub use dynbc_bc::gpu::{static_bc_gpu, static_bc_gpu_on, GpuDynamicBc, Parallelism, StaticBcReport};
     pub use dynbc_bc::state::BcState;
     pub use dynbc_graph::{Csr, DynGraph, EdgeList, VertexId};
     pub use dynbc_gpusim::{CpuConfig, DeviceConfig};
