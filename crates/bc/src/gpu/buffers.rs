@@ -75,10 +75,10 @@ impl GraphBuffers {
         Self {
             n,
             num_arcs: adj.len(),
-            row_offsets: GpuBuffer::from_vec(offsets),
-            adj: GpuBuffer::from_vec(adj),
-            arc_tails: GpuBuffer::from_vec(tails),
-            arc_heads: GpuBuffer::from_vec(heads),
+            row_offsets: GpuBuffer::from_vec(offsets).named("row_offsets"),
+            adj: GpuBuffer::from_vec(adj).named("adj"),
+            arc_tails: GpuBuffer::from_vec(tails).named("arc_tails"),
+            arc_heads: GpuBuffer::from_vec(heads).named("arc_heads"),
         }
     }
 }
@@ -119,10 +119,10 @@ impl StateBuffers {
             n,
             k,
             sources: state.sources.clone(),
-            bc: GpuBuffer::from_slice(&state.bc),
-            d: GpuBuffer::from_vec(d),
-            sigma: GpuBuffer::from_vec(sigma),
-            delta: GpuBuffer::from_vec(delta),
+            bc: GpuBuffer::from_slice(&state.bc).named("bc"),
+            d: GpuBuffer::from_vec(d).named("d"),
+            sigma: GpuBuffer::from_vec(sigma).named("sigma"),
+            delta: GpuBuffer::from_vec(delta).named("delta"),
         }
     }
 
@@ -209,16 +209,16 @@ impl ScratchBuffers {
             blocks,
             qw,
             bc_stride,
-            t: GpuBuffer::new(blocks * n, T_UNTOUCHED),
-            sigma_hat: GpuBuffer::new(blocks * n, 0.0),
-            delta_hat: GpuBuffer::new(blocks * n, 0.0),
-            d_hat: GpuBuffer::new(blocks * n, 0),
-            bc_delta: GpuBuffer::new(blocks * bc_stride, 0.0),
-            q: GpuBuffer::new(blocks * qw, 0),
-            q2: GpuBuffer::new(blocks * qw, 0),
-            qq: GpuBuffer::new(blocks * qw, 0),
-            scan: GpuBuffer::new(blocks * 2 * qw, 0),
-            lens: GpuBuffer::new(blocks * LEN_SLOTS, 0),
+            t: GpuBuffer::new(blocks * n, T_UNTOUCHED).named("t"),
+            sigma_hat: GpuBuffer::new(blocks * n, 0.0).named("sigma_hat"),
+            delta_hat: GpuBuffer::new(blocks * n, 0.0).named("delta_hat"),
+            d_hat: GpuBuffer::new(blocks * n, 0).named("d_hat"),
+            bc_delta: GpuBuffer::new(blocks * bc_stride, 0.0).named("bc_delta"),
+            q: GpuBuffer::new(blocks * qw, 0).named("q"),
+            q2: GpuBuffer::new(blocks * qw, 0).named("q2"),
+            qq: GpuBuffer::new(blocks * qw, 0).named("qq"),
+            scan: GpuBuffer::new(blocks * 2 * qw, 0).named("scan"),
+            lens: GpuBuffer::new(blocks * LEN_SLOTS, 0).named("lens"),
         }
     }
 
@@ -238,10 +238,10 @@ impl ScratchBuffers {
             return;
         }
         self.qw = qw;
-        self.q = GpuBuffer::new(self.blocks * qw, 0);
-        self.q2 = GpuBuffer::new(self.blocks * qw, 0);
-        self.qq = GpuBuffer::new(self.blocks * qw, 0);
-        self.scan = GpuBuffer::new(self.blocks * 2 * qw, 0);
+        self.q = GpuBuffer::new(self.blocks * qw, 0).named("q");
+        self.q2 = GpuBuffer::new(self.blocks * qw, 0).named("q2");
+        self.qq = GpuBuffer::new(self.blocks * qw, 0).named("qq");
+        self.scan = GpuBuffer::new(self.blocks * 2 * qw, 0).named("scan");
     }
 
     /// Base offset of block `b`'s `n`-wide rows.

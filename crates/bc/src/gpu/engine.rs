@@ -152,6 +152,30 @@ impl GpuDynamicBc {
         self.gpu.set_host_threads(threads);
     }
 
+    /// Enables/disables checked (racecheck) execution for every launch
+    /// this engine performs (builder form). Overrides `DYNBC_RACECHECK`.
+    /// Checked runs panic on any error-severity diagnostic and tally
+    /// warnings in [`racecheck_warnings`](Self::racecheck_warnings).
+    pub fn with_racecheck(mut self, on: bool) -> Self {
+        self.gpu.set_racecheck(on);
+        self
+    }
+
+    /// Enables/disables checked (racecheck) execution for every launch.
+    pub fn set_racecheck(&mut self, on: bool) {
+        self.gpu.set_racecheck(on);
+    }
+
+    /// Warning-severity diagnostics accumulated across checked launches.
+    pub fn racecheck_warnings(&self) -> u64 {
+        self.gpu.check_warnings()
+    }
+
+    /// Number of launches that ran under the racechecker.
+    pub fn checked_launches(&self) -> u64 {
+        self.gpu.checked_launches()
+    }
+
     /// The number of host threads launches fan blocks over.
     pub fn host_threads(&self) -> usize {
         self.gpu.host_threads()
@@ -199,7 +223,8 @@ impl GpuDynamicBc {
         let k = self.st.k;
         let n = self.st.n;
         let (st, case_buf) = (&self.st, &self.case_buf);
-        self.gpu.launch(1, |block, _| {
+        self.gpu.launch_named("insert::classify", 1, |block, _| {
+            block.label("insert::classify");
             block.parallel_for(k, |lane, i| {
                 let du = lane.read(&st.d, i * n + u as usize);
                 let dv = lane.read(&st.d, i * n + v as usize);
@@ -253,7 +278,11 @@ impl GpuDynamicBc {
             let gbuf = &self.gbuf;
             let scr = &self.scr;
             let worked_ref = &worked;
-            self.gpu.launch(num_blocks, |block, b| {
+            let fused_name = match par {
+                Parallelism::Node => "insert::fused::node",
+                Parallelism::Edge => "insert::fused::edge",
+            };
+            self.gpu.launch_named(fused_name, num_blocks, |block, b| {
                 for (wi, &(row, case, u_high, u_low)) in worked_ref.iter().enumerate() {
                     if wi % num_blocks != b {
                         continue;
@@ -349,7 +378,7 @@ impl GpuDynamicBc {
         let k = self.st.k;
         let n = self.st.n;
         let (st, case_buf, gbuf) = (&self.st, &self.case_buf, &self.gbuf);
-        self.gpu.launch(1, |block, _| {
+        self.gpu.launch_named("delete::classify", 1, |block, _| {
             delete::classify_deletion(block, gbuf, st, case_buf, u, v);
         });
         let codes = self.case_buf.to_vec();
@@ -380,7 +409,11 @@ impl GpuDynamicBc {
             let dedup = self.dedup;
             let num_blocks = self.num_blocks;
             let scr = &self.scr;
-            self.gpu.launch(num_blocks, |block, b| {
+            let fused_name = match par {
+                Parallelism::Node => "delete::fused::node",
+                Parallelism::Edge => "delete::fused::edge",
+            };
+            self.gpu.launch_named(fused_name, num_blocks, |block, b| {
                 for (wi, &(row, fallback, u_high, u_low)) in worked.iter().enumerate() {
                     if wi % num_blocks != b {
                         continue;

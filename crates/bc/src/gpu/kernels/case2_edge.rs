@@ -22,6 +22,7 @@ use dynbc_gpusim::BlockCtx;
 /// Algorithm 4: edge-parallel shortest-path recount. Returns the deepest
 /// touched level.
 pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
+    block.label("case2_edge::sp");
     let num_arcs = ctx.g.num_arcs;
     let d_low = block.read_scalar(&ctx.st.d, ctx.kn(ctx.u_low));
     let mut depth = d_low; // shared current_depth
@@ -39,7 +40,8 @@ pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             let w = lane.read(&ctx.g.arc_heads, e);
             if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
                 if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
-                    lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN); // benign race
+                    // Benign race, declared volatile for the racechecker.
+                    lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                     done = false;
                 }
                 let push = lane.read(&ctx.scr.sigma_hat, ctx.sn(v))
@@ -60,6 +62,7 @@ pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
 /// Algorithm 6 (orientation-corrected): edge-parallel dependency
 /// accumulation from `deepest` up to the source.
 pub fn dep_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
+    block.label("case2_edge::dep");
     let num_arcs = ctx.g.num_arcs;
     let u_high = ctx.u_high;
     let u_low = ctx.u_low;

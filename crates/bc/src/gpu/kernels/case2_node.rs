@@ -21,6 +21,7 @@ use dynbc_gpusim::BlockCtx;
 /// paper's sort/flag/scan pipeline, or the `atomicCAS` gate on `t[w]` it
 /// argues against (kept for the ablation study).
 pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32 {
+    block.label("case2_node::sp");
     // Seed: Q = QQ = [u_low] (lines 3–7).
     let u_low = ctx.u_low;
     let d_low = block.read_scalar(&ctx.st.d, ctx.kn(u_low));
@@ -47,11 +48,11 @@ pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32
                         DedupStrategy::SortScan => {
                             // Plain test-then-set: a benign race in CUDA
                             // (duplicates are removed later), deterministic
-                            // here.
+                            // here. Declared volatile for the racechecker.
                             let untouched =
                                 lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED;
                             if untouched {
-                                lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN);
+                                lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                             }
                             untouched
                         }
@@ -87,6 +88,7 @@ pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32
 /// ("up") predecessors are appended to `QQ` and participate in later
 /// (shallower) iterations.
 pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
+    block.label("case2_node::dep");
     let u_high = ctx.u_high;
     let u_low = ctx.u_low;
     let mut depth = deepest;

@@ -13,6 +13,7 @@ use dynbc_gpusim::BlockCtx;
 /// Phase 1: relocation + σ̂ recount, arc-parallel. Returns the deepest
 /// down-level.
 pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
+    block.label("case3_edge::phase1");
     let n = ctx.n();
     let num_arcs = ctx.g.num_arcs;
     let start = block.read_scalar(&ctx.scr.d_hat, ctx.sn(ctx.u_low));
@@ -57,11 +58,13 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             let b = lane.read(&ctx.g.arc_heads, e);
             let db = lane.read(&ctx.scr.d_hat, ctx.sn(b));
             if db > level + 1 {
-                lane.write(&ctx.scr.d_hat, ctx.sn(b), level + 1);
-                lane.write(&ctx.scr.t, ctx.sn(b), T_DOWN);
+                // Benign same-value races (multiple arcs into `b`);
+                // volatile declares them to the racechecker.
+                lane.write_volatile(&ctx.scr.d_hat, ctx.sn(b), level + 1);
+                lane.write_volatile(&ctx.scr.t, ctx.sn(b), T_DOWN);
                 done = false;
             } else if db == level + 1 && lane.read(&ctx.scr.t, ctx.sn(b)) == T_UNTOUCHED {
-                lane.write(&ctx.scr.t, ctx.sn(b), T_DOWN);
+                lane.write_volatile(&ctx.scr.t, ctx.sn(b), T_DOWN);
                 done = false;
             }
         });
@@ -78,6 +81,7 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
 /// Phase 2a: closure marking over both DAGs, arc-parallel rounds until a
 /// fixpoint. Returns the deepest touched level.
 pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 {
+    block.label("case3_edge::mark");
     let num_arcs = ctx.g.num_arcs;
     block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH), deepest_down);
     loop {
@@ -100,7 +104,8 @@ pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
                 && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP) == T_UNTOUCHED
             {
                 lane.atomic_max_u32(&ctx.scr.lens, ctx.li(SLOT_DEPTH), dx);
-                lane.write(&ctx.scr.lens, ctx.li(SLOT_DONE), 0);
+                // Same-value flag lowering — benign, declared volatile.
+                lane.write_volatile(&ctx.scr.lens, ctx.li(SLOT_DONE), 0);
             }
         });
         block.barrier();
@@ -115,6 +120,7 @@ pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
 /// contributes at exactly one depth (its deeper endpoint's), so δ̂
 /// accumulates without a zeroing pass (δ̂ starts at 0 from init).
 pub fn phase2_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
+    block.label("case3_edge::phase2");
     let num_arcs = ctx.g.num_arcs;
     let mut depth = max_depth;
     loop {

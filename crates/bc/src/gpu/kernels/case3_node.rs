@@ -31,6 +31,7 @@ use dynbc_gpusim::BlockCtx;
 
 /// Phase 1: relocation + σ̂ recount. Returns the deepest down-level.
 pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
+    block.label("case3_node::phase1");
     let u_low = ctx.u_low;
     let start = block.read_scalar(&ctx.scr.d_hat, ctx.sn(u_low));
     block.write_scalar(&ctx.scr.q, ctx.qi(0), u_low);
@@ -76,16 +77,17 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
                 let dw = lane.read(&ctx.scr.d_hat, ctx.sn(w));
                 if dw > level + 1 {
                     // Relocation (covers dw = ∞, the merge case). The
-                    // double write is a benign same-value race in CUDA.
-                    lane.write(&ctx.scr.d_hat, ctx.sn(w), level + 1);
-                    lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN);
+                    // double write is a benign same-value race in CUDA;
+                    // volatile declares it to the racechecker.
+                    lane.write_volatile(&ctx.scr.d_hat, ctx.sn(w), level + 1);
+                    lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                     lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
                 } else if dw == level + 1
                     && lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED
                 {
-                    lane.write(&ctx.scr.t, ctx.sn(w), T_DOWN);
+                    lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                     lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
@@ -106,6 +108,7 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
 /// Phase 2a: mark the closure of dependency changes. Returns the deepest
 /// level over all touched vertices (down or up).
 pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 {
+    block.label("case3_node::mark");
     block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH), deepest_down);
     // Round 0 walks everything already in QQ; later rounds walk the
     // newly-marked frontier in Q.
@@ -171,6 +174,7 @@ pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
 
 /// Phase 2b: pull-based dependency sweep by decreasing new level.
 pub fn phase2_node(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
+    block.label("case3_node::phase2");
     let qq_len = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN)) as usize;
     let mut depth = max_depth;
     loop {

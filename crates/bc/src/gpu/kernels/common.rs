@@ -29,6 +29,7 @@ pub enum SeedMode {
 /// `u_low` is marked `down` and seeded per `mode`. The [`SeedMode::General`]
 /// flavour also copies `d̂[v] ← d[v]` (relocations need it).
 pub fn init_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, mode: SeedMode) {
+    block.label("common::init");
     let n = ctx.n();
     let u_low = ctx.u_low;
     let u_high = ctx.u_high;
@@ -79,6 +80,7 @@ pub fn init_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, mode: SeedMode) {
 /// `δ[v] ← δ̂[v]` for touched vertices, and with `case3 = true` also
 /// `d[v] ← d̂[v]` for touched vertices.
 pub fn update_kernel(block: &mut BlockCtx, ctx: &Ctx<'_>, case3: bool) {
+    block.label("common::update");
     let n = ctx.n();
     let s = ctx.s;
     block.parallel_for(n, |lane, v| {

@@ -27,6 +27,7 @@ use dynbc_gpusim::BlockCtx;
 /// Must run after the shortest-path stage (so `QQ_len` is final) and
 /// before dependency accumulation.
 pub fn phantom_retraction(block: &mut BlockCtx, ctx: &Ctx<'_>) {
+    block.label("delete::phantom_retraction");
     let u_high = ctx.u_high;
     let u_low = ctx.u_low;
     // One-lane kernel: CAS the flag, seed, retract, enqueue.
@@ -59,6 +60,7 @@ pub fn phantom_retraction(block: &mut BlockCtx, ctx: &Ctx<'_>) {
 /// every cross-block BC write, the subtraction goes through this block's
 /// `bc_delta` slab row so host-parallel execution stays bit-exact.
 pub fn fallback_subtract_old(block: &mut BlockCtx, ctx: &Ctx<'_>) {
+    block.label("delete::fallback_subtract_old");
     let n = ctx.n();
     let s = ctx.s;
     block.parallel_for(n, |lane, v| {
@@ -75,6 +77,7 @@ pub fn fallback_subtract_old(block: &mut BlockCtx, ctx: &Ctx<'_>) {
 /// Fallback epilogue: commit the freshly computed tree (`d̂`/`σ̂`/`δ̂`
 /// scratch rows) into this source's global state rows.
 pub fn fallback_commit(block: &mut BlockCtx, ctx: &Ctx<'_>) {
+    block.label("delete::fallback_commit");
     let n = ctx.n();
     block.parallel_for(n, |lane, v| {
         let v = v as u32;
@@ -103,6 +106,7 @@ pub fn classify_deletion(
     u: u32,
     v: u32,
 ) {
+    block.label("delete::classify");
     let n = st.n;
     let k = st.k;
     block.parallel_for(k, |lane, i| {

@@ -17,4 +17,4 @@ pub mod static_bc;
 
 pub use engine::{DedupStrategy, GpuDynamicBc, Parallelism};
 pub use multi::MultiGpuDynamicBc;
-pub use static_bc::{static_bc_gpu, static_bc_gpu_on, StaticBcReport};
+pub use static_bc::{static_bc_gpu, static_bc_gpu_checked, static_bc_gpu_on, StaticBcReport};

@@ -68,6 +68,18 @@ impl MultiGpuDynamicBc {
         }
     }
 
+    /// Enables/disables checked (racecheck) execution on every device.
+    pub fn set_racecheck(&mut self, on: bool) {
+        for dev in &mut self.devices {
+            dev.set_racecheck(on);
+        }
+    }
+
+    /// Warning-severity racecheck diagnostics summed over all devices.
+    pub fn racecheck_warnings(&self) -> u64 {
+        self.devices.iter().map(GpuDynamicBc::racecheck_warnings).sum()
+    }
+
     /// The shared graph (every replica is identical; the first is
     /// authoritative).
     pub fn graph(&self) -> &DynGraph {

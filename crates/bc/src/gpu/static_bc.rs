@@ -18,7 +18,7 @@
 use super::buffers::{GraphBuffers, ScratchBuffers, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN};
 use super::engine::Parallelism;
 use dynbc_graph::{Csr, VertexId};
-use dynbc_gpusim::{BlockCtx, DeviceConfig, Gpu, GpuBuffer, KernelStats};
+use dynbc_gpusim::{BlockCtx, CheckReport, DeviceConfig, Gpu, GpuBuffer, KernelStats};
 
 const INF: u32 = u32::MAX;
 
@@ -59,6 +59,33 @@ pub fn static_bc_gpu_on(
     num_blocks: usize,
     host_threads: Option<usize>,
 ) -> StaticBcReport {
+    static_bc_core(device, csr, sources, par, num_blocks, host_threads, false).0
+}
+
+/// [`static_bc_gpu`] run unconditionally under the racecheck analysis:
+/// returns the BC report alongside the checker's findings instead of
+/// panicking on them (the caller owns the verdict). Costs and scores are
+/// bit-identical to the unchecked run.
+pub fn static_bc_gpu_checked(
+    device: DeviceConfig,
+    csr: &Csr,
+    sources: &[VertexId],
+    par: Parallelism,
+    num_blocks: usize,
+) -> (StaticBcReport, CheckReport) {
+    let (report, check) = static_bc_core(device, csr, sources, par, num_blocks, None, true);
+    (report, check.expect("checked run always yields a report"))
+}
+
+fn static_bc_core(
+    device: DeviceConfig,
+    csr: &Csr,
+    sources: &[VertexId],
+    par: Parallelism,
+    num_blocks: usize,
+    host_threads: Option<usize>,
+    checked: bool,
+) -> (StaticBcReport, Option<CheckReport>) {
     assert!(num_blocks >= 1, "need at least one block");
     let n = csr.vertex_count();
     let mut gpu = Gpu::new(device);
@@ -70,7 +97,7 @@ pub fn static_bc_gpu_on(
     // width ~n suffice (ScratchBuffers rounds up internally).
     let scr = ScratchBuffers::new(num_blocks, n, 0);
     let bc = GpuBuffer::new(n, 0.0f64);
-    let report = gpu.launch(num_blocks, |block, b| {
+    let body = |block: &mut BlockCtx, b: usize| {
         for (si, &s) in sources.iter().enumerate() {
             if si % num_blocks != b {
                 continue;
@@ -80,20 +107,30 @@ pub fn static_bc_gpu_on(
                 Parallelism::Edge => static_source_edge(block, &g, &scr, b, s),
             }
         }
-    });
+    };
+    let (report, check) = if checked {
+        let (r, c) = gpu.launch_checked("static_bc", num_blocks, body);
+        (r, Some(c))
+    } else {
+        (gpu.launch_named("static_bc", num_blocks, body), None)
+    };
     // Deterministic reduction: per-block BC contributions were staged in
     // the `bc_delta` slab; apply them serially in block-index order.
     scr.drain_bc_delta_into(&bc);
-    StaticBcReport {
-        bc: bc.to_vec(),
-        seconds: report.seconds,
-        stats: report.stats,
-        block_cycles: report.block_cycles,
-    }
+    (
+        StaticBcReport {
+            bc: bc.to_vec(),
+            seconds: report.seconds,
+            stats: report.stats,
+            block_cycles: report.block_cycles,
+        },
+        check,
+    )
 }
 
 /// Per-source init: `d ← ∞`, `σ ← 0`, `δ ← 0`, then seed the source.
 pub(crate) fn static_init(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchBuffers, slot: usize, s: u32) {
+    block.label("static::init");
     let row = scr.row(slot);
     block.parallel_for(g.n, |lane, v| {
         lane.write(&scr.d_hat, row + v, INF);
@@ -110,6 +147,7 @@ pub(crate) fn static_init(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchB
 /// reduce across blocks in a fixed order (bit-determinism under
 /// host-parallel execution).
 fn static_accumulate_bc(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchBuffers, slot: usize, s: u32) {
+    block.label("static::accumulate_bc");
     let row = scr.row(slot);
     let brow = scr.bc_row(slot);
     block.parallel_for(g.n, |lane, v| {
@@ -131,6 +169,7 @@ pub(crate) fn static_source_node(
     s: u32,
 ) {
     static_init(block, g, scr, slot, s);
+    block.label("static::node");
     let row = scr.row(slot);
     let qrow = scr.qrow(slot);
     let lrow = scr.lens_row(slot);
@@ -214,6 +253,7 @@ pub(crate) fn static_source_edge(
     s: u32,
 ) {
     static_init(block, g, scr, slot, s);
+    block.label("static::edge");
     let row = scr.row(slot);
     let num_arcs = g.num_arcs;
     let mut depth = 0u32;

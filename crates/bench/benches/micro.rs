@@ -118,9 +118,17 @@ fn bench_dynamic_update(c: &mut Criterion) {
 /// thread-count invariant). Returns everything the simulator produced so
 /// the sweep can assert bit-identity while it measures wall time.
 fn scaling_launch(threads: usize) -> (f64, Vec<u32>, Vec<u32>) {
+    scaling_launch_mode(threads, false)
+}
+
+/// [`scaling_launch`] with the racecheck analysis toggled explicitly —
+/// the checked/unchecked pair the `racecheck_overhead` harness compares.
+fn scaling_launch_mode(threads: usize, racecheck: bool) -> (f64, Vec<u32>, Vec<u32>) {
     const BLOCKS: usize = 56;
     const ROW: usize = 512;
-    let mut g = Gpu::new(DeviceConfig::tesla_c2075()).with_host_threads(threads);
+    let mut g = Gpu::new(DeviceConfig::tesla_c2075())
+        .with_host_threads(threads)
+        .with_racecheck(racecheck);
     let rows = GpuBuffer::<u32>::new(BLOCKS * ROW, 1);
     let hist = GpuBuffer::<u32>::new(64, 0);
     let r = g.launch(BLOCKS, |block, b| {
@@ -176,10 +184,47 @@ fn bench_launch_scaling(c: &mut Criterion) {
     report.write_default();
 }
 
+/// Wall-clock cost of checked (racecheck) execution on the same fixed
+/// launch `bench_launch_scaling` sweeps. Checked mode must not change any
+/// result bit — only how long the host takes to produce it — so the two
+/// runs are first compared bit-for-bit and then timed.
+fn bench_racecheck_overhead(c: &mut Criterion) {
+    let unchecked = scaling_launch_mode(1, false);
+    let checked = scaling_launch_mode(1, true);
+    assert_eq!(
+        checked.0.to_bits(),
+        unchecked.0.to_bits(),
+        "checked seconds must match unchecked"
+    );
+    assert_eq!(checked.1, unchecked.1, "checked rows must match unchecked");
+    assert_eq!(checked.2, unchecked.2, "checked histogram must match unchecked");
+
+    let mut report = HarnessReport::new("racecheck_overhead");
+    let mut wall_unchecked = f64::NAN;
+    for (engine, racecheck) in [("unchecked", false), ("checked", true)] {
+        let iters = 8;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(scaling_launch_mode(1, racecheck));
+        }
+        let wall = t0.elapsed().as_secs_f64() / iters as f64;
+        if !racecheck {
+            wall_unchecked = wall;
+        }
+        report.push_row("blocks56", engine, unchecked.0, wall);
+        report.annotate("overhead_vs_unchecked", wall / wall_unchecked);
+
+        c.bench_function(&format!("racecheck_overhead_56blocks_{engine}"), |b| {
+            b.iter(|| black_box(scaling_launch_mode(1, racecheck)))
+        });
+    }
+    report.write_default();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_sorting, bench_dedup, bench_mlq, bench_graph, bench_dynamic_update,
-        bench_launch_scaling
+        bench_launch_scaling, bench_racecheck_overhead
 }
 criterion_main!(benches);

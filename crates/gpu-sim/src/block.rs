@@ -28,8 +28,11 @@
 //! [`Gpu::launch`](crate::Gpu::launch)); cross-block traffic must then
 //! follow the sharing contract documented in [`crate::mem`].
 
+use crate::checker::{
+    AccessKind, AccessRecord, AtomicKind, DivergenceRecord, OobRecord, Recorder, SCALAR_LANE,
+};
 use crate::device::DeviceConfig;
-use crate::mem::GpuBuffer;
+use crate::mem::{DeviceValue, GpuBuffer};
 use crate::stats::KernelStats;
 use std::sync::atomic::Ordering;
 
@@ -109,6 +112,7 @@ impl SegSet {
 #[derive(Debug)]
 pub struct BlockCtx {
     dev: DeviceConfig,
+    block_id: usize,
     // Interval accumulators (since the previous barrier).
     compute_cycles: f64,
     mem_cycles: f64,
@@ -120,12 +124,32 @@ pub struct BlockCtx {
     lane_events: u32,
     max_lane_events: u32,
     stats: KernelStats,
+    // Checked-execution shadow state (None ⇒ negligible overhead: one
+    // branch per access).
+    recorder: Option<Box<Recorder>>,
+    label: &'static str,
+    /// Ordered program region: bumped at `parallel_for` boundaries and
+    /// block barriers. Accesses in different regions never race.
+    region: u32,
+    /// Block-level barrier epoch (reporting context).
+    epoch: u32,
+    /// Item index of the lane currently executing, or [`SCALAR_LANE`].
+    cur_lane: u32,
+    /// Lane-barrier count of the current lane within this `parallel_for`.
+    lane_phase: u32,
+    /// Lane-barrier count the first completed lane of this `parallel_for`
+    /// reached; later lanes must match or the barrier diverged.
+    expected_phase: Option<u32>,
+    /// Highest lane-barrier count any lane of this `parallel_for` reached
+    /// (its barrier cost is charged once per phase at the pf boundary).
+    pf_max_phase: u32,
 }
 
 impl BlockCtx {
-    pub(crate) fn new(dev: DeviceConfig) -> Self {
+    pub(crate) fn new(dev: DeviceConfig, block_id: usize, record: bool) -> Self {
         Self {
             dev,
+            block_id,
             compute_cycles: 0.0,
             mem_cycles: 0.0,
             atomic_cycles: 0.0,
@@ -135,7 +159,27 @@ impl BlockCtx {
             lane_events: 0,
             max_lane_events: 0,
             stats: KernelStats::default(),
+            recorder: record.then(|| Box::new(Recorder::new(block_id))),
+            label: "",
+            region: 0,
+            epoch: 0,
+            cur_lane: SCALAR_LANE,
+            lane_phase: 0,
+            expected_phase: None,
+            pf_max_phase: 0,
         }
+    }
+
+    /// This block's id within the launch grid.
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Tags subsequent accesses with a kernel-phase label; racecheck
+    /// diagnostics carry it so a finding points into the kernel, not just
+    /// at the launch. Cost-free.
+    pub fn label(&mut self, label: &'static str) {
+        self.label = label;
     }
 
     /// The device this block runs on.
@@ -153,6 +197,9 @@ impl BlockCtx {
     /// `warp_size` lanes in lockstep. This is the `do in parallel` of the
     /// paper's Algorithms 3–8.
     pub fn parallel_for<F: FnMut(&mut Lane<'_>, usize)>(&mut self, n: usize, mut f: F) {
+        self.region += 1;
+        self.expected_phase = None;
+        self.pf_max_phase = 0;
         let ws = self.dev.warp_size;
         let mut base = 0usize;
         while base < n {
@@ -160,12 +207,59 @@ impl BlockCtx {
             self.begin_warp();
             for i in base..end {
                 self.lane_events = 0;
+                self.cur_lane = i as u32;
+                self.lane_phase = 0;
                 let mut lane = Lane { block: self };
                 f(&mut lane, i);
                 self.max_lane_events = self.max_lane_events.max(self.lane_events);
+                self.end_lane(i);
             }
             self.end_warp();
             base = end;
+        }
+        self.cur_lane = SCALAR_LANE;
+        // Lane-level barriers sync the whole block: charged once per phase
+        // reached, like block barriers (no-op when the kernel used none).
+        if self.pf_max_phase > 0 {
+            self.commit_interval();
+            self.committed_cycles += self.pf_max_phase as f64 * self.dev.barrier_cycles;
+            self.stats.barriers += u64::from(self.pf_max_phase);
+        }
+        self.region += 1;
+    }
+
+    /// Barrier-divergence detection at lane retirement: every lane of one
+    /// `parallel_for` must reach the same number of [`Lane::barrier`]s.
+    fn end_lane(&mut self, i: usize) {
+        self.pf_max_phase = self.pf_max_phase.max(self.lane_phase);
+        match self.expected_phase {
+            None => self.expected_phase = Some(self.lane_phase),
+            Some(e) if e == self.lane_phase => {}
+            Some(e) => {
+                if let Some(rec) = &mut self.recorder {
+                    rec.divergence.push(DivergenceRecord {
+                        lane: i as u32,
+                        got: self.lane_phase,
+                        expected: e,
+                        label: self.label,
+                    });
+                } else {
+                    panic!(
+                        "barrier divergence in block {}{}: lane {} reached {} lane-barrier(s) \
+                         where earlier lanes reached {} — a real GPU would deadlock \
+                         (run under DYNBC_RACECHECK=1 for a structured report)",
+                        self.block_id,
+                        if self.label.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" ({})", self.label)
+                        },
+                        i,
+                        self.lane_phase,
+                        e
+                    );
+                }
+            }
         }
     }
 
@@ -175,27 +269,76 @@ impl BlockCtx {
         self.commit_interval();
         self.committed_cycles += self.dev.barrier_cycles;
         self.stats.barriers += 1;
+        self.epoch += 1;
+        self.region += 1;
+    }
+
+    /// Shadow-state hook: records the access when checking is on. Returns
+    /// `true` when the operation should proceed — always, except an
+    /// out-of-bounds access under checking, which is recorded as a
+    /// diagnostic and suppressed so the analysis can continue.
+    #[inline]
+    fn record_access<T: Copy>(
+        &mut self,
+        buf: &GpuBuffer<T>,
+        i: usize,
+        kind: AccessKind,
+        value: u64,
+    ) -> bool {
+        let Some(rec) = &mut self.recorder else {
+            return true;
+        };
+        rec.note_buffer(buf.base, buf.name(), buf.len());
+        if i >= buf.len() {
+            rec.oob.push(OobRecord {
+                base: buf.base,
+                index: i,
+                len: buf.len(),
+                lane: self.cur_lane,
+                kind,
+                label: self.label,
+            });
+            return false;
+        }
+        rec.accesses.push(AccessRecord {
+            base: buf.base,
+            index: i as u32,
+            kind,
+            lane: self.cur_lane,
+            region: self.region,
+            phase: self.lane_phase,
+            epoch: self.epoch,
+            label: self.label,
+            value,
+        });
+        true
     }
 
     /// Single-thread scalar read (e.g. one lane reading a queue length into
     /// shared memory). Charged as a one-lane warp.
-    pub fn read_scalar<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
+    pub fn read_scalar<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
         self.begin_warp();
         self.lane_events = 0;
         self.touch(buf.addr(i));
         self.max_lane_events = self.lane_events;
         self.end_warp();
-        buf.get(i)
+        if self.record_access(buf, i, AccessKind::Read, 0) {
+            buf.get(i)
+        } else {
+            T::from_raw_bits(0)
+        }
     }
 
     /// Single-thread scalar write, charged as a one-lane warp.
-    pub fn write_scalar<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
+    pub fn write_scalar<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
         self.begin_warp();
         self.lane_events = 0;
         self.touch(buf.addr(i));
         self.max_lane_events = self.lane_events;
         self.end_warp();
-        buf.set(i, v);
+        if self.record_access(buf, i, AccessKind::Write, v.to_raw_bits()) {
+            buf.set(i, v);
+        }
     }
 
     fn begin_warp(&mut self) {
@@ -247,10 +390,18 @@ impl BlockCtx {
     }
 
     /// Finalizes the block: commits the trailing interval and returns
-    /// `(cycles, stats)`.
-    pub(crate) fn finish(mut self) -> (f64, KernelStats) {
+    /// `(cycles, stats)` (test convenience; launches use
+    /// [`Self::finish_full`]).
+    #[cfg(test)]
+    pub(crate) fn finish(self) -> (f64, KernelStats) {
+        let (cycles, stats, _) = self.finish_full();
+        (cycles, stats)
+    }
+
+    /// Finalization that also surrenders the shadow log (checked mode).
+    pub(crate) fn finish_full(mut self) -> (f64, KernelStats, Option<Box<Recorder>>) {
         self.commit_interval();
-        (self.committed_cycles, self.stats)
+        (self.committed_cycles, self.stats, self.recorder.take())
     }
 
     /// Cycles committed so far (testing/diagnostics; excludes the open
@@ -275,16 +426,64 @@ pub struct Lane<'a> {
 impl Lane<'_> {
     /// Global-memory read of `buf[i]`.
     #[inline]
-    pub fn read<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
+    pub fn read<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
         self.block.touch(buf.addr(i));
-        buf.get(i)
+        if self.block.record_access(buf, i, AccessKind::Read, 0) {
+            buf.get(i)
+        } else {
+            T::from_raw_bits(0)
+        }
     }
 
     /// Global-memory write of `buf[i] = v`.
     #[inline]
-    pub fn write<T: Copy>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
+    pub fn write<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
         self.block.touch(buf.addr(i));
-        buf.set(i, v);
+        if self.block.record_access(buf, i, AccessKind::Write, v.to_raw_bits()) {
+            buf.set(i, v);
+        }
+    }
+
+    /// `volatile`-annotated read: CUDA's idiom for reading a cell that a
+    /// *benign* intra-block race may be writing concurrently. Identical
+    /// cost and functional behaviour to [`Lane::read`]; racecheck exempts
+    /// it from intra-block hazard reporting (cross-block checks still
+    /// apply — no annotation makes a cross-block plain race safe).
+    #[inline]
+    pub fn read_volatile<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
+        self.block.touch(buf.addr(i));
+        if self.block.record_access(buf, i, AccessKind::VolatileRead, 0) {
+            buf.get(i)
+        } else {
+            T::from_raw_bits(0)
+        }
+    }
+
+    /// `volatile`-annotated write: marks a write the paper proves benign
+    /// when raced (same-value test-then-set, duplicate frontier
+    /// relocation). Identical cost to [`Lane::write`]; exempt from
+    /// intra-block hazard reporting, still a write for cross-block checks.
+    #[inline]
+    pub fn write_volatile<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
+        self.block.touch(buf.addr(i));
+        if self
+            .block
+            .record_access(buf, i, AccessKind::VolatileWrite, v.to_raw_bits())
+        {
+            buf.set(i, v);
+        }
+    }
+
+    /// Lane-level `__syncthreads()`: every lane of the enclosing
+    /// `parallel_for` must reach it the same number of times, or the
+    /// barrier *diverged* — a deadlock on real hardware. Unchecked mode
+    /// panics at the first divergent lane; checked mode records a
+    /// [`BarrierDivergence`](crate::checker::DiagClass::BarrierDivergence)
+    /// diagnostic. Accesses separated by a lane barrier are ordered for
+    /// race analysis, and each phase is charged one block-barrier cost.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.block.lane_phase += 1;
     }
 
     /// Charges `units` of pure-arithmetic lane work (no memory traffic):
@@ -306,6 +505,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_add_f64(&mut self, buf: &GpuBuffer<f64>, i: usize, v: f64) -> f64 {
         self.record_atomic(buf.addr(i));
+        if !self
+            .block
+            .record_access(buf, i, AccessKind::Atomic(AtomicKind::AddF64), v.to_raw_bits())
+        {
+            return 0.0;
+        }
         let cell = buf.atomic_bits(i);
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
@@ -327,6 +532,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_add_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
         self.record_atomic(buf.addr(i));
+        if !self
+            .block
+            .record_access(buf, i, AccessKind::Atomic(AtomicKind::AddU32), u64::from(v))
+        {
+            return 0;
+        }
         buf.atomic(i).fetch_add(v, Ordering::Relaxed)
     }
 
@@ -334,6 +545,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_max_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
         self.record_atomic(buf.addr(i));
+        if !self
+            .block
+            .record_access(buf, i, AccessKind::Atomic(AtomicKind::MaxU32), u64::from(v))
+        {
+            return 0;
+        }
         buf.atomic(i).fetch_max(v, Ordering::Relaxed)
     }
 
@@ -343,6 +560,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_cas_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, expect: u32, new: u32) -> u32 {
         self.record_atomic(buf.addr(i));
+        if !self
+            .block
+            .record_access(buf, i, AccessKind::Atomic(AtomicKind::CasU32), u64::from(new))
+        {
+            return 0;
+        }
         match buf
             .atomic(i)
             .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
@@ -356,6 +579,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_cas_u8(&mut self, buf: &GpuBuffer<u8>, i: usize, expect: u8, new: u8) -> u8 {
         self.record_atomic(buf.addr(i));
+        if !self
+            .block
+            .record_access(buf, i, AccessKind::Atomic(AtomicKind::CasU8), u64::from(new))
+        {
+            return 0;
+        }
         match buf
             .atomic(i)
             .compare_exchange(expect, new, Ordering::Relaxed, Ordering::Relaxed)
@@ -378,7 +607,7 @@ mod tests {
     use crate::device::DeviceConfig;
 
     fn ctx() -> BlockCtx {
-        BlockCtx::new(DeviceConfig::test_tiny())
+        BlockCtx::new(DeviceConfig::test_tiny(), 0, false)
     }
 
     #[test]
@@ -421,14 +650,14 @@ mod tests {
     fn lockstep_charges_longest_lane() {
         let dev = DeviceConfig::test_tiny();
         // Warp A: every lane does 1 event. Warp B: one lane does 4 events.
-        let mut a = BlockCtx::new(dev);
+        let mut a = BlockCtx::new(dev, 0, false);
         let buf = GpuBuffer::<u32>::new(64, 0);
         a.parallel_for(4, |lane, i| {
             lane.read(&buf, i);
         });
         let (cycles_a, _) = a.finish();
 
-        let mut b = BlockCtx::new(dev);
+        let mut b = BlockCtx::new(dev, 0, false);
         b.parallel_for(4, |lane, i| {
             if i == 0 {
                 for j in 0..4 {
@@ -495,7 +724,7 @@ mod tests {
     #[test]
     fn barrier_commits_max_of_compute_and_memory() {
         let dev = DeviceConfig::test_tiny();
-        let mut b = BlockCtx::new(dev);
+        let mut b = BlockCtx::new(dev, 0, false);
         let buf = GpuBuffer::<u32>::new(256, 0);
         // One warp, 4 lanes, one scattered read each: compute = base 1 +
         // 1 event * 1 = 2; mem = 4 segments * 2 = 8. Interval = max = 8.

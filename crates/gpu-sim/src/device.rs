@@ -112,6 +112,13 @@ impl DeviceConfig {
     pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
         cycles / (self.clock_ghz * 1.0e9)
     }
+
+    /// Warp index of a lane id under this device's warp size (racecheck
+    /// diagnostics report both, since hazards across warps of one block
+    /// are exactly as unordered as hazards within a warp).
+    pub fn warp_of(&self, lane: u32) -> u32 {
+        lane / self.warp_size as u32
+    }
 }
 
 /// Cost model of the sequential CPU baseline (Intel Core i7-2600K in the

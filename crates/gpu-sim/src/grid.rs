@@ -27,6 +27,7 @@
 //! bandwidth.
 
 use crate::block::BlockCtx;
+use crate::checker::{self, CheckReport, Recorder};
 use crate::device::DeviceConfig;
 use crate::stats::KernelStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -48,6 +49,21 @@ pub struct LaunchReport {
 /// Unset, `0`, or unparsable means "all available cores"; `1` forces the
 /// legacy sequential path.
 pub const HOST_THREADS_ENV: &str = "DYNBC_HOST_THREADS";
+
+/// Environment variable enabling checked (racecheck) execution for every
+/// launch of every [`Gpu`] created afterwards: any error-severity
+/// diagnostic fails the launch with the full report. `1`/`true` (any
+/// case) enables; unset, empty, `0`, or `false` disables.
+pub const RACECHECK_ENV: &str = "DYNBC_RACECHECK";
+
+/// Resolves the checked-execution default from [`RACECHECK_ENV`] (what
+/// [`Gpu::new`] uses; public so harnesses can report the setting).
+pub fn racecheck_from_env() -> bool {
+    std::env::var(RACECHECK_ENV).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
 
 /// Resolves the effective host-thread count from [`HOST_THREADS_ENV`]
 /// (what [`Gpu::new`] uses; public so harnesses can report the setting).
@@ -71,11 +87,15 @@ pub struct Gpu {
     total_stats: KernelStats,
     launches: u64,
     host_threads: usize,
+    racecheck: bool,
+    check_warnings: u64,
+    checked_launches: u64,
 }
 
 impl Gpu {
     /// Creates a device with the clock at zero. The host-thread count is
-    /// read from [`HOST_THREADS_ENV`] (default: available cores).
+    /// read from [`HOST_THREADS_ENV`] (default: available cores) and the
+    /// checked-execution default from [`RACECHECK_ENV`].
     pub fn new(dev: DeviceConfig) -> Self {
         Self {
             dev,
@@ -83,7 +103,44 @@ impl Gpu {
             total_stats: KernelStats::default(),
             launches: 0,
             host_threads: host_threads_from_env(),
+            racecheck: racecheck_from_env(),
+            check_warnings: 0,
+            checked_launches: 0,
         }
+    }
+
+    /// Builder-style override of checked execution (see
+    /// [`Gpu::set_racecheck`]). Prefer this over mutating the environment
+    /// in tests: process-global env writes race between test threads.
+    pub fn with_racecheck(mut self, on: bool) -> Self {
+        self.set_racecheck(on);
+        self
+    }
+
+    /// Enables/disables checked execution for subsequent launches. When
+    /// on, every [`Gpu::launch`]/[`Gpu::launch_named`] records shadow
+    /// state, panics with the full [`CheckReport`] if any error-severity
+    /// diagnostic fires, and accumulates warnings into
+    /// [`Gpu::check_warnings`]. Results (simulated seconds, stats, buffer
+    /// contents) are unaffected; only host wall-clock pays.
+    pub fn set_racecheck(&mut self, on: bool) {
+        self.racecheck = on;
+    }
+
+    /// True when launches run in checked mode.
+    pub fn racecheck(&self) -> bool {
+        self.racecheck
+    }
+
+    /// Warning-severity diagnostics accumulated across checked launches
+    /// (errors panic instead).
+    pub fn check_warnings(&self) -> u64 {
+        self.check_warnings
+    }
+
+    /// Number of launches that ran under the checker.
+    pub fn checked_launches(&self) -> u64 {
+        self.checked_launches
     }
 
     /// Builder-style override of the host-thread count (clamped to ≥ 1).
@@ -124,38 +181,98 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
+        self.launch_named("kernel", num_blocks, f)
+    }
+
+    /// [`Gpu::launch`] with a kernel name threaded into diagnostics. In
+    /// checked mode (`DYNBC_RACECHECK=1` or [`Gpu::set_racecheck`]) the
+    /// launch runs under the racecheck analysis and **panics with the full
+    /// report** on any error-severity diagnostic; warnings accumulate in
+    /// [`Gpu::check_warnings`]. Unchecked, the name is free.
+    pub fn launch_named<F>(&mut self, name: &str, num_blocks: usize, f: F) -> LaunchReport
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
+        if self.racecheck {
+            let (report, check) = self.launch_checked(name, num_blocks, f);
+            self.check_warnings += check.warnings().count() as u64;
+            assert!(!check.has_errors(), "DYNBC_RACECHECK failed:\n{check}");
+            report
+        } else {
+            self.run_launch(num_blocks, false, &f).0
+        }
+    }
+
+    /// Runs the kernel in checked mode unconditionally and returns the
+    /// analysis alongside the launch report (never panics on findings —
+    /// the caller owns the verdict; fixtures assert on the report).
+    /// Simulated seconds, stats and buffer contents are identical to an
+    /// unchecked launch of the same kernel.
+    pub fn launch_checked<F>(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        f: F,
+    ) -> (LaunchReport, CheckReport)
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
+        let (report, recorders) = self.run_launch(num_blocks, true, &f);
+        let check = checker::analyze(name, &self.dev, &recorders);
+        self.checked_launches += 1;
+        (report, check)
+    }
+
+    /// Shared launch body; `record` selects checked execution. Shadow logs
+    /// come back in block-index order, matching the reduction order.
+    fn run_launch<F>(
+        &mut self,
+        num_blocks: usize,
+        record: bool,
+        f: &F,
+    ) -> (LaunchReport, Vec<Recorder>)
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
         let threads = self.host_threads.min(num_blocks.max(1));
-        let per_block: Vec<(f64, KernelStats)> = if threads <= 1 {
+        let per_block: Vec<(f64, KernelStats, Option<Box<Recorder>>)> = if threads <= 1 {
             // Legacy sequential path: also the fallback that documents the
             // reduction order the parallel path must reproduce.
             (0..num_blocks)
                 .map(|b| {
-                    let mut ctx = BlockCtx::new(self.dev);
+                    let mut ctx = BlockCtx::new(self.dev, b, record);
                     f(&mut ctx, b);
-                    ctx.finish()
+                    ctx.finish_full()
                 })
                 .collect()
         } else {
-            self.run_blocks_parallel(num_blocks, threads, &f)
+            self.run_blocks_parallel(num_blocks, threads, record, f)
         };
 
         let mut block_cycles = Vec::with_capacity(num_blocks);
         let mut stats = KernelStats::default();
-        for (cycles, block_stats) in &per_block {
-            block_cycles.push(*cycles);
-            stats.add(block_stats);
+        let mut recorders = Vec::new();
+        for (cycles, block_stats, recorder) in per_block {
+            block_cycles.push(cycles);
+            stats.add(&block_stats);
+            if let Some(r) = recorder {
+                recorders.push(*r);
+            }
         }
         let makespan_cycles = schedule_makespan(&block_cycles, self.dev.num_sms);
         let seconds = self.dev.cycles_to_seconds(makespan_cycles) + self.dev.launch_overhead_s;
         self.elapsed_s += seconds;
         self.total_stats.add(&stats);
         self.launches += 1;
-        LaunchReport {
-            seconds,
-            makespan_cycles,
-            block_cycles,
-            stats,
-        }
+        (
+            LaunchReport {
+                seconds,
+                makespan_cycles,
+                block_cycles,
+                stats,
+            },
+            recorders,
+        )
     }
 
     /// Fans `num_blocks` block interpreters over `threads` scoped host
@@ -167,17 +284,19 @@ impl Gpu {
         &self,
         num_blocks: usize,
         threads: usize,
+        record: bool,
         f: &F,
-    ) -> Vec<(f64, KernelStats)>
+    ) -> Vec<(f64, KernelStats, Option<Box<Recorder>>)>
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
+        type BlockOut = (f64, KernelStats, Option<Box<Recorder>>);
         // Small chunks keep long-tailed blocks balanced; 4× oversubscription
         // is plenty while amortizing counter traffic for huge grids.
         let chunk = (num_blocks / (threads * 4)).max(1);
         let next = AtomicUsize::new(0);
         let dev = self.dev;
-        let mut slots: Vec<Option<(f64, KernelStats)>> = Vec::with_capacity(num_blocks);
+        let mut slots: Vec<Option<BlockOut>> = Vec::with_capacity(num_blocks);
         slots.resize_with(num_blocks, || None);
 
         std::thread::scope(|scope| {
@@ -185,16 +304,16 @@ impl Gpu {
                 .map(|_| {
                     let next = &next;
                     scope.spawn(move || {
-                        let mut out: Vec<(usize, (f64, KernelStats))> = Vec::new();
+                        let mut out: Vec<(usize, BlockOut)> = Vec::new();
                         loop {
                             let start = next.fetch_add(chunk, Ordering::Relaxed);
                             if start >= num_blocks {
                                 break;
                             }
                             for b in start..(start + chunk).min(num_blocks) {
-                                let mut ctx = BlockCtx::new(dev);
+                                let mut ctx = BlockCtx::new(dev, b, record);
                                 f(&mut ctx, b);
-                                out.push((b, ctx.finish()));
+                                out.push((b, ctx.finish_full()));
                             }
                         }
                         out

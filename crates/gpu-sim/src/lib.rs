@@ -17,6 +17,11 @@
 //!   `max(compute, memory)` intervals;
 //! * [`Gpu`] — kernel launches, greedy block-to-SM scheduling, a simulated
 //!   clock;
+//! * [`checker`] — `dynbc-racecheck`, a `cuda-memcheck --tool racecheck`
+//!   analogue: checked launches ([`Gpu::launch_checked`],
+//!   `DYNBC_RACECHECK=1`) record per-cell shadow state and report data
+//!   races, sharing-contract violations, barrier divergence, and
+//!   out-of-bounds indexing with kernel/buffer/lane context;
 //! * [`OpCounter`] / [`CpuConfig`] — the matching cost model for the
 //!   sequential CPU baseline, so every reported ratio compares modelled
 //!   seconds to modelled seconds.
@@ -32,9 +37,11 @@
 //! it, under the access contract documented there.
 
 #![deny(unsafe_code)] // granted back, cell-by-cell, in mem.rs only
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod checker;
 pub mod cpu_model;
 pub mod device;
 pub mod grid;
@@ -42,8 +49,11 @@ pub mod mem;
 pub mod stats;
 
 pub use block::{BlockCtx, Lane};
+pub use checker::{AccessKind, AtomicKind, CheckReport, DiagClass, Diagnostic, Severity};
 pub use cpu_model::OpCounter;
 pub use device::{CpuConfig, DeviceConfig};
-pub use grid::{host_threads_from_env, Gpu, LaunchReport, HOST_THREADS_ENV};
-pub use mem::GpuBuffer;
+pub use grid::{
+    host_threads_from_env, racecheck_from_env, Gpu, LaunchReport, HOST_THREADS_ENV, RACECHECK_ENV,
+};
+pub use mem::{DeviceValue, GpuBuffer};
 pub use stats::KernelStats;

@@ -43,6 +43,67 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
+/// Scalar element types kernels may move through [`Lane`](crate::Lane) and
+/// scalar accessors: plain-old-data values whose bit pattern fits in 64
+/// bits, so checked execution can record written values in its shadow
+/// state (and synthesize a zero for a suppressed out-of-bounds read).
+pub trait DeviceValue: Copy {
+    /// The value's raw bits, zero-extended to 64.
+    fn to_raw_bits(self) -> u64;
+    /// Rebuilds a value from raw bits (inverse of [`Self::to_raw_bits`]).
+    fn from_raw_bits(bits: u64) -> Self;
+}
+
+macro_rules! device_value_int {
+    ($($t:ty),*) => {$(
+        impl DeviceValue for $t {
+            #[inline]
+            fn to_raw_bits(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_raw_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+device_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl DeviceValue for f64 {
+    #[inline]
+    fn to_raw_bits(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_raw_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl DeviceValue for f32 {
+    #[inline]
+    fn to_raw_bits(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline]
+    fn from_raw_bits(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl DeviceValue for bool {
+    #[inline]
+    fn to_raw_bits(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline]
+    fn from_raw_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
 /// Global allocator for synthetic device addresses. Buffers get disjoint,
 /// 256-byte-aligned address ranges so segment ids never collide across
 /// buffers.
@@ -66,11 +127,13 @@ unsafe impl<T: Send> Sync for SyncCell<T> {}
 pub struct GpuBuffer<T: Copy> {
     data: Box<[SyncCell<T>]>,
     pub(crate) base: u64,
+    name: &'static str,
 }
 
 impl<T: Copy + std::fmt::Debug> std::fmt::Debug for GpuBuffer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GpuBuffer")
+            .field("name", &self.name)
             .field("len", &self.data.len())
             .field("base", &self.base)
             .finish_non_exhaustive()
@@ -93,12 +156,29 @@ impl<T: Copy> GpuBuffer<T> {
             .into_iter()
             .map(|v| SyncCell(UnsafeCell::new(v)))
             .collect();
-        Self { data, base }
+        Self {
+            data,
+            base,
+            name: "unnamed",
+        }
     }
 
     /// Allocates from a host slice.
     pub fn from_slice(data: &[T]) -> Self {
         Self::from_vec(data.to_vec())
+    }
+
+    /// Attaches a diagnostic name (builder-style); out-of-bounds messages
+    /// and racecheck reports identify the buffer by it.
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// The buffer's diagnostic name (`"unnamed"` unless set via
+    /// [`Self::named`]).
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// Number of elements.
@@ -123,6 +203,13 @@ impl<T: Copy> GpuBuffer<T> {
     /// thread — the per-block disjointness contract.
     #[inline]
     pub(crate) fn get(&self, i: usize) -> T {
+        debug_assert!(
+            i < self.data.len(),
+            "out-of-bounds read of GpuBuffer `{}`: index {} >= len {}",
+            self.name,
+            i,
+            self.data.len()
+        );
         // SAFETY: module contract — no other thread is writing cell `i`
         // concurrently with this read.
         unsafe { *self.data[i].0.get() }
@@ -131,6 +218,13 @@ impl<T: Copy> GpuBuffer<T> {
     /// Raw element write (same contract as [`Self::get`]).
     #[inline]
     pub(crate) fn set(&self, i: usize, v: T) {
+        debug_assert!(
+            i < self.data.len(),
+            "out-of-bounds write of GpuBuffer `{}`: index {} >= len {}",
+            self.name,
+            i,
+            self.data.len()
+        );
         // SAFETY: module contract — this thread is the only one accessing
         // cell `i` concurrently.
         unsafe { *self.data[i].0.get() = v }

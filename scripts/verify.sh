@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Repo verification gate: tier-1 build+tests, the host-thread determinism
-# regression at 1 and 4 threads, and a warnings-clean workspace build.
+# regression at 1 and 4 threads, the racecheck tier, a clippy-clean and
+# warnings-clean workspace, and the gpu-sim unsafe/SAFETY lint.
 # Run from anywhere inside the repo; exits non-zero on the first failure.
 set -eu
 
@@ -21,7 +22,34 @@ DYNBC_HOST_THREADS=1 cargo test -q --test determinism_host_threads
 echo "== determinism regression: DYNBC_HOST_THREADS=4 =="
 DYNBC_HOST_THREADS=4 cargo test -q --test determinism_host_threads
 
+echo "== racecheck tier: checked execution of every BC kernel =="
+DYNBC_RACECHECK=1 cargo test -q racecheck
+
 echo "== warnings-clean workspace build =="
 RUSTFLAGS="-D warnings" cargo build --workspace --all-targets
+
+echo "== clippy-clean workspace =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== gpu-sim unsafe audit: every unsafe needs a SAFETY comment =="
+# The simulator denies unsafe_code outright; this lint keeps the carved
+# out exceptions honest: any line mentioning `unsafe` (other than
+# comments and the lint-control attributes themselves) must be
+# preceded by a comment block opening with `// SAFETY:` (lint attributes
+# like `#[allow(unsafe_code)]` may sit between the comment and the item).
+awk '
+    /^[[:space:]]*\/\// { if ($0 ~ /\/\/ SAFETY:/) safety = 1; next }
+    /unsafe_code|unsafe_op_in_unsafe_fn/ { next }
+    /unsafe/ {
+        if (!safety) {
+            printf "%s:%d: unsafe without adjacent // SAFETY: comment\n", FILENAME, FNR
+            bad = 1
+        }
+        safety = 0
+        next
+    }
+    { safety = 0 }
+    END { exit bad }
+' crates/gpu-sim/src/*.rs
 
 echo "verify.sh: all gates passed"

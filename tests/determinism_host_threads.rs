@@ -14,8 +14,11 @@ use dynbc::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Bit patterns of `(bc, d, sigma, delta)` from a [`BcState`].
+type StateBits = (Vec<u64>, Vec<Vec<u32>>, Vec<Vec<u64>>, Vec<Vec<u64>>);
+
 /// Bit-exact projection of a [`BcState`]: `f64` fields as raw bits.
-fn state_bits(st: &BcState) -> (Vec<u64>, Vec<Vec<u32>>, Vec<Vec<u64>>, Vec<Vec<u64>>) {
+fn state_bits(st: &BcState) -> StateBits {
     let bits = |row: &[f64]| row.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
     (
         bits(&st.bc),
@@ -35,7 +38,7 @@ fn run_stream(
     threads: usize,
     events: usize,
     seed: u64,
-) -> (u64, KernelStats, (Vec<u64>, Vec<Vec<u32>>, Vec<Vec<u64>>, Vec<Vec<u64>>)) {
+) -> (u64, KernelStats, StateBits) {
     let n = el.vertex_count() as u32;
     let mut eng = GpuDynamicBc::new(el, sources, DeviceConfig::test_tiny(), par)
         .with_host_threads(threads);
