@@ -160,7 +160,10 @@ mod tests {
     fn cycle_is_symmetric() {
         let bc = brandes_exact(&g(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]));
         for w in bc.windows(2) {
-            assert!((w[0] - w[1]).abs() < 1e-12, "cycle BC must be uniform: {bc:?}");
+            assert!(
+                (w[0] - w[1]).abs() < 1e-12,
+                "cycle BC must be uniform: {bc:?}"
+            );
         }
     }
 

@@ -13,10 +13,13 @@
 //!   subcase where exactly one endpoint is reachable from `s` (the
 //!   component-merge insertion).
 
-use dynbc_graph::VertexId;
-
 /// Distance value marking unreachable vertices.
 pub const INF: u32 = u32::MAX;
+
+// The classification *logic* lives in the plan layer (the one module
+// that decides cases for every engine); re-exported here so existing
+// `cases::classify` call sites keep working.
+pub use crate::plan::{classify, Classified};
 
 /// The three update scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,54 +30,6 @@ pub enum InsertionCase {
     Adjacent,
     /// `|Δd| > 1` (or one endpoint unreachable): distances change.
     Distant,
-}
-
-/// A classified insertion, oriented so `u_high` is the endpoint nearer the
-/// source ("higher in the BFS tree") and `u_low` the farther one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Classified {
-    /// Which scenario this source faces.
-    pub case: InsertionCase,
-    /// Endpoint closer to the source (valid for `Adjacent`/`Distant`).
-    pub u_high: VertexId,
-    /// Endpoint farther from the source.
-    pub u_low: VertexId,
-}
-
-/// Classifies the insertion `(u, v)` for a source with distance array `d`.
-///
-/// "Figuring out which case each source node has to compute is trivial":
-/// two distance lookups.
-pub fn classify(d: &[u32], u: VertexId, v: VertexId) -> Classified {
-    let du = d[u as usize];
-    let dv = d[v as usize];
-    match (du == INF, dv == INF) {
-        (true, true) => Classified {
-            case: InsertionCase::Same,
-            u_high: u,
-            u_low: v,
-        },
-        (false, true) => Classified {
-            case: InsertionCase::Distant,
-            u_high: u,
-            u_low: v,
-        },
-        (true, false) => Classified {
-            case: InsertionCase::Distant,
-            u_high: v,
-            u_low: u,
-        },
-        (false, false) => {
-            let (u_high, u_low) = if du <= dv { (u, v) } else { (v, u) };
-            let gap = du.abs_diff(dv);
-            let case = match gap {
-                0 => InsertionCase::Same,
-                1 => InsertionCase::Adjacent,
-                _ => InsertionCase::Distant,
-            };
-            Classified { case, u_high, u_low }
-        }
-    }
 }
 
 /// Tallies of the three cases across many (source × insertion) scenarios —
@@ -136,49 +91,6 @@ impl CaseCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn same_level_is_case1() {
-        let d = [0, 1, 1, 2];
-        let c = classify(&d, 1, 2);
-        assert_eq!(c.case, InsertionCase::Same);
-    }
-
-    #[test]
-    fn adjacent_levels_oriented_correctly() {
-        let d = [0, 1, 2, 3];
-        let c = classify(&d, 2, 1);
-        assert_eq!(c.case, InsertionCase::Adjacent);
-        assert_eq!(c.u_high, 1);
-        assert_eq!(c.u_low, 2);
-        // Argument order must not matter.
-        let c2 = classify(&d, 1, 2);
-        assert_eq!((c2.u_high, c2.u_low, c2.case), (c.u_high, c.u_low, c.case));
-    }
-
-    #[test]
-    fn distant_levels_are_case3() {
-        let d = [0, 1, 5, 3];
-        let c = classify(&d, 0, 2);
-        assert_eq!(c.case, InsertionCase::Distant);
-        assert_eq!(c.u_high, 0);
-        assert_eq!(c.u_low, 2);
-    }
-
-    #[test]
-    fn both_unreachable_is_case1() {
-        let d = [0, INF, INF];
-        assert_eq!(classify(&d, 1, 2).case, InsertionCase::Same);
-    }
-
-    #[test]
-    fn one_unreachable_is_case3_with_reachable_high() {
-        let d = [0, 2, INF];
-        let c = classify(&d, 2, 1);
-        assert_eq!(c.case, InsertionCase::Distant);
-        assert_eq!(c.u_high, 1);
-        assert_eq!(c.u_low, 2);
-    }
 
     #[test]
     fn counts_and_shares() {

@@ -26,12 +26,13 @@
 //! graph-structure update itself (STINGER-lite insertion) is not timed.
 
 use crate::brandes::brandes_state;
-use crate::cases::{classify, CaseCounts, InsertionCase};
-use crate::dynamic::result::{SourceOutcome, UpdateResult};
+use crate::cases::InsertionCase;
+use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};
+use crate::plan;
 use crate::state::BcState;
 use dynbc_ds::MultiLevelQueue;
-use dynbc_graph::{Csr, DynGraph, EdgeList, VertexId};
 use dynbc_gpusim::{CpuConfig, OpCounter};
+use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
 use std::collections::VecDeque;
 
 pub(super) const T_UNTOUCHED: u8 = 0;
@@ -171,67 +172,107 @@ impl CpuDynamicBc {
 
     /// Inserts the undirected edge `{u, v}` and incrementally updates BC.
     ///
+    /// A batch-of-one wrapper around [`CpuDynamicBc::apply_batch`].
+    ///
     /// # Panics
     /// Panics on self loops, out-of-range endpoints, or duplicate edges —
     /// the experiment protocols never produce these, and silently ignoring
     /// them would corrupt the case statistics.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
+        self.apply_batch(&[EdgeOp::Insert(u, v)])
+            .into_update_result()
+    }
+
+    /// Applies a batch of edge mutations in submission order,
+    /// incrementally updating BC after each one.
+    ///
+    /// The batch is validated against the graph up front (all or
+    /// nothing); per-op classification and dispatch run through the
+    /// shared [plan layer](crate::plan), so results are identical —
+    /// bit for bit — to applying the same ops one at a time.
+    ///
+    /// # Panics
+    /// Panics (before touching any engine state) if any op is a self
+    /// loop, a duplicate insertion, or a removal of an absent edge.
+    pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
         let wall_start = std::time::Instant::now();
-        assert!(u != v, "self-loop insertion");
-        let inserted = self.graph.insert_edge(u, v);
-        assert!(inserted, "edge ({u}, {v}) already present");
+        plan::validate_batch(&mut self.graph, batch);
 
         let mut ops = OpCounter::new();
-        let mut cases = CaseCounts::default();
-        let mut per_source = Vec::with_capacity(self.state.sources.len());
-        let BcState {
-            bc,
-            d,
-            sigma,
-            delta,
-            sources,
-            ..
-        } = &mut self.state;
-        for (i, &s) in sources.iter().enumerate() {
-            let cls = classify(&d[i], u, v);
-            ops.queue_ops += 1; // two distance loads + compare
-            cases.record(cls.case);
-            let touched = match cls.case {
-                InsertionCase::Same => 0,
-                InsertionCase::Adjacent => case2_update(
-                    &self.graph,
-                    s,
-                    cls.u_high,
-                    cls.u_low,
-                    &d[i],
-                    &mut sigma[i],
-                    &mut delta[i],
-                    bc,
-                    &mut self.scratch,
-                    &mut ops,
-                ),
-                InsertionCase::Distant => case3_update(
-                    &self.graph,
-                    s,
-                    cls.u_high,
-                    cls.u_low,
-                    &mut d[i],
-                    &mut sigma[i],
-                    &mut delta[i],
-                    bc,
-                    &mut self.scratch,
-                    &mut ops,
-                ),
-            };
-            per_source.push(SourceOutcome {
-                case: cls.case,
-                touched,
+        let mut per_op = Vec::with_capacity(batch.len());
+        for &op in batch {
+            let planned = plan::plan_op(&mut self.graph, &self.state.d, op);
+            // Classification charge: one two-load compare per source,
+            // plus the surviving-predecessor scans for removals.
+            ops.queue_ops += planned.sources.len() as u64;
+            ops.edges += planned.scan_edges;
+
+            let mut per_source = Vec::with_capacity(planned.sources.len());
+            for (row, cls) in planned.sources.iter().enumerate() {
+                let s = self.state.sources[row];
+                let touched = match (cls.case, op.is_insert()) {
+                    (InsertionCase::Same, _) => 0,
+                    (InsertionCase::Adjacent, true) => {
+                        let BcState {
+                            bc,
+                            d,
+                            sigma,
+                            delta,
+                            ..
+                        } = &mut self.state;
+                        case2_update(
+                            &self.graph,
+                            s,
+                            cls.u_high,
+                            cls.u_low,
+                            &d[row],
+                            &mut sigma[row],
+                            &mut delta[row],
+                            bc,
+                            &mut self.scratch,
+                            &mut ops,
+                        )
+                    }
+                    (InsertionCase::Distant, true) => {
+                        let BcState {
+                            bc,
+                            d,
+                            sigma,
+                            delta,
+                            ..
+                        } = &mut self.state;
+                        case3_update(
+                            &self.graph,
+                            s,
+                            cls.u_high,
+                            cls.u_low,
+                            &mut d[row],
+                            &mut sigma[row],
+                            &mut delta[row],
+                            bc,
+                            &mut self.scratch,
+                            &mut ops,
+                        )
+                    }
+                    (InsertionCase::Adjacent, false) => {
+                        self.delete_case2(row, s, cls.u_high, cls.u_low, &mut ops)
+                    }
+                    (InsertionCase::Distant, false) => self.delete_fallback(row, s, &mut ops),
+                };
+                per_source.push(SourceOutcome {
+                    case: cls.case,
+                    touched,
+                });
+            }
+            per_op.push(OpOutcome {
+                op,
+                cases: planned.cases,
+                per_source,
             });
         }
         self.total_ops.add(&ops);
-        UpdateResult {
-            cases,
-            per_source,
+        BatchResult {
+            per_op,
             model_seconds: self.cpu.model_seconds(&ops),
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         }

@@ -26,75 +26,31 @@
 //!   (unaffected sources skip), but coarser-grained. See DESIGN.md.
 
 use super::cpu::{CpuDynamicBc, INF, T_DOWN, T_UNTOUCHED, T_UP};
-use super::result::{SourceOutcome, UpdateResult};
+use super::result::UpdateResult;
 use crate::brandes::source_pass_on;
-use crate::cases::{CaseCounts, InsertionCase};
-use dynbc_graph::VertexId;
 use dynbc_gpusim::OpCounter;
+use dynbc_graph::{EdgeOp, VertexId};
 
 impl CpuDynamicBc {
     /// Removes the undirected edge `{u, v}` and incrementally updates BC.
     ///
-    /// The returned [`UpdateResult`] reports Case D1 as
-    /// [`InsertionCase::Same`], Case D2 as [`InsertionCase::Adjacent`] and
-    /// the fallback Case D3 as [`InsertionCase::Distant`].
+    /// A batch-of-one wrapper around [`CpuDynamicBc::apply_batch`]. The
+    /// returned [`UpdateResult`] reports Case D1 as
+    /// [`InsertionCase::Same`](crate::cases::InsertionCase::Same), Case D2
+    /// as [`InsertionCase::Adjacent`](crate::cases::InsertionCase::Adjacent)
+    /// and the fallback Case D3 as
+    /// [`InsertionCase::Distant`](crate::cases::InsertionCase::Distant).
     ///
     /// # Panics
     /// Panics if the edge is absent or a self loop.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
-        let wall_start = std::time::Instant::now();
-        assert!(u != v, "self-loop removal");
-        // Classify against pre-removal distances, then update the graph.
-        let removed = self.graph.remove_edge(u, v);
-        assert!(removed, "edge ({u}, {v}) not present");
-
-        let mut ops = OpCounter::new();
-        let mut cases = CaseCounts::default();
-        let mut per_source = Vec::with_capacity(self.state.sources.len());
-        for i in 0..self.state.sources.len() {
-            let s = self.state.sources[i];
-            let du = self.state.d[i][u as usize];
-            let dv = self.state.d[i][v as usize];
-            ops.queue_ops += 1;
-            let (case, touched) = if du == dv {
-                // Case D1 — includes both-unreachable.
-                (InsertionCase::Same, 0)
-            } else {
-                let (u_high, u_low) = if du < dv { (u, v) } else { (v, u) };
-                debug_assert_eq!(
-                    self.state.d[i][u_high as usize] + 1,
-                    self.state.d[i][u_low as usize],
-                    "an existing edge spans at most one level"
-                );
-                let d_low = self.state.d[i][u_low as usize];
-                let has_other_pred = self
-                    .graph
-                    .neighbors(u_low)
-                    .any(|x| self.state.d[i][x as usize] != INF && self.state.d[i][x as usize] + 1 == d_low);
-                ops.edges += self.graph.degree(u_low) as u64;
-                if has_other_pred {
-                    let touched = self.delete_case2(i, s, u_high, u_low, &mut ops);
-                    (InsertionCase::Adjacent, touched)
-                } else {
-                    let touched = self.delete_fallback(i, s, &mut ops);
-                    (InsertionCase::Distant, touched)
-                }
-            };
-            cases.record(case);
-            per_source.push(SourceOutcome { case, touched });
-        }
-        self.total_ops.add(&ops);
-        UpdateResult {
-            cases,
-            per_source,
-            model_seconds: self.cpu_model().model_seconds(&ops),
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
-        }
+        self.apply_batch(&[EdgeOp::Remove(u, v)])
+            .into_update_result()
     }
 
     /// Case D2: distances static, path counts shrink. Mirrors Algorithm 2
     /// with a negative seed; see the module docs for the one asymmetry.
-    fn delete_case2(
+    pub(super) fn delete_case2(
         &mut self,
         i: usize,
         s: VertexId,
@@ -211,7 +167,7 @@ impl CpuDynamicBc {
 
     /// Case D3 fallback: distances grew; rebuild this source's tree with
     /// one Brandes pass and diff the scores.
-    fn delete_fallback(&mut self, i: usize, s: VertexId, ops: &mut OpCounter) -> usize {
+    pub(super) fn delete_fallback(&mut self, i: usize, s: VertexId, ops: &mut OpCounter) -> usize {
         let n = self.graph.vertex_count();
         let pass = source_pass_on(&self.graph, s);
         // Model cost: one full SSSP + accumulation over the graph.

@@ -5,4 +5,4 @@ pub mod delete;
 pub mod result;
 
 pub use cpu::CpuDynamicBc;
-pub use result::{SourceOutcome, UpdateResult};
+pub use result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};

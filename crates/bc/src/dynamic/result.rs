@@ -1,6 +1,7 @@
 //! Result types shared by the dynamic engines (CPU and GPU).
 
 use crate::cases::{CaseCounts, InsertionCase};
+use dynbc_graph::EdgeOp;
 
 /// Per-source outcome of one edge insertion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +42,61 @@ impl UpdateResult {
     }
 }
 
+/// Per-op outcome within a batch.
+///
+/// Carries no timing: fused execution times the batch as a whole, not
+/// its constituent ops (see [`BatchResult::model_seconds`]).
+#[derive(Debug, Clone)]
+pub struct OpOutcome {
+    /// The edge mutation this outcome belongs to.
+    pub op: EdgeOp,
+    /// Scenario tallies over the sources.
+    pub cases: CaseCounts,
+    /// Per-source details, in source order.
+    pub per_source: Vec<SourceOutcome>,
+}
+
+/// Outcome of `apply_batch`: one [`OpOutcome`] per submitted op (in
+/// submission order) plus the whole-batch costs.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-op outcomes, in submission order.
+    pub per_op: Vec<OpOutcome>,
+    /// Modeled seconds for the whole batch on the engine's machine
+    /// model. Under fusion this is *not* the sum of what the ops would
+    /// cost individually — amortizing launches is the point.
+    pub model_seconds: f64,
+    /// Real wall-clock seconds this process spent (diagnostic only).
+    pub wall_seconds: f64,
+}
+
+impl BatchResult {
+    /// Aggregate case tallies across every op of the batch.
+    pub fn cases(&self) -> CaseCounts {
+        let mut total = CaseCounts::default();
+        for op in &self.per_op {
+            total.add(&op.cases);
+        }
+        total
+    }
+
+    /// Collapses a batch-of-one into the single-op result shape; the
+    /// `insert_edge`/`remove_edge` wrappers are this.
+    ///
+    /// # Panics
+    /// Panics if the batch did not contain exactly one op.
+    pub fn into_update_result(mut self) -> UpdateResult {
+        assert_eq!(self.per_op.len(), 1, "batch-of-one expected");
+        let op = self.per_op.pop().expect("one op");
+        UpdateResult {
+            cases: op.cases,
+            per_source: op.per_source,
+            model_seconds: self.model_seconds,
+            wall_seconds: self.wall_seconds,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,11 +104,24 @@ mod tests {
     #[test]
     fn worked_and_touched_summaries() {
         let r = UpdateResult {
-            cases: CaseCounts { same: 1, adjacent: 1, distant: 1 },
+            cases: CaseCounts {
+                same: 1,
+                adjacent: 1,
+                distant: 1,
+            },
             per_source: vec![
-                SourceOutcome { case: InsertionCase::Same, touched: 0 },
-                SourceOutcome { case: InsertionCase::Adjacent, touched: 5 },
-                SourceOutcome { case: InsertionCase::Distant, touched: 9 },
+                SourceOutcome {
+                    case: InsertionCase::Same,
+                    touched: 0,
+                },
+                SourceOutcome {
+                    case: InsertionCase::Adjacent,
+                    touched: 5,
+                },
+                SourceOutcome {
+                    case: InsertionCase::Distant,
+                    touched: 9,
+                },
             ],
             model_seconds: 0.0,
             wall_seconds: 0.0,

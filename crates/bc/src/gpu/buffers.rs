@@ -18,8 +18,8 @@
 //! excludes it from measurement).
 
 use crate::state::BcState;
-use dynbc_graph::{Csr, VertexId};
 use dynbc_gpusim::GpuBuffer;
+use dynbc_graph::{Csr, VertexId};
 
 /// Queue-length / control slots per block in [`ScratchBuffers::lens`].
 pub const LEN_SLOTS: usize = 6;
@@ -172,13 +172,15 @@ pub struct ScratchBuffers {
     /// `d̂` (Case 3 relocations; also the static kernels' working `d`),
     /// `blocks × n`.
     pub d_hat: GpuBuffer<u32>,
-    /// Per-block BC delta slab, `blocks × bc_stride`.
+    /// BC delta slab, `bc_rows × bc_stride` (at least one row per block;
+    /// the batch dispatcher grows it to one row per *(op, block)* pair
+    /// via [`ScratchBuffers::ensure_bc_rows`]).
     ///
     /// Kernels never add to the shared `BC` array directly: contended
     /// `atomicAdd(f64)` would make the bit pattern of every score depend
     /// on how concurrent blocks interleave, which host-parallel execution
-    /// must not expose. Each block instead accumulates `δ̂ − δ` into its
-    /// own slab row; the host reduces the rows **serially in block-index
+    /// must not expose. Each work item instead accumulates `δ̂ − δ` into
+    /// its own slab row; the host reduces the rows **serially in row
     /// order** after the launch ([`ScratchBuffers::drain_bc_delta_into`]),
     /// so the result is bit-identical for any `DYNBC_HOST_THREADS`.
     pub bc_delta: GpuBuffer<f64>,
@@ -250,25 +252,50 @@ impl ScratchBuffers {
         b * self.n
     }
 
-    /// Base offset of block `b`'s BC-delta slab row.
+    /// Base offset of BC-delta slab row `r` (a block slot for single-op
+    /// launches, an `op_slot * blocks + block_slot` pair under the batch
+    /// dispatcher).
     #[inline]
-    pub fn bc_row(&self, b: usize) -> usize {
-        b * self.bc_stride
+    pub fn bc_row(&self, r: usize) -> usize {
+        r * self.bc_stride
     }
 
-    /// Reduces the per-block BC delta slab into `bc`, **serially in
-    /// block-index order**, re-zeroing the slab for the next launch.
+    /// Number of rows the BC delta slab currently holds.
+    #[inline]
+    pub fn bc_rows(&self) -> usize {
+        self.bc_delta.len() / self.bc_stride
+    }
+
+    /// Grows the BC delta slab to at least `rows` rows (never below one
+    /// row per block). Batch dispatch sizes the slab by batch width: one
+    /// row per *(op, block)* pair, so each op's deltas stay separable
+    /// and the drain can replay sequential commit order. Slab contents
+    /// are per-launch scratch (always drained back to zero), so the old
+    /// buffer is simply dropped.
+    pub fn ensure_bc_rows(&mut self, rows: usize) {
+        let rows = rows.max(self.blocks);
+        if rows <= self.bc_rows() {
+            return;
+        }
+        self.bc_delta = GpuBuffer::new(rows * self.bc_stride, 0.0).named("bc_delta");
+    }
+
+    /// Reduces the BC delta slab into `bc`, **serially in row order**,
+    /// re-zeroing the slab for the next launch.
     ///
-    /// This is the deterministic half of the commit: blocks accumulate
-    /// into disjoint slab rows during the (possibly host-parallel)
-    /// launch, then this host-side pass applies the rows in a fixed
-    /// order, so every `f64` in `bc` is bit-identical no matter how many
-    /// host threads executed the blocks. Host-side staging, off the
-    /// simulated clock — the device-side cost of the adds was already
-    /// charged when the kernels wrote the slab.
+    /// This is the deterministic half of the commit: work items
+    /// accumulate into disjoint slab rows during the (possibly
+    /// host-parallel) launch, then this host-side pass applies the rows
+    /// in a fixed order, so every `f64` in `bc` is bit-identical no
+    /// matter how many host threads executed the blocks. With the batch
+    /// row layout (`op_slot * blocks + block_slot`), row order is
+    /// op-major / block-minor — exactly the addition order a
+    /// one-op-at-a-time sequence of launches and drains would produce.
+    /// Host-side staging, off the simulated clock — the device-side cost
+    /// of the adds was already charged when the kernels wrote the slab.
     pub fn drain_bc_delta_into(&self, bc: &GpuBuffer<f64>) {
         assert!(bc.len() >= self.n, "BC array shorter than vertex count");
-        for b in 0..self.blocks {
+        for b in 0..self.bc_rows() {
             let base = self.bc_row(b);
             for v in 0..self.n {
                 let d = self.bc_delta.host_get(base + v);
@@ -362,6 +389,23 @@ mod tests {
         // A second drain is a no-op.
         scr.drain_bc_delta_into(&bc);
         assert_eq!(bc.to_vec(), [1.75, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn ensure_bc_rows_grows_and_drains_in_row_order() {
+        let mut scr = ScratchBuffers::new(2, 4, 0);
+        assert_eq!(scr.bc_rows(), 2);
+        scr.ensure_bc_rows(1); // never below one row per block
+        assert_eq!(scr.bc_rows(), 2);
+        scr.ensure_bc_rows(6); // 3 ops × 2 blocks
+        assert_eq!(scr.bc_rows(), 6);
+        assert_eq!(scr.bc_delta.len(), 6 * scr.bc_stride);
+        let bc = GpuBuffer::new(4, 0.0f64);
+        scr.bc_delta.host_set(scr.bc_row(5) + 1, 2.0); // op 2, block 1
+        scr.bc_delta.host_set(scr.bc_row(0) + 1, 1.0); // op 0, block 0
+        scr.drain_bc_delta_into(&bc);
+        assert_eq!(bc.to_vec(), [0.0, 3.0, 0.0, 0.0]);
+        assert!(scr.bc_delta.to_vec().iter().all(|d| d.to_bits() == 0));
     }
 
     #[test]

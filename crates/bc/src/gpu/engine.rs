@@ -1,19 +1,26 @@
-//! The dynamic-BC GPU engine: per-insertion orchestration.
+//! The dynamic-BC GPU engine: batch orchestration.
 //!
 //! Follows the paper's execution shape (Section III, Figure 3): the grid
 //! has one thread block per SM; blocks exploit coarse-grained parallelism
 //! by taking independent source vertices, threads within a block the
-//! fine-grained (edge- or node-) parallelism. Per insertion:
+//! fine-grained (edge- or node-) parallelism.
 //!
-//! 1. a classification kernel reads `d_s(u)` and `d_s(v)` for every
-//!    source ("figuring out which case each source node has to compute is
-//!    trivial");
-//! 2. sources facing Case 1 are skipped outright — the fast path behind
-//!    Table III's sub-millisecond best cases;
-//! 3. one fused kernel launch processes the remaining sources: each block
-//!    runs init (Alg 3) → shortest-path recount (Alg 4/5) → dependency
-//!    accumulation (Alg 6/7) → commit (Alg 8) for each source it owns,
-//!    with the Case 3 generalization substituted when distances move.
+//! Updates flow through the three-layer batch pipeline:
+//!
+//! 1. the **plan layer** ([`crate::plan`]) validates the batch against
+//!    the graph, commits ops in submission order, and classifies every
+//!    `(source, op)` pair — Case 1 / D1 sources are dropped before any
+//!    launch ("figuring out which case each source node has to compute
+//!    is trivial");
+//! 2. the **exec layer** ([`super::exec`]) fuses each stage's surviving
+//!    work items into a single grid, with per-op CSR snapshots and a
+//!    per-*(op, block)* BC delta slab so batching is bit-identical to
+//!    one-at-a-time application;
+//! 3. this module owns the device, the persistent buffers, and the
+//!    public API: [`GpuDynamicBc::apply_batch`], with
+//!    [`insert_edge`](GpuDynamicBc::insert_edge) /
+//!    [`remove_edge`](GpuDynamicBc::remove_edge) as batch-of-one
+//!    wrappers.
 //!
 //! Simulated time accumulates on the engine's [`Gpu`] clock; host↔device
 //! staging (CSR re-upload after the structure update, result downloads)
@@ -22,20 +29,19 @@
 //! Blocks of the fused launch may execute on real host threads
 //! (`DYNBC_HOST_THREADS`; see `dynbc-gpusim`). Every cross-block effect is
 //! made order-independent: the Algorithm 8 commit stages `BC` increments
-//! in per-block `bc_delta` slab rows that are reduced serially in
-//! block-index order after the launch, and the touched statistics land in
-//! per-block slots drained in the same order — so simulated seconds,
-//! stats, and every `f64` of state are bit-identical for any thread count.
+//! in per-*(op, block)* `bc_delta` slab rows that are reduced serially in
+//! row order after the launch, and the touched statistics land in
+//! per-block slots keyed by `(op, row)` — so simulated seconds, stats,
+//! and every `f64` of state are bit-identical for any thread count.
 
-use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers, T_UNTOUCHED};
-use super::kernels::{case2_edge, case2_node, case3_edge, case3_node, common, Ctx};
+use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers};
+use super::exec::{self, ExecConfig};
 use crate::brandes::brandes_state;
-use crate::cases::{CaseCounts, InsertionCase};
-use crate::dynamic::result::{SourceOutcome, UpdateResult};
+use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};
+use crate::plan::{self, PlannedOp};
 use crate::state::BcState;
-use dynbc_graph::{Csr, DynGraph, EdgeList, VertexId};
 use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer, KernelStats};
-use std::sync::Mutex;
+use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
 
 /// Fine-grained work decomposition: one thread per arc, or one thread per
 /// frontier vertex.
@@ -70,20 +76,12 @@ pub enum DedupStrategy {
     AtomicCas,
 }
 
-/// Classification codes written by the device classifier.
-const CODE_SAME: u32 = 0;
-const CODE_ADJ_U_HIGH: u32 = 1;
-const CODE_ADJ_V_HIGH: u32 = 2;
-const CODE_DIST_U_HIGH: u32 = 3;
-const CODE_DIST_V_HIGH: u32 = 4;
-
 /// Dynamic betweenness centrality on the simulated GPU.
 #[derive(Debug)]
 pub struct GpuDynamicBc {
     gpu: Gpu,
     par: Parallelism,
     graph: DynGraph,
-    gbuf: GraphBuffers,
     st: StateBuffers,
     scr: ScratchBuffers,
     case_buf: GpuBuffer<u32>,
@@ -103,18 +101,16 @@ impl GpuDynamicBc {
     ) -> Self {
         let csr = Csr::from_edge_list(el);
         let state = brandes_state(&csr, sources);
-        let gbuf = GraphBuffers::from_csr(&csr);
+        let num_arcs = csr.adjacency().len();
         let num_blocks = device.num_sms;
         // The scratch pool: allocated once, reused by every update (and
-        // grown on demand — see `ensure_arc_capacity` in the update
-        // paths). Queue rows start with headroom for the insertion
-        // stream growing the graph.
-        let scr = ScratchBuffers::new(num_blocks, el.vertex_count(), gbuf.num_arcs + 4096);
+        // grown on demand — see `apply_batch`). Queue rows start with
+        // headroom for the insertion stream growing the graph.
+        let scr = ScratchBuffers::new(num_blocks, el.vertex_count(), num_arcs + 4096);
         Self {
             gpu: Gpu::new(device),
             par,
             graph: DynGraph::from_edge_list(el),
-            gbuf,
             st: StateBuffers::upload(&state),
             scr,
             case_buf: GpuBuffer::new(sources.len(), 0),
@@ -208,309 +204,119 @@ impl GpuDynamicBc {
 
     /// Inserts the undirected edge `{u, v}` and updates BC on the device.
     ///
+    /// A batch-of-one wrapper around [`GpuDynamicBc::apply_batch`].
+    ///
     /// # Panics
     /// Panics on self loops, out-of-range endpoints, or duplicate edges.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
-        let wall_start = std::time::Instant::now();
-        assert!(u != v, "self-loop insertion");
-        assert!(self.graph.insert_edge(u, v), "edge ({u}, {v}) already present");
-        // Structure update + device re-upload: off the simulated clock.
-        self.gbuf = GraphBuffers::from_csr(&self.graph.to_csr());
-        self.scr.ensure_arc_capacity(self.gbuf.num_arcs + 4096);
-        let clock_before = self.gpu.elapsed_seconds();
-
-        // Kernel 0: classification (two distance loads per source).
-        let k = self.st.k;
-        let n = self.st.n;
-        let (st, case_buf) = (&self.st, &self.case_buf);
-        self.gpu.launch_named("insert::classify", 1, |block, _| {
-            block.label("insert::classify");
-            block.parallel_for(k, |lane, i| {
-                let du = lane.read(&st.d, i * n + u as usize);
-                let dv = lane.read(&st.d, i * n + v as usize);
-                let code = if du == dv {
-                    CODE_SAME // includes the both-∞ subcase
-                } else if du < dv {
-                    // dv may be ∞ here: a gap > 1 either way.
-                    if dv != u32::MAX && dv - du == 1 {
-                        CODE_ADJ_U_HIGH
-                    } else {
-                        CODE_DIST_U_HIGH
-                    }
-                } else if du != u32::MAX && du - dv == 1 {
-                    CODE_ADJ_V_HIGH
-                } else {
-                    CODE_DIST_V_HIGH
-                };
-                lane.write(case_buf, i, code);
-            });
-        });
-        let codes = self.case_buf.to_vec(); // staging read
-
-        let mut cases = CaseCounts::default();
-        let mut per_source: Vec<SourceOutcome> = Vec::with_capacity(k);
-        let mut worked: Vec<(usize, InsertionCase, VertexId, VertexId)> = Vec::new();
-        for (i, &code) in codes.iter().enumerate() {
-            let (case, u_high, u_low) = match code {
-                CODE_SAME => (InsertionCase::Same, u, v),
-                CODE_ADJ_U_HIGH => (InsertionCase::Adjacent, u, v),
-                CODE_ADJ_V_HIGH => (InsertionCase::Adjacent, v, u),
-                CODE_DIST_U_HIGH => (InsertionCase::Distant, u, v),
-                _ => (InsertionCase::Distant, v, u),
-            };
-            cases.record(case);
-            per_source.push(SourceOutcome { case, touched: 0 });
-            if case != InsertionCase::Same {
-                worked.push((i, case, u_high, u_low));
-            }
-        }
-
-        if !worked.is_empty() {
-            // Per-block slots for the touched statistic: blocks may run on
-            // different host threads, so each writes only its own slot;
-            // the slots are drained in block-index order below.
-            let touched_slots: Vec<Mutex<Vec<(usize, usize)>>> =
-                (0..self.num_blocks).map(|_| Mutex::new(Vec::new())).collect();
-            let par = self.par;
-            let dedup = self.dedup;
-            let force_general = self.force_general;
-            let num_blocks = self.num_blocks;
-            let gbuf = &self.gbuf;
-            let scr = &self.scr;
-            let worked_ref = &worked;
-            let fused_name = match par {
-                Parallelism::Node => "insert::fused::node",
-                Parallelism::Edge => "insert::fused::edge",
-            };
-            self.gpu.launch_named(fused_name, num_blocks, |block, b| {
-                for (wi, &(row, case, u_high, u_low)) in worked_ref.iter().enumerate() {
-                    if wi % num_blocks != b {
-                        continue;
-                    }
-                    let ctx = Ctx {
-                        g: gbuf,
-                        st,
-                        scr,
-                        block_slot: b,
-                        src_row: row,
-                        s: st.sources[row],
-                        u_high,
-                        u_low,
-                    };
-                    let general = case == InsertionCase::Distant || force_general;
-                    let mode = if general {
-                        common::SeedMode::General
-                    } else {
-                        common::SeedMode::InsertAdjacent
-                    };
-                    common::init_kernel(block, &ctx, mode);
-                    match (general, par) {
-                        (false, Parallelism::Node) => {
-                            let deepest = case2_node::sp_node(block, &ctx, dedup);
-                            case2_node::dep_node(block, &ctx, deepest);
-                        }
-                        (false, Parallelism::Edge) => {
-                            let deepest = case2_edge::sp_edge(block, &ctx);
-                            case2_edge::dep_edge(block, &ctx, deepest);
-                        }
-                        (true, Parallelism::Node) => {
-                            let deepest = case3_node::phase1_node(block, &ctx);
-                            let max_depth = case3_node::mark_node(block, &ctx, deepest);
-                            case3_node::phase2_node(block, &ctx, max_depth);
-                        }
-                        (true, Parallelism::Edge) => {
-                            let deepest = case3_edge::phase1_edge(block, &ctx);
-                            let max_depth = case3_edge::mark_edge(block, &ctx, deepest);
-                            case3_edge::phase2_edge(block, &ctx, max_depth);
-                        }
-                    }
-                    common::update_kernel(block, &ctx, general);
-                    // Host-side instrumentation (off the clock): Figure 4's
-                    // touched-vertex statistic, read from this block's own
-                    // scratch row.
-                    let base = scr.row(b);
-                    let touched = scr
-                        .t
-                        .snapshot_range(base, n)
-                        .iter()
-                        .filter(|&&t| t != T_UNTOUCHED)
-                        .count();
-                    touched_slots[b].lock().unwrap().push((row, touched));
-                }
-            });
-            // Deterministic epilogue, in block-index order: apply the
-            // per-block BC deltas, then collect the touched stats.
-            scr.drain_bc_delta_into(&st.bc);
-            for slot in &touched_slots {
-                for &(row, touched) in slot.lock().unwrap().iter() {
-                    per_source[row].touched = touched;
-                }
-            }
-        }
-
-        UpdateResult {
-            cases,
-            per_source,
-            model_seconds: self.gpu.elapsed_seconds() - clock_before,
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
-        }
+        self.apply_batch(&[EdgeOp::Insert(u, v)])
+            .into_update_result()
     }
 
     /// Removes the undirected edge `{u, v}` and updates BC on the device
     /// (the decremental mirror of [`insert_edge`](Self::insert_edge); see
     /// `dynamic::delete` for the case taxonomy).
     ///
+    /// A batch-of-one wrapper around [`GpuDynamicBc::apply_batch`].
+    ///
     /// # Panics
     /// Panics if the edge is absent or a self loop.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
-        use super::kernels::delete;
-        use super::static_bc::{static_source_edge, static_source_node};
+        self.apply_batch(&[EdgeOp::Remove(u, v)])
+            .into_update_result()
+    }
 
+    /// Applies a batch of edge mutations in submission order, updating BC
+    /// on the device after each one.
+    ///
+    /// The batch is validated up front (all or nothing), then split into
+    /// stages at distance-changing ops and executed with one fused grid
+    /// per stage (see [`super::exec`]). Results — every `f64` of BC and
+    /// state, the case tallies, the touched statistics — are bit-identical
+    /// to applying the ops one at a time; what batching changes is the
+    /// simulated cost, by amortizing launch overhead and packing light
+    /// ops into SMs idled by heavy ones.
+    ///
+    /// # Panics
+    /// Panics (before touching any engine state) if any op is a self
+    /// loop, a duplicate insertion, or a removal of an absent edge.
+    pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
         let wall_start = std::time::Instant::now();
-        assert!(u != v, "self-loop removal");
-        assert!(self.graph.remove_edge(u, v), "edge ({u}, {v}) not present");
-        self.gbuf = GraphBuffers::from_csr(&self.graph.to_csr());
-        self.scr.ensure_arc_capacity(self.gbuf.num_arcs + 4096);
+        plan::validate_batch(&mut self.graph, batch);
         let clock_before = self.gpu.elapsed_seconds();
 
-        // Kernel 0: deletion classifier (needs post-removal adjacency for
-        // the surviving-predecessor scan).
-        let k = self.st.k;
-        let n = self.st.n;
-        let (st, case_buf, gbuf) = (&self.st, &self.case_buf, &self.gbuf);
-        self.gpu.launch_named("delete::classify", 1, |block, _| {
-            delete::classify_deletion(block, gbuf, st, case_buf, u, v);
-        });
-        let codes = self.case_buf.to_vec();
+        let mut per_op: Vec<OpOutcome> = Vec::with_capacity(batch.len());
+        let mut next = 0;
+        while next < batch.len() {
+            // Plan one stage (host side, off the simulated clock): commit
+            // each op to the graph and classify it against the stage-start
+            // distances — valid because only the stage's last op may
+            // change any distance. Each op gets its own CSR snapshot so
+            // the fused launch reads exactly the adjacency the sequential
+            // path would.
+            let d_rows = self.download_d_rows();
+            let stage_base = next;
+            let mut stage: Vec<PlannedOp> = Vec::new();
+            let mut gbufs: Vec<GraphBuffers> = Vec::new();
+            while next < batch.len() {
+                let planned = plan::plan_op(&mut self.graph, &d_rows, batch[next]);
+                gbufs.push(GraphBuffers::from_csr(&self.graph.to_csr()));
+                next += 1;
+                let cut = planned.cuts_stage();
+                stage.push(planned);
+                if cut {
+                    break;
+                }
+            }
 
-        let mut cases = CaseCounts::default();
-        let mut per_source: Vec<SourceOutcome> = Vec::with_capacity(k);
-        // (row, uses fallback, u_high, u_low)
-        let mut worked: Vec<(usize, bool, VertexId, VertexId)> = Vec::new();
-        for (i, &code) in codes.iter().enumerate() {
-            let (case, fallback, u_high, u_low) = match code {
-                0 => (InsertionCase::Same, false, u, v),
-                1 => (InsertionCase::Adjacent, false, u, v),
-                2 => (InsertionCase::Adjacent, false, v, u),
-                3 => (InsertionCase::Distant, true, u, v),
-                _ => (InsertionCase::Distant, true, v, u),
+            // Scratch sized by batch width: queue rows for the widest
+            // snapshot, one BC-delta slab row per (op, block) pair.
+            let max_arcs = gbufs.iter().map(|g| g.num_arcs).max().unwrap_or(0);
+            self.scr.ensure_arc_capacity(max_arcs + 4096);
+            self.scr.ensure_bc_rows(stage.len() * self.num_blocks);
+
+            exec::charge_classification(&mut self.gpu, &self.st, &self.case_buf, &stage, &gbufs);
+            let cfg = ExecConfig {
+                par: self.par,
+                dedup: self.dedup,
+                force_general: self.force_general,
+                num_blocks: self.num_blocks,
             };
-            cases.record(case);
-            per_source.push(SourceOutcome { case, touched: 0 });
-            if case != InsertionCase::Same {
-                worked.push((i, fallback, u_high, u_low));
+            let touched = exec::run_stage(&mut self.gpu, cfg, &self.st, &self.scr, &stage, &gbufs);
+
+            for planned in &stage {
+                per_op.push(OpOutcome {
+                    op: planned.op,
+                    cases: planned.cases,
+                    per_source: planned
+                        .sources
+                        .iter()
+                        .map(|c| SourceOutcome {
+                            case: c.case,
+                            touched: 0,
+                        })
+                        .collect(),
+                });
+            }
+            for (op_slot, row, t) in touched {
+                per_op[stage_base + op_slot].per_source[row].touched = t;
             }
         }
 
-        if !worked.is_empty() {
-            let touched_slots: Vec<Mutex<Vec<(usize, usize)>>> =
-                (0..self.num_blocks).map(|_| Mutex::new(Vec::new())).collect();
-            let par = self.par;
-            let dedup = self.dedup;
-            let num_blocks = self.num_blocks;
-            let scr = &self.scr;
-            let fused_name = match par {
-                Parallelism::Node => "delete::fused::node",
-                Parallelism::Edge => "delete::fused::edge",
-            };
-            self.gpu.launch_named(fused_name, num_blocks, |block, b| {
-                for (wi, &(row, fallback, u_high, u_low)) in worked.iter().enumerate() {
-                    if wi % num_blocks != b {
-                        continue;
-                    }
-                    let s = st.sources[row];
-                    let ctx = Ctx {
-                        g: gbuf,
-                        st,
-                        scr,
-                        block_slot: b,
-                        src_row: row,
-                        s,
-                        u_high,
-                        u_low,
-                    };
-                    if fallback {
-                        // Case D3: subtract old scores, recompute this
-                        // source from scratch on the device, commit.
-                        delete::fallback_subtract_old(block, &ctx);
-                        match par {
-                            Parallelism::Node => static_source_node(block, gbuf, scr, b, s),
-                            Parallelism::Edge => static_source_edge(block, gbuf, scr, b, s),
-                        }
-                        // Touched statistic (host instrumentation, off
-                        // the clock): state entries the commit will
-                        // change. Snapshots cover only rows this block
-                        // owns (its scratch row, this source's state row).
-                        let base = scr.row(b);
-                        let krow = row * n;
-                        let touched = {
-                            let dh = scr.d_hat.snapshot_range(base, n);
-                            let sh = scr.sigma_hat.snapshot_range(base, n);
-                            let delh = scr.delta_hat.snapshot_range(base, n);
-                            let d = st.d.snapshot_range(krow, n);
-                            let sg = st.sigma.snapshot_range(krow, n);
-                            let dl = st.delta.snapshot_range(krow, n);
-                            (0..n)
-                                .filter(|&x| {
-                                    dh[x] != d[x] || sh[x] != sg[x] || delh[x] != dl[x]
-                                })
-                                .count()
-                        };
-                        delete::fallback_commit(block, &ctx);
-                        touched_slots[b].lock().unwrap().push((row, touched));
-                    } else {
-                        // Case D2: Algorithm 2 machinery with a negative
-                        // seed and the phantom retraction.
-                        common::init_kernel(block, &ctx, common::SeedMode::DeleteAdjacent);
-                        let deepest = match par {
-                            Parallelism::Node => {
-                                case2_node::sp_node(block, &ctx, dedup)
-                            }
-                            Parallelism::Edge => case2_edge::sp_edge(block, &ctx),
-                        };
-                        delete::phantom_retraction(block, &ctx);
-                        // The inserted-pair exclusion never applies to a
-                        // deletion: disable it with an unmatchable pair.
-                        let dep_ctx = Ctx {
-                            g: gbuf,
-                            st,
-                            scr,
-                            block_slot: b,
-                            src_row: row,
-                            s,
-                            u_high: u32::MAX,
-                            u_low: u32::MAX,
-                        };
-                        match par {
-                            Parallelism::Node => case2_node::dep_node(block, &dep_ctx, deepest),
-                            Parallelism::Edge => case2_edge::dep_edge(block, &dep_ctx, deepest),
-                        }
-                        common::update_kernel(block, &ctx, false);
-                        let base = scr.row(b);
-                        let touched = scr
-                            .t
-                            .snapshot_range(base, n)
-                            .iter()
-                            .filter(|&&t| t != T_UNTOUCHED)
-                            .count();
-                        touched_slots[b].lock().unwrap().push((row, touched));
-                    }
-                }
-            });
-            scr.drain_bc_delta_into(&st.bc);
-            for slot in &touched_slots {
-                for &(row, touched) in slot.lock().unwrap().iter() {
-                    per_source[row].touched = touched;
-                }
-            }
-        }
-
-        UpdateResult {
-            cases,
-            per_source,
+        BatchResult {
+            per_op,
             model_seconds: self.gpu.elapsed_seconds() - clock_before,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Stages the device's per-source distance rows back to the host for
+    /// plan-layer classification (untimed staging, like every download).
+    fn download_d_rows(&self) -> Vec<Vec<u32>> {
+        let flat = self.st.d.host();
+        (0..self.st.k)
+            .map(|i| flat[i * self.st.n..(i + 1) * self.st.n].to_vec())
+            .collect()
     }
 }
 
@@ -765,5 +571,112 @@ mod tests {
             node.total_stats().mem_segments
         );
         assert!(edge.elapsed_seconds() > node.elapsed_seconds());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_ops() {
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            let mut rng = StdRng::seed_from_u64(1234);
+            let n = 30;
+            let el = gen::er(&mut rng, n, 50);
+            let sources = sample_sources(&mut rng, n, 6);
+            // Build a mixed op stream that is valid when applied in order.
+            let mut probe = DynGraph::from_edge_list(&el);
+            let mut ops = Vec::new();
+            while ops.len() < 10 {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a == b {
+                    continue;
+                }
+                let op = if probe.has_edge(a, b) {
+                    EdgeOp::Remove(a, b)
+                } else {
+                    EdgeOp::Insert(a, b)
+                };
+                assert!(probe.apply_op(op));
+                ops.push(op);
+            }
+            let mut batched = engine(&el, &sources, par);
+            let mut sequential = engine(&el, &sources, par);
+            let br = batched.apply_batch(&ops);
+            assert_eq!(br.per_op.len(), ops.len());
+            for (i, &op) in ops.iter().enumerate() {
+                let r = sequential.apply_batch(&[op]).into_update_result();
+                assert_eq!(br.per_op[i].cases, r.cases, "{par}: cases of op {i}");
+                assert_eq!(
+                    br.per_op[i].per_source, r.per_source,
+                    "{par}: per-source outcomes of op {i}"
+                );
+            }
+            let bs = batched.state_snapshot();
+            let ss = sequential.state_snapshot();
+            assert_eq!(bs.d, ss.d, "{par}: distances");
+            for v in 0..n {
+                assert_eq!(
+                    bs.bc[v].to_bits(),
+                    ss.bc[v].to_bits(),
+                    "{par}: BC[{v}] bits differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_launch_overhead() {
+        // A stream of insertions whose endpoints sit within one level of
+        // each other for *every* source is pure Case 1/2 work: no op
+        // changes any distance, so the whole batch fuses into one stage —
+        // 2 launches total instead of 2 per op, and light sources pack
+        // into idle SMs. Modeled seconds must drop.
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 60;
+        let el = gen::ws(&mut rng, n, 3, 0.1);
+        let sources = sample_sources(&mut rng, n, 8);
+        let state = brandes_state(&Csr::from_edge_list(&el), &sources);
+        let mut probe = DynGraph::from_edge_list(&el);
+        let mut ops = Vec::new();
+        'outer: for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if probe.has_edge(a, b) {
+                    continue;
+                }
+                let fusable = state.d.iter().all(|row| {
+                    row[a as usize] != u32::MAX
+                        && row[b as usize] != u32::MAX
+                        && row[a as usize].abs_diff(row[b as usize]) <= 1
+                });
+                if fusable {
+                    assert!(probe.insert_edge(a, b));
+                    ops.push(EdgeOp::Insert(a, b));
+                    if ops.len() == 8 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(ops.len() >= 4, "graph too sparse in same-level pairs");
+        let device = DeviceConfig::tesla_c2075();
+        let mut batched = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node);
+        let br = batched.apply_batch(&ops);
+        let mut sequential = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node);
+        let mut seq_seconds = 0.0;
+        for &op in &ops {
+            seq_seconds += sequential.apply_batch(&[op]).model_seconds;
+        }
+        assert!(
+            br.model_seconds < seq_seconds,
+            "batch {} should beat sequential {}",
+            br.model_seconds,
+            seq_seconds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn batch_with_duplicate_insert_panics_before_state_change() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (1, 2)]);
+        let mut eng = engine(&el, &[0], Parallelism::Node);
+        eng.apply_batch(&[EdgeOp::Insert(2, 3), EdgeOp::Insert(0, 1)]);
     }
 }

@@ -1,0 +1,294 @@
+//! The **exec layer**: batch-aware GPU dispatch.
+//!
+//! The plan layer ([`crate::plan`]) turns a batch of edge ops into
+//! *stages* — maximal runs of ops in which only the last may change any
+//! distance. This module executes one stage at a time, fusing all of its
+//! non-trivial `(source, op)` work items into a single grid:
+//!
+//! * one thread block per SM, as everywhere in this workspace;
+//! * block `b` owns the work items whose source row satisfies
+//!   `row % num_blocks == b` and processes them in `(op, row)` order, so
+//!   every per-source state row has exactly one writer for the whole
+//!   launch;
+//! * each item reads the graph through its op's own CSR snapshot
+//!   (`gbufs[op_slot]` reflects the graph *after* that op committed), so
+//!   fusing never shows an item a younger adjacency than the sequential
+//!   path would;
+//! * BC increments land in a per-*(op, block)* slab row
+//!   (`bc_slot = op_slot * num_blocks + block_slot`); draining the slab
+//!   in row order replays the exact `f64` addition order of a
+//!   one-op-at-a-time sequence of launches, keeping batched scores
+//!   bit-identical to sequential ones.
+//!
+//! Fusing a stage of `B` ops costs two kernel launches (classification
+//! charge + fused grid) instead of `2B` — the launch-overhead
+//! amortization the batch API exists for — and lets light ops pack into
+//! SMs idled by heavy ones.
+
+use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers, T_UNTOUCHED};
+use super::engine::{DedupStrategy, Parallelism};
+use super::kernels::{case2_edge, case2_node, case3_edge, case3_node, common, delete, Ctx};
+use super::static_bc::{static_source_edge, static_source_node};
+use crate::cases::InsertionCase;
+use crate::plan::PlannedOp;
+use dynbc_gpusim::{BlockCtx, Gpu, GpuBuffer};
+use std::sync::Mutex;
+
+/// Fixed per-engine dispatch knobs the stage launches need.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ExecConfig {
+    /// Fine-grained decomposition.
+    pub par: Parallelism,
+    /// Frontier duplicate-removal strategy (node-parallel only).
+    pub dedup: DedupStrategy,
+    /// Route Case 2 insertions through the general machinery.
+    pub force_general: bool,
+    /// Grid width (one block per SM).
+    pub num_blocks: usize,
+}
+
+/// One non-trivial `(source, op)` pair of a stage.
+struct WorkItem {
+    op_slot: usize,
+    row: usize,
+    case: InsertionCase,
+    is_insert: bool,
+    u_high: u32,
+    u_low: u32,
+}
+
+/// Charges the device cost of classifying every `(source, op)` pair of
+/// the stage: one single-block launch replaying exactly the memory
+/// traffic of a per-op classification kernel — two distance loads and a
+/// code store per source, plus the surviving-predecessor scan (with
+/// early exit) for removals — with a barrier between ops.
+///
+/// The *decisions* were already made host-side by the plan layer; this
+/// launch keeps the cost model honest about where they would have come
+/// from on a real device, while fusing what used to be one launch per op
+/// into one per stage.
+pub(super) fn charge_classification(
+    gpu: &mut Gpu,
+    st: &StateBuffers,
+    case_buf: &GpuBuffer<u32>,
+    stage: &[PlannedOp],
+    gbufs: &[GraphBuffers],
+) {
+    let n = st.n;
+    let k = st.k;
+    gpu.launch_named("batch::classify", 1, |block, _| {
+        block.label("batch::classify");
+        for (slot, planned) in stage.iter().enumerate() {
+            let (u, v) = planned.op.endpoints();
+            let g = &gbufs[slot];
+            let is_insert = planned.op.is_insert();
+            block.parallel_for(k, |lane, i| {
+                let du = lane.read(&st.d, i * n + u as usize);
+                let dv = lane.read(&st.d, i * n + v as usize);
+                if !is_insert && du != dv {
+                    // An existing edge spans adjacent levels, so both
+                    // endpoints are reachable here: scan u_low's
+                    // post-removal adjacency for a surviving
+                    // predecessor, stopping at the first hit.
+                    let u_low = if du < dv { v } else { u };
+                    let d_low = du.max(dv);
+                    let start = lane.read(&g.row_offsets, u_low as usize) as usize;
+                    let end = lane.read(&g.row_offsets, u_low as usize + 1) as usize;
+                    for e in start..end {
+                        let x = lane.read(&g.adj, e);
+                        let dx = lane.read(&st.d, i * n + x as usize);
+                        if dx != u32::MAX && dx + 1 == d_low {
+                            break;
+                        }
+                    }
+                }
+                lane.write(case_buf, i, 0);
+            });
+            block.barrier();
+        }
+    });
+}
+
+/// Executes every non-trivial `(source, op)` work item of the stage in
+/// one fused grid, then drains the BC delta slab in sequential commit
+/// order. Returns the Figure-4 touched statistic as `(op_slot, row,
+/// touched)` triples (order unspecified; each pair appears once).
+pub(super) fn run_stage(
+    gpu: &mut Gpu,
+    cfg: ExecConfig,
+    st: &StateBuffers,
+    scr: &ScratchBuffers,
+    stage: &[PlannedOp],
+    gbufs: &[GraphBuffers],
+) -> Vec<(usize, usize, usize)> {
+    let mut items = Vec::new();
+    for (op_slot, planned) in stage.iter().enumerate() {
+        for (row, cls) in planned.items() {
+            items.push(WorkItem {
+                op_slot,
+                row,
+                case: cls.case,
+                is_insert: planned.op.is_insert(),
+                u_high: cls.u_high,
+                u_low: cls.u_low,
+            });
+        }
+    }
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let num_blocks = cfg.num_blocks;
+    assert!(
+        scr.bc_rows() >= stage.len() * num_blocks,
+        "BC delta slab not sized for this stage"
+    );
+    // Per-block slots for the touched statistic: blocks may run on
+    // different host threads, so each writes only its own slot.
+    let touched_slots: Vec<Mutex<Vec<(usize, usize, usize)>>> =
+        (0..num_blocks).map(|_| Mutex::new(Vec::new())).collect();
+    let items_ref = &items;
+    let fused_name = match cfg.par {
+        Parallelism::Node => "batch::fused::node",
+        Parallelism::Edge => "batch::fused::edge",
+    };
+    gpu.launch_named(fused_name, num_blocks, |block, b| {
+        // Items arrive op-major / row-minor; the filter preserves that
+        // order, so two ops touching the same source row are applied in
+        // submission order by the row's owning block.
+        for item in items_ref.iter().filter(|it| it.row % num_blocks == b) {
+            let ctx = Ctx {
+                g: &gbufs[item.op_slot],
+                st,
+                scr,
+                block_slot: b,
+                bc_slot: item.op_slot * num_blocks + b,
+                src_row: item.row,
+                s: st.sources[item.row],
+                u_high: item.u_high,
+                u_low: item.u_low,
+            };
+            let touched = if item.is_insert {
+                insert_item(block, &ctx, cfg, item.case)
+            } else if item.case == InsertionCase::Adjacent {
+                delete_adjacent_item(block, &ctx, cfg)
+            } else {
+                delete_fallback_item(block, &ctx, cfg)
+            };
+            touched_slots[b]
+                .lock()
+                .unwrap()
+                .push((item.op_slot, item.row, touched));
+        }
+    });
+    // Deterministic epilogue: apply the slab rows in op-major /
+    // block-minor order — the sequential commit order.
+    scr.drain_bc_delta_into(&st.bc);
+    let mut out = Vec::with_capacity(items.len());
+    for slot in &touched_slots {
+        out.extend(slot.lock().unwrap().drain(..));
+    }
+    out
+}
+
+/// Insertion item: init (Alg 3) → shortest-path recount (Alg 4/5) →
+/// dependency accumulation (Alg 6/7) → commit (Alg 8), with the Case 3
+/// generalization substituted when distances move.
+fn insert_item(block: &mut BlockCtx, ctx: &Ctx<'_>, cfg: ExecConfig, case: InsertionCase) -> usize {
+    let general = case == InsertionCase::Distant || cfg.force_general;
+    let mode = if general {
+        common::SeedMode::General
+    } else {
+        common::SeedMode::InsertAdjacent
+    };
+    common::init_kernel(block, ctx, mode);
+    match (general, cfg.par) {
+        (false, Parallelism::Node) => {
+            let deepest = case2_node::sp_node(block, ctx, cfg.dedup);
+            case2_node::dep_node(block, ctx, deepest);
+        }
+        (false, Parallelism::Edge) => {
+            let deepest = case2_edge::sp_edge(block, ctx);
+            case2_edge::dep_edge(block, ctx, deepest);
+        }
+        (true, Parallelism::Node) => {
+            let deepest = case3_node::phase1_node(block, ctx);
+            let max_depth = case3_node::mark_node(block, ctx, deepest);
+            case3_node::phase2_node(block, ctx, max_depth);
+        }
+        (true, Parallelism::Edge) => {
+            let deepest = case3_edge::phase1_edge(block, ctx);
+            let max_depth = case3_edge::mark_edge(block, ctx, deepest);
+            case3_edge::phase2_edge(block, ctx, max_depth);
+        }
+    }
+    common::update_kernel(block, ctx, general);
+    touched_flags(ctx)
+}
+
+/// Case D2 item: Algorithm 2 machinery with a negative seed and the
+/// phantom retraction; the inserted-pair exclusion is disabled with an
+/// unmatchable pair for the dependency sweep.
+fn delete_adjacent_item(block: &mut BlockCtx, ctx: &Ctx<'_>, cfg: ExecConfig) -> usize {
+    common::init_kernel(block, ctx, common::SeedMode::DeleteAdjacent);
+    let deepest = match cfg.par {
+        Parallelism::Node => case2_node::sp_node(block, ctx, cfg.dedup),
+        Parallelism::Edge => case2_edge::sp_edge(block, ctx),
+    };
+    delete::phantom_retraction(block, ctx);
+    let dep_ctx = Ctx {
+        u_high: u32::MAX,
+        u_low: u32::MAX,
+        ..*ctx
+    };
+    match cfg.par {
+        Parallelism::Node => case2_node::dep_node(block, &dep_ctx, deepest),
+        Parallelism::Edge => case2_edge::dep_edge(block, &dep_ctx, deepest),
+    }
+    common::update_kernel(block, ctx, false);
+    touched_flags(ctx)
+}
+
+/// Case D3 item: subtract the old scores, recompute this source from
+/// scratch on the device, commit.
+fn delete_fallback_item(block: &mut BlockCtx, ctx: &Ctx<'_>, cfg: ExecConfig) -> usize {
+    delete::fallback_subtract_old(block, ctx);
+    match cfg.par {
+        Parallelism::Node => {
+            static_source_node(block, ctx.g, ctx.scr, ctx.block_slot, ctx.bc_slot, ctx.s)
+        }
+        Parallelism::Edge => {
+            static_source_edge(block, ctx.g, ctx.scr, ctx.block_slot, ctx.bc_slot, ctx.s)
+        }
+    }
+    // Touched statistic (host instrumentation, off the clock): state
+    // entries the commit will change. Snapshots cover only rows this
+    // block owns (its scratch row, this source's state row).
+    let n = ctx.n();
+    let base = ctx.scr.row(ctx.block_slot);
+    let krow = ctx.src_row * n;
+    let touched = {
+        let dh = ctx.scr.d_hat.snapshot_range(base, n);
+        let sh = ctx.scr.sigma_hat.snapshot_range(base, n);
+        let delh = ctx.scr.delta_hat.snapshot_range(base, n);
+        let d = ctx.st.d.snapshot_range(krow, n);
+        let sg = ctx.st.sigma.snapshot_range(krow, n);
+        let dl = ctx.st.delta.snapshot_range(krow, n);
+        (0..n)
+            .filter(|&x| dh[x] != d[x] || sh[x] != sg[x] || delh[x] != dl[x])
+            .count()
+    };
+    delete::fallback_commit(block, ctx);
+    touched
+}
+
+/// Figure 4's touched-vertex statistic, read from this block's own `t`
+/// scratch row (host instrumentation, off the clock).
+fn touched_flags(ctx: &Ctx<'_>) -> usize {
+    let base = ctx.scr.row(ctx.block_slot);
+    ctx.scr
+        .t
+        .snapshot_range(base, ctx.n())
+        .iter()
+        .filter(|&&t| t != T_UNTOUCHED)
+        .count()
+}

@@ -44,8 +44,8 @@ pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
                     lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                     done = false;
                 }
-                let push = lane.read(&ctx.scr.sigma_hat, ctx.sn(v))
-                    - lane.read(&ctx.st.sigma, ctx.kn(v));
+                let push =
+                    lane.read(&ctx.scr.sigma_hat, ctx.sn(v)) - lane.read(&ctx.st.sigma, ctx.kn(v));
                 lane.atomic_add_f64(&ctx.scr.sigma_hat, ctx.sn(w), push);
             }
         });

@@ -49,8 +49,7 @@ pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32
                             // Plain test-then-set: a benign race in CUDA
                             // (duplicates are removed later), deterministic
                             // here. Declared volatile for the racechecker.
-                            let untouched =
-                                lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED;
+                            let untouched = lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED;
                             if untouched {
                                 lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                             }
@@ -133,11 +132,7 @@ pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
         block.barrier();
         // Lines 18–19: absorb the vertices discovered this round.
         let added = block.read_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN));
-        block.write_scalar(
-            &ctx.scr.lens,
-            ctx.li(SLOT_QQLEN),
-            qq_len as u32 + added,
-        );
+        block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QQLEN), qq_len as u32 + added);
         block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 0);
         depth -= 1;
     }

@@ -84,9 +84,7 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                     lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
-                } else if dw == level + 1
-                    && lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED
-                {
+                } else if dw == level + 1 && lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
                     lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
@@ -139,8 +137,7 @@ pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
                 let new_pred = dw_new > 0 && dx == dw_new - 1;
                 let old_pred = dw_old != u32::MAX && dw_old > 0 && dx == dw_old - 1;
                 if (new_pred || old_pred)
-                    && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP)
-                        == T_UNTOUCHED
+                    && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP) == T_UNTOUCHED
                 {
                     lane.atomic_max_u32(&ctx.scr.lens, ctx.li(SLOT_DEPTH), dx);
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);

@@ -3,9 +3,7 @@
 //! removal used by the node-parallel frontier (Section III-A).
 
 use super::Ctx;
-use crate::gpu::buffers::{
-    SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN, T_UNTOUCHED,
-};
+use crate::gpu::buffers::{SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN, T_UNTOUCHED};
 use dynbc_gpusim::BlockCtx;
 
 /// How [`init_kernel`] seeds `u_low` (the update flavours share the rest

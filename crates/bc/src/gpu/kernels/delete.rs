@@ -90,52 +90,3 @@ pub fn fallback_commit(block: &mut BlockCtx, ctx: &Ctx<'_>) {
     });
     block.barrier();
 }
-
-/// Deletion classifier: for each source, distinguishes D1 (same level) /
-/// D2 (adjacent, surviving predecessor) / D3 (adjacent, sole
-/// predecessor), encoding the `u_high` orientation in the code. Runs
-/// *after* the edge is gone from the device adjacency (the
-/// surviving-predecessor scan must not see it).
-///
-/// Codes: 0 = D1; 1/2 = D2 with `u`/`v` high; 3/4 = D3 with `u`/`v` high.
-pub fn classify_deletion(
-    block: &mut BlockCtx,
-    g: &crate::gpu::buffers::GraphBuffers,
-    st: &crate::gpu::buffers::StateBuffers,
-    out: &dynbc_gpusim::GpuBuffer<u32>,
-    u: u32,
-    v: u32,
-) {
-    block.label("delete::classify");
-    let n = st.n;
-    let k = st.k;
-    block.parallel_for(k, |lane, i| {
-        let du = lane.read(&st.d, i * n + u as usize);
-        let dv = lane.read(&st.d, i * n + v as usize);
-        let code = if du == dv {
-            0
-        } else {
-            let (u_low, d_low, u_is_high) = if du < dv { (v, dv, true) } else { (u, du, false) };
-            // Does u_low keep a predecessor at d_low - 1?
-            let start = lane.read(&g.row_offsets, u_low as usize) as usize;
-            let end = lane.read(&g.row_offsets, u_low as usize + 1) as usize;
-            let mut survives = false;
-            for e in start..end {
-                let x = lane.read(&g.adj, e);
-                let dx = lane.read(&st.d, i * n + x as usize);
-                if dx != u32::MAX && dx + 1 == d_low {
-                    survives = true;
-                    break;
-                }
-            }
-            match (survives, u_is_high) {
-                (true, true) => 1,
-                (true, false) => 2,
-                (false, true) => 3,
-                (false, false) => 4,
-            }
-        };
-        lane.write(out, i, code);
-    });
-    block.barrier();
-}

@@ -9,7 +9,11 @@
 //! Layout conventions: per-source state rows live at `src_row * n`, each
 //! block's scratch rows at `block_slot * n` (or `block_slot * qw` for
 //! queues); a block processes one source at a time, so one scratch row per
-//! block suffices even when it loops over several sources.
+//! block suffices even when it loops over several sources. The BC delta
+//! slab is the one exception: its row is picked by `bc_slot`, which the
+//! batch dispatcher derives from *(op slot, block slot)* so that one fused
+//! launch can stage per-op deltas separately and drain them in submission
+//! order (see `gpu::exec`).
 
 pub mod case2_edge;
 pub mod case2_node;
@@ -24,6 +28,7 @@ use dynbc_graph::VertexId;
 /// Everything a kernel needs to locate its data: graph, state, scratch,
 /// which block-scratch row to use, which source row to update, and the
 /// inserted edge oriented as `(u_high, u_low)`.
+#[derive(Clone, Copy)]
 pub struct Ctx<'a> {
     /// Device graph.
     pub g: &'a GraphBuffers,
@@ -33,6 +38,11 @@ pub struct Ctx<'a> {
     pub scr: &'a ScratchBuffers,
     /// This block's scratch row index.
     pub block_slot: usize,
+    /// This work item's BC-delta slab row index. Equal to `block_slot`
+    /// for single-op launches; the batch dispatcher spreads ops across
+    /// rows (`op_slot * num_blocks + block_slot`) so the drain can replay
+    /// sequential commit order.
+    pub bc_slot: usize,
     /// This source's state row index (`0..k`).
     pub src_row: usize,
     /// The source vertex.
@@ -62,10 +72,10 @@ impl Ctx<'_> {
         self.scr.row(self.block_slot) + v as usize
     }
 
-    /// Index of vertex `v` in this block's BC delta slab row.
+    /// Index of vertex `v` in this work item's BC delta slab row.
     #[inline]
     pub fn bci(&self, v: VertexId) -> usize {
-        self.scr.bc_row(self.block_slot) + v as usize
+        self.scr.bc_row(self.bc_slot) + v as usize
     }
 
     /// Index `i` in this block's queue rows (`q`/`q2`/`qq`).

@@ -1,7 +1,9 @@
 //! GPU implementations on the `dynbc-gpusim` machine model.
 //!
-//! * [`engine`] — the per-insertion dynamic-BC orchestration
-//!   ([`GpuDynamicBc`]), in both [`Parallelism`] decompositions;
+//! * [`engine`] — the dynamic-BC batch orchestration ([`GpuDynamicBc`]),
+//!   in both [`Parallelism`] decompositions;
+//! * [`exec`] — the batch-aware dispatcher: one fused grid per stage of
+//!   the update plan;
 //! * [`kernels`] — Algorithms 3–8 plus the Case 3 generalization;
 //! * [`static_bc`] — from-scratch GPU BC (the Fig. 1 workload and the
 //!   Table III recomputation baseline);
@@ -11,6 +13,7 @@
 
 pub mod buffers;
 pub mod engine;
+pub(crate) mod exec;
 pub mod kernels;
 pub mod multi;
 pub mod static_bc;

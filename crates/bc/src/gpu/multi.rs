@@ -14,15 +14,53 @@
 //! workloads are skewed (one device drawing the heavy Case 3 sources).
 
 use super::engine::{GpuDynamicBc, Parallelism};
-use crate::cases::CaseCounts;
-use crate::dynamic::result::UpdateResult;
-use dynbc_graph::{DynGraph, EdgeList, VertexId};
+use crate::dynamic::result::{BatchResult, UpdateResult};
 use dynbc_gpusim::DeviceConfig;
+use dynbc_graph::{DynGraph, EdgeList, EdgeOp, VertexId};
 
 /// Dynamic BC across several (simulated) GPUs.
 #[derive(Debug)]
 pub struct MultiGpuDynamicBc {
     devices: Vec<GpuDynamicBc>,
+}
+
+/// Generates the simulator-knob plumbing shared with the single-GPU
+/// engine: setters fan out to every device, counters sum over them. One
+/// macro call instead of a hand-written forwarding method per knob.
+macro_rules! forward_device_knobs {
+    (
+        $(set $setter:ident($ty:ty), #[doc = $sdoc:literal];)*
+        $(sum $getter:ident() -> $gty:ty, #[doc = $gdoc:literal];)*
+    ) => {
+        impl MultiGpuDynamicBc {
+            $(
+                #[doc = $sdoc]
+                pub fn $setter(&mut self, value: $ty) {
+                    for dev in &mut self.devices {
+                        dev.$setter(value);
+                    }
+                }
+            )*
+            $(
+                #[doc = $gdoc]
+                pub fn $getter(&self) -> $gty {
+                    self.devices.iter().map(GpuDynamicBc::$getter).sum()
+                }
+            )*
+        }
+    };
+}
+
+forward_device_knobs! {
+    set set_host_threads(usize),
+        #[doc = " Pins the host-thread count on every simulated device (results are \
+                  bit-identical for any value; see [`GpuDynamicBc::set_host_threads`])."];
+    set set_racecheck(bool),
+        #[doc = " Enables/disables checked (racecheck) execution on every device."];
+    sum racecheck_warnings() -> u64,
+        #[doc = " Warning-severity racecheck diagnostics summed over all devices."];
+    sum checked_launches() -> u64,
+        #[doc = " Launches that ran under the racechecker, summed over all devices."];
 }
 
 impl MultiGpuDynamicBc {
@@ -37,10 +75,7 @@ impl MultiGpuDynamicBc {
         num_devices: usize,
     ) -> Self {
         assert!(num_devices >= 1, "need at least one device");
-        assert!(
-            !sources.is_empty(),
-            "need at least one source to partition"
-        );
+        assert!(!sources.is_empty(), "need at least one source to partition");
         let devices = (0..num_devices.min(sources.len()))
             .map(|d| {
                 let mine: Vec<VertexId> = sources
@@ -60,26 +95,6 @@ impl MultiGpuDynamicBc {
         self.devices.len()
     }
 
-    /// Pins the host-thread count on every simulated device (results are
-    /// bit-identical for any value; see [`GpuDynamicBc::set_host_threads`]).
-    pub fn set_host_threads(&mut self, threads: usize) {
-        for dev in &mut self.devices {
-            dev.set_host_threads(threads);
-        }
-    }
-
-    /// Enables/disables checked (racecheck) execution on every device.
-    pub fn set_racecheck(&mut self, on: bool) {
-        for dev in &mut self.devices {
-            dev.set_racecheck(on);
-        }
-    }
-
-    /// Warning-severity racecheck diagnostics summed over all devices.
-    pub fn racecheck_warnings(&self) -> u64 {
-        self.devices.iter().map(GpuDynamicBc::racecheck_warnings).sum()
-    }
-
     /// The shared graph (every replica is identical; the first is
     /// authoritative).
     pub fn graph(&self) -> &DynGraph {
@@ -89,29 +104,52 @@ impl MultiGpuDynamicBc {
     /// Inserts `{u, v}` on every device. The reported `model_seconds` is
     /// the *makespan* — devices run concurrently and the update completes
     /// when the slowest finishes.
+    ///
+    /// A batch-of-one wrapper around [`MultiGpuDynamicBc::apply_batch`].
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
-        self.apply(|dev| dev.insert_edge(u, v))
+        self.apply_batch(&[EdgeOp::Insert(u, v)])
+            .into_update_result()
     }
 
     /// Removes `{u, v}` on every device (makespan semantics as above).
+    ///
+    /// A batch-of-one wrapper around [`MultiGpuDynamicBc::apply_batch`].
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> UpdateResult {
-        self.apply(|dev| dev.remove_edge(u, v))
+        self.apply_batch(&[EdgeOp::Remove(u, v)])
+            .into_update_result()
     }
 
-    fn apply<F: FnMut(&mut GpuDynamicBc) -> UpdateResult>(&mut self, mut f: F) -> UpdateResult {
+    /// Applies a batch of edge mutations on every device (each runs the
+    /// fused pipeline over its own source partition; see
+    /// [`GpuDynamicBc::apply_batch`]).
+    ///
+    /// Per-op outcomes are merged across devices: case tallies add, and
+    /// per-source details concatenate in device order — the same order
+    /// single-op updates have always reported. `model_seconds` is the
+    /// whole-batch makespan over devices.
+    ///
+    /// # Panics
+    /// Panics (before touching any device state) if any op is a self
+    /// loop, a duplicate insertion, or a removal of an absent edge.
+    pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
         let wall_start = std::time::Instant::now();
-        let mut cases = CaseCounts::default();
-        let mut per_source = Vec::new();
+        let mut per_op = Vec::new();
         let mut makespan = 0.0f64;
         for dev in &mut self.devices {
-            let r = f(dev);
-            cases.add(&r.cases);
-            per_source.extend(r.per_source);
+            let r = dev.apply_batch(batch);
             makespan = makespan.max(r.model_seconds);
+            if per_op.is_empty() {
+                per_op = r.per_op;
+            } else {
+                for (acc, dr) in per_op.iter_mut().zip(r.per_op) {
+                    debug_assert_eq!(acc.op, dr.op);
+                    acc.cases.add(&dr.cases);
+                    acc.per_source.extend(dr.per_source);
+                }
+            }
         }
-        UpdateResult {
-            cases,
-            per_source,
+        BatchResult {
+            per_op,
             model_seconds: makespan,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
         }
@@ -184,8 +222,13 @@ mod tests {
         let n = 80;
         let el = gen::ba(&mut rng, n, 3);
         let sources = sample_sources(&mut rng, n, 10);
-        let mut multi =
-            MultiGpuDynamicBc::new(&el, &sources, DeviceConfig::test_tiny(), Parallelism::Node, 4);
+        let mut multi = MultiGpuDynamicBc::new(
+            &el,
+            &sources,
+            DeviceConfig::test_tiny(),
+            Parallelism::Node,
+            4,
+        );
         for _ in 0..10 {
             let a = rng.gen_range(0..n as u32);
             let b = rng.gen_range(0..n as u32);

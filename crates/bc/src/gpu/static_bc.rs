@@ -17,8 +17,8 @@
 
 use super::buffers::{GraphBuffers, ScratchBuffers, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN};
 use super::engine::Parallelism;
-use dynbc_graph::{Csr, VertexId};
 use dynbc_gpusim::{BlockCtx, CheckReport, DeviceConfig, Gpu, GpuBuffer, KernelStats};
+use dynbc_graph::{Csr, VertexId};
 
 const INF: u32 = u32::MAX;
 
@@ -103,8 +103,8 @@ fn static_bc_core(
                 continue;
             }
             match par {
-                Parallelism::Node => static_source_node(block, &g, &scr, b, s),
-                Parallelism::Edge => static_source_edge(block, &g, &scr, b, s),
+                Parallelism::Node => static_source_node(block, &g, &scr, b, b, s),
+                Parallelism::Edge => static_source_edge(block, &g, &scr, b, b, s),
             }
         }
     };
@@ -129,7 +129,13 @@ fn static_bc_core(
 }
 
 /// Per-source init: `d ← ∞`, `σ ← 0`, `δ ← 0`, then seed the source.
-pub(crate) fn static_init(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchBuffers, slot: usize, s: u32) {
+pub(crate) fn static_init(
+    block: &mut BlockCtx,
+    g: &GraphBuffers,
+    scr: &ScratchBuffers,
+    slot: usize,
+    s: u32,
+) {
     block.label("static::init");
     let row = scr.row(slot);
     block.parallel_for(g.n, |lane, v| {
@@ -143,13 +149,21 @@ pub(crate) fn static_init(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchB
 }
 
 /// Final per-source accumulation of dependencies toward the global BC
-/// array — staged in this block's `bc_delta` slab row so the caller can
-/// reduce across blocks in a fixed order (bit-determinism under
-/// host-parallel execution).
-fn static_accumulate_bc(block: &mut BlockCtx, g: &GraphBuffers, scr: &ScratchBuffers, slot: usize, s: u32) {
+/// array — staged in the `bc_delta` slab row `bc_slot` so the caller can
+/// reduce across rows in a fixed order (bit-determinism under
+/// host-parallel execution). `bc_slot` equals the block slot for static
+/// runs; the dynamic batch dispatcher passes per-*(op, block)* rows.
+fn static_accumulate_bc(
+    block: &mut BlockCtx,
+    g: &GraphBuffers,
+    scr: &ScratchBuffers,
+    slot: usize,
+    bc_slot: usize,
+    s: u32,
+) {
     block.label("static::accumulate_bc");
     let row = scr.row(slot);
-    let brow = scr.bc_row(slot);
+    let brow = scr.bc_row(bc_slot);
     block.parallel_for(g.n, |lane, v| {
         if v != s as usize && lane.read(&scr.d_hat, row + v) != INF {
             let del = lane.read(&scr.delta_hat, row + v);
@@ -166,6 +180,7 @@ pub(crate) fn static_source_node(
     g: &GraphBuffers,
     scr: &ScratchBuffers,
     slot: usize,
+    bc_slot: usize,
     s: u32,
 ) {
     static_init(block, g, scr, slot, s);
@@ -240,7 +255,7 @@ pub(crate) fn static_source_node(
         block.barrier();
         depth -= 1;
     }
-    static_accumulate_bc(block, g, scr, slot, s);
+    static_accumulate_bc(block, g, scr, slot, bc_slot, s);
 }
 
 /// One source, edge-parallel (Jia et al.): scan all arcs every level in
@@ -250,6 +265,7 @@ pub(crate) fn static_source_edge(
     g: &GraphBuffers,
     scr: &ScratchBuffers,
     slot: usize,
+    bc_slot: usize,
     s: u32,
 ) {
     static_init(block, g, scr, slot, s);
@@ -298,7 +314,7 @@ pub(crate) fn static_source_edge(
         block.barrier();
         depth -= 1;
     }
-    static_accumulate_bc(block, g, scr, slot, s);
+    static_accumulate_bc(block, g, scr, slot, bc_slot, s);
 }
 
 #[cfg(test)]
@@ -370,8 +386,20 @@ mod tests {
         let el = gen::geometric(&mut rng, 400, 0.05);
         let csr = Csr::from_edge_list(&el);
         let sources: Vec<u32> = (0..20).collect();
-        let node = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, 2);
-        let edge = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Edge, 2);
+        let node = static_bc_gpu(
+            DeviceConfig::test_tiny(),
+            &csr,
+            &sources,
+            Parallelism::Node,
+            2,
+        );
+        let edge = static_bc_gpu(
+            DeviceConfig::test_tiny(),
+            &csr,
+            &sources,
+            Parallelism::Edge,
+            2,
+        );
         assert!(
             edge.stats.mem_segments > node.stats.mem_segments,
             "edge {} vs node {} segments",

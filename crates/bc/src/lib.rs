@@ -9,6 +9,9 @@
 //! * [`reference`] — a definition-level BC oracle sharing no code with
 //!   Brandes, used for cross-validation;
 //! * [`cases`] — the Case 1/2/3 insertion taxonomy;
+//! * [`plan`] — the shared plan layer: per-`(source, op)` classification
+//!   (insertions and deletions) and the fused-stage boundary rule used by
+//!   every engine's `apply_batch`;
 //! * [`dynamic`] — the sequential incremental engine (Green et al.
 //!   Algorithm 2 for Case 2; a generalized relocation-aware update for
 //!   Case 3);
@@ -25,11 +28,12 @@ pub mod brandes;
 pub mod cases;
 pub mod dynamic;
 pub mod gpu;
+pub mod plan;
 pub mod reference;
 pub mod state;
 pub mod topology;
 
 pub use brandes::{brandes_approx, brandes_exact, brandes_state, sample_sources};
 pub use cases::{classify, CaseCounts, Classified, InsertionCase};
-pub use dynamic::{CpuDynamicBc, SourceOutcome, UpdateResult};
+pub use dynamic::{BatchResult, CpuDynamicBc, OpOutcome, SourceOutcome, UpdateResult};
 pub use state::BcState;

@@ -1,0 +1,166 @@
+//! Property test for the batch ordering-determinism contract: applying a
+//! mixed insert/delete stream through `apply_batch` must be *bit*-identical
+//! to applying the same ops one at a time — same BC score bits, same
+//! per-op case tallies — on every engine, for both GPU parallelisms, and
+//! regardless of how many host threads execute the simulated blocks.
+
+use dynbc_bc::dynamic::CpuDynamicBc;
+use dynbc_bc::gpu::{GpuDynamicBc, MultiGpuDynamicBc, Parallelism};
+use dynbc_bc::CaseCounts;
+use dynbc_gpusim::DeviceConfig;
+use dynbc_graph::{DynGraph, EdgeList, EdgeOp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (
+        6usize..18,
+        proptest::collection::vec((0u32..18, 0u32..18), 4..40),
+    )
+        .prop_map(|(n, pairs)| {
+            let n = n.max(
+                pairs
+                    .iter()
+                    .map(|&(a, b)| a.max(b) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            EdgeList::from_pairs(n, pairs)
+        })
+}
+
+/// Derives a valid mixed op stream from `(graph, seed)`: at each step a
+/// random vertex pair becomes a removal if the edge currently exists and
+/// an insertion otherwise, tracked against a probe graph so the stream
+/// never contains self loops, duplicate insertions, or absent removals.
+fn op_stream(el: &EdgeList, seed: u64, len: usize) -> Vec<EdgeOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut probe = DynGraph::from_edge_list(el);
+    let n = probe.vertex_count() as u32;
+    let mut ops = Vec::new();
+    let mut attempts = 0;
+    while ops.len() < len && attempts < 400 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let op = if probe.has_edge(a, b) {
+            EdgeOp::Remove(a, b)
+        } else {
+            EdgeOp::Insert(a, b)
+        };
+        assert!(probe.apply_op(op));
+        ops.push(op);
+    }
+    ops
+}
+
+fn sources_for(el: &EdgeList) -> Vec<u32> {
+    (0..el.vertex_count() as u32).step_by(3).collect()
+}
+
+/// `(bc bits, per-op case tallies)` after the sequential (batch-of-one)
+/// reference run.
+fn sequential_cpu(el: &EdgeList, ops: &[EdgeOp]) -> (Vec<u64>, Vec<CaseCounts>) {
+    let mut eng = CpuDynamicBc::new(el, &sources_for(el));
+    let cases = ops
+        .iter()
+        .map(|&op| {
+            let (u, v) = op.endpoints();
+            if op.is_insert() {
+                eng.insert_edge(u, v).cases
+            } else {
+                eng.remove_edge(u, v).cases
+            }
+        })
+        .collect();
+    (bits(&eng.state().bc), cases)
+}
+
+fn bits(bc: &[f64]) -> Vec<u64> {
+    bc.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cpu_batch_is_bit_identical_to_sequential(el in arb_graph(), seed in 0u64..1_000, len in 2usize..8) {
+        let ops = op_stream(&el, seed, len);
+        if ops.is_empty() { return Ok(()); }
+        let (seq_bits, seq_cases) = sequential_cpu(&el, &ops);
+
+        let mut eng = CpuDynamicBc::new(&el, &sources_for(&el));
+        let br = eng.apply_batch(&ops);
+        prop_assert_eq!(br.per_op.len(), ops.len());
+        for (i, op) in br.per_op.iter().enumerate() {
+            prop_assert_eq!(op.cases, seq_cases[i], "op {} case tallies", i);
+        }
+        prop_assert_eq!(bits(&eng.state().bc), seq_bits, "CPU batched BC bits");
+    }
+
+    #[test]
+    fn gpu_batch_is_bit_identical_to_sequential(el in arb_graph(), seed in 0u64..1_000, len in 2usize..8) {
+        let ops = op_stream(&el, seed, len);
+        if ops.is_empty() { return Ok(()); }
+        let sources = sources_for(&el);
+        let device = DeviceConfig::test_tiny();
+        for par in [Parallelism::Node, Parallelism::Edge] {
+            // Sequential reference at 1 host thread.
+            let mut seq = GpuDynamicBc::new(&el, &sources, device, par);
+            seq.set_host_threads(1);
+            let mut seq_cases = Vec::new();
+            for &op in &ops {
+                let r = seq.apply_batch(&[op]);
+                seq_cases.push(r.per_op[0].cases);
+            }
+            let seq_bits = bits(&seq.state_snapshot().bc);
+
+            // Batched run at 1 and 8 host threads.
+            for threads in [1usize, 8] {
+                let mut eng = GpuDynamicBc::new(&el, &sources, device, par);
+                eng.set_host_threads(threads);
+                let br = eng.apply_batch(&ops);
+                prop_assert_eq!(br.per_op.len(), ops.len());
+                for (i, op) in br.per_op.iter().enumerate() {
+                    prop_assert_eq!(
+                        op.cases, seq_cases[i],
+                        "{:?} t{}: op {} case tallies", par, threads, i
+                    );
+                }
+                prop_assert_eq!(
+                    bits(&eng.state_snapshot().bc), seq_bits.clone(),
+                    "{:?} t{}: batched BC bits", par, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_gpu_batch_is_bit_identical_to_sequential(el in arb_graph(), seed in 0u64..1_000, len in 2usize..6) {
+        let ops = op_stream(&el, seed, len);
+        if ops.is_empty() { return Ok(()); }
+        let sources = sources_for(&el);
+        let device = DeviceConfig::test_tiny();
+        let mut seq = MultiGpuDynamicBc::new(&el, &sources, device, Parallelism::Node, 2);
+        seq.set_host_threads(1);
+        let mut seq_cases = Vec::new();
+        for &op in &ops {
+            seq_cases.push(seq.apply_batch(&[op]).per_op[0].cases);
+        }
+        let seq_bits = bits(&seq.bc());
+
+        for threads in [1usize, 8] {
+            let mut eng = MultiGpuDynamicBc::new(&el, &sources, device, Parallelism::Node, 2);
+            eng.set_host_threads(threads);
+            let br = eng.apply_batch(&ops);
+            for (i, op) in br.per_op.iter().enumerate() {
+                prop_assert_eq!(op.cases, seq_cases[i], "t{}: op {} case tallies", threads, i);
+            }
+            prop_assert_eq!(bits(&eng.bc()), seq_bits.clone(), "t{}: batched BC bits", threads);
+        }
+    }
+}

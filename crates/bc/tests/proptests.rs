@@ -8,16 +8,20 @@ use dynbc_graph::{Csr, EdgeList};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
-    (4usize..20, proptest::collection::vec((0u32..20, 0u32..20), 0..50)).prop_map(|(n, pairs)| {
-        let n = n.max(
-            pairs
-                .iter()
-                .map(|&(a, b)| a.max(b) as usize + 1)
-                .max()
-                .unwrap_or(0),
-        );
-        EdgeList::from_pairs(n, pairs)
-    })
+    (
+        4usize..20,
+        proptest::collection::vec((0u32..20, 0u32..20), 0..50),
+    )
+        .prop_map(|(n, pairs)| {
+            let n = n.max(
+                pairs
+                    .iter()
+                    .map(|&(a, b)| a.max(b) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            EdgeList::from_pairs(n, pairs)
+        })
 }
 
 proptest! {

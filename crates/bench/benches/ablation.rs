@@ -16,11 +16,16 @@ use dynbc_bc::gpu::engine::DedupStrategy;
 use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
 use dynbc_bench::table::{fmt_seconds, Table};
 use dynbc_bench::{build_setup, Config, Setup};
+use dynbc_gpusim::DeviceConfig;
 use dynbc_graph::suite::entry_by_short;
 use dynbc_graph::Csr;
-use dynbc_gpusim::DeviceConfig;
 
-fn run_variant(setup: &Setup, device: DeviceConfig, dedup: DedupStrategy, general: bool) -> (f64, u64, u64) {
+fn run_variant(
+    setup: &Setup,
+    device: DeviceConfig,
+    dedup: DedupStrategy,
+    general: bool,
+) -> (f64, u64, u64) {
     let mut engine = GpuDynamicBc::new(&setup.start, &setup.sources, device, Parallelism::Node)
         .with_dedup_strategy(dedup)
         .with_force_general(general);
@@ -41,19 +46,32 @@ fn run_variant(setup: &Setup, device: DeviceConfig, dedup: DedupStrategy, genera
         );
     }
     let stats = engine.total_stats();
-    (engine.elapsed_seconds(), stats.atomics, stats.atomic_conflicts)
+    (
+        engine.elapsed_seconds(),
+        stats.atomics,
+        stats.atomic_conflicts,
+    )
 }
 
 fn main() {
     let cfg = Config::from_env(0.35, 24, 20);
     let device = DeviceConfig::tesla_c2075();
-    println!("== Ablations ({}; device = {}) ==\n", cfg.describe(), device.name);
+    println!(
+        "== Ablations ({}; device = {}) ==\n",
+        cfg.describe(),
+        device.name
+    );
 
     let graphs = ["caida", "pref", "small", "del"];
 
     println!("-- A. duplicate removal: sort/scan (paper) vs atomicCAS gate --");
     let mut t = Table::new(vec![
-        "Graph", "SortScan", "AtomicCas", "CAS/Sort", "Sort atomics", "CAS atomics",
+        "Graph",
+        "SortScan",
+        "AtomicCas",
+        "CAS/Sort",
+        "Sort atomics",
+        "CAS atomics",
     ]);
     for short in graphs {
         let setup = build_setup(entry_by_short(short).unwrap(), &cfg);
@@ -71,7 +89,12 @@ fn main() {
     println!("{}", t.render());
 
     println!("-- B. Case 2 specialized (Alg 2) vs forced general path --");
-    let mut t = Table::new(vec!["Graph", "Specialized", "General", "General/Specialized"]);
+    let mut t = Table::new(vec![
+        "Graph",
+        "Specialized",
+        "General",
+        "General/Specialized",
+    ]);
     let mut ratios = Vec::new();
     for short in graphs {
         let setup = build_setup(entry_by_short(short).unwrap(), &cfg);
@@ -107,7 +130,14 @@ fn main() {
         sources: cfg.sources.max(96),
         ..cfg
     };
-    let mut t = Table::new(vec!["Graph", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs", "4-GPU efficiency"]);
+    let mut t = Table::new(vec![
+        "Graph",
+        "1 GPU",
+        "2 GPUs",
+        "4 GPUs",
+        "8 GPUs",
+        "4-GPU efficiency",
+    ]);
     let mut effs = Vec::new();
     for short in ["caida", "small"] {
         let setup = build_setup(entry_by_short(short).unwrap(), &scaling_cfg);

@@ -11,9 +11,9 @@
 use dynbc_bc::gpu::{static_bc_gpu, Parallelism};
 use dynbc_bench::table::Table;
 use dynbc_bench::Config;
+use dynbc_gpusim::DeviceConfig;
 use dynbc_graph::suite::entry_by_short;
 use dynbc_graph::Csr;
-use dynbc_gpusim::DeviceConfig;
 
 fn main() {
     let cfg = Config::from_env(0.04, usize::MAX, 0);

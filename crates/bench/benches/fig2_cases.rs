@@ -6,17 +6,25 @@
 //! shape check asserts Case 2 dominates the work cases and that Case 1 is
 //! a substantial share.
 
+use dynbc_bc::cases::CaseCounts;
 use dynbc_bench::table::Table;
 use dynbc_bench::{build_setup, paper, run_cpu, Config};
-use dynbc_bc::cases::CaseCounts;
 use dynbc_graph::suite::TABLE_I;
 
 fn main() {
     let cfg = Config::from_env(0.5, 32, 40);
-    println!("== Figure 2: scenario distribution ({}) ==\n", cfg.describe());
+    println!(
+        "== Figure 2: scenario distribution ({}) ==\n",
+        cfg.describe()
+    );
 
     let mut table = Table::new(vec![
-        "Graph", "Scenarios", "Case1 %", "Case2 %", "Case3 %", "Case2 % of work",
+        "Graph",
+        "Scenarios",
+        "Case1 %",
+        "Case2 %",
+        "Case3 %",
+        "Case2 % of work",
     ]);
     let mut total = CaseCounts::default();
     for entry in &TABLE_I {
@@ -32,7 +40,10 @@ fn main() {
             counts.total().to_string(),
             format!("{:.1}", 100.0 * counts.same as f64 / counts.total() as f64),
             format!("{:.1}", 100.0 * counts.adjacent_share()),
-            format!("{:.1}", 100.0 * counts.distant as f64 / counts.total() as f64),
+            format!(
+                "{:.1}",
+                100.0 * counts.distant as f64 / counts.total() as f64
+            ),
             format!("{:.1}", 100.0 * counts.adjacent_share_of_work()),
         ]);
     }

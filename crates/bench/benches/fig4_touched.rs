@@ -7,9 +7,9 @@
 //! points) and check the same two properties: a bounded maximum and a
 //! near-zero median.
 
+use dynbc_bc::cases::InsertionCase;
 use dynbc_bench::table::Table;
 use dynbc_bench::{build_setup, paper, run_cpu, Config};
-use dynbc_bc::cases::InsertionCase;
 use dynbc_graph::suite::TABLE_I;
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -28,7 +28,12 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "Graph", "Case2 scenarios", "p50 %", "p90 %", "p99 %", "max %",
+        "Graph",
+        "Case2 scenarios",
+        "p50 %",
+        "p90 %",
+        "p99 %",
+        "max %",
     ]);
     let mut all: Vec<f64> = Vec::new();
     for entry in &TABLE_I {

@@ -11,8 +11,8 @@
 use dynbc_bc::gpu::Parallelism;
 use dynbc_bench::table::{fmt_seconds, fmt_speedup, Table};
 use dynbc_bench::{build_setup, emit_bench_json, paper, run_cpu, run_gpu, Config, DynRun};
-use dynbc_graph::suite::TABLE_I;
 use dynbc_gpusim::DeviceConfig;
+use dynbc_graph::suite::TABLE_I;
 
 fn main() {
     let cfg = Config::from_env(0.35, 24, 20);

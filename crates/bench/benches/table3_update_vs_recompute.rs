@@ -11,9 +11,9 @@ use dynbc_bc::cases::InsertionCase;
 use dynbc_bc::gpu::{static_bc_gpu, Parallelism};
 use dynbc_bench::table::{fmt_seconds, fmt_speedup, Table};
 use dynbc_bench::{build_setup, paper, run_gpu, Config};
+use dynbc_gpusim::DeviceConfig;
 use dynbc_graph::suite::TABLE_I;
 use dynbc_graph::Csr;
-use dynbc_gpusim::DeviceConfig;
 
 fn main() {
     let cfg = Config::from_env(0.35, 24, 20);
@@ -47,8 +47,13 @@ fn main() {
             final_graph.insert_edge(u, v);
         }
         let csr = Csr::from_edge_list(&final_graph);
-        let recompute =
-            static_bc_gpu(device, &csr, &setup.sources, Parallelism::Node, device.num_sms);
+        let recompute = static_bc_gpu(
+            device,
+            &csr,
+            &setup.sources,
+            Parallelism::Node,
+            device.num_sms,
+        );
         let dynamic = run_gpu(&setup, device, Parallelism::Node);
         let (slow, avg, fast) = (dynamic.slowest(), dynamic.average(), dynamic.fastest());
         worst_case_always_wins &= slow < recompute.seconds;
@@ -63,7 +68,11 @@ fn main() {
             format!(
                 "{}{}",
                 entry.short,
-                if any_all_case1 { " (has all-Case1)" } else { "" }
+                if any_all_case1 {
+                    " (has all-Case1)"
+                } else {
+                    ""
+                }
             ),
             fmt_seconds(recompute.seconds),
             fmt_seconds(slow),
@@ -77,9 +86,8 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let geo_mean_avg = (avg_speedups.iter().map(|s| s.ln()).sum::<f64>()
-        / avg_speedups.len() as f64)
-        .exp();
+    let geo_mean_avg =
+        (avg_speedups.iter().map(|s| s.ln()).sum::<f64>() / avg_speedups.len() as f64).exp();
     println!(
         "average-update speedup over recomputation: geometric mean {:.1}x (paper arithmetic mean ≈ {:.0}x)",
         geo_mean_avg,

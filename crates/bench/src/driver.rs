@@ -15,9 +15,9 @@ use crate::config::Config;
 use dynbc_bc::brandes::{brandes_state, sample_sources};
 use dynbc_bc::dynamic::{CpuDynamicBc, UpdateResult};
 use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
+use dynbc_gpusim::DeviceConfig;
 use dynbc_graph::suite::SuiteEntry;
 use dynbc_graph::{Csr, EdgeList, VertexId};
-use dynbc_gpusim::DeviceConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -157,10 +157,7 @@ pub fn run_cpu(setup: &Setup) -> DynRun {
 /// the host-thread count and git revision. Returns the path written, or
 /// `None` when the file could not be written (reporting is best-effort —
 /// it must never fail the harness).
-pub fn emit_bench_json(
-    harness: &str,
-    runs: &[(&str, &DynRun)],
-) -> Option<std::path::PathBuf> {
+pub fn emit_bench_json(harness: &str, runs: &[(&str, &DynRun)]) -> Option<std::path::PathBuf> {
     let mut report = crate::report::HarnessReport::new(harness);
     for (graph, run) in runs {
         report.push_row(

@@ -32,13 +32,48 @@ impl Table2Row {
 
 /// Table II of the paper.
 pub const TABLE2: [Table2Row; 7] = [
-    Table2Row { graph: "caida", cpu_s: 1749.98, edge_s: 84.79, node_s: 15.85 },
-    Table2Row { graph: "coPap", cpu_s: 1080.81, edge_s: 762.81, node_s: 20.49 },
-    Table2Row { graph: "del", cpu_s: 4762.75, edge_s: 4611.52, node_s: 196.48 },
-    Table2Row { graph: "eu", cpu_s: 3991.27, edge_s: 591.20, node_s: 71.23 },
-    Table2Row { graph: "kron", cpu_s: 1951.86, edge_s: 1668.27, node_s: 81.54 },
-    Table2Row { graph: "pref", cpu_s: 380.77, edge_s: 62.73, node_s: 10.38 },
-    Table2Row { graph: "small", cpu_s: 360.82, edge_s: 29.14, node_s: 7.20 },
+    Table2Row {
+        graph: "caida",
+        cpu_s: 1749.98,
+        edge_s: 84.79,
+        node_s: 15.85,
+    },
+    Table2Row {
+        graph: "coPap",
+        cpu_s: 1080.81,
+        edge_s: 762.81,
+        node_s: 20.49,
+    },
+    Table2Row {
+        graph: "del",
+        cpu_s: 4762.75,
+        edge_s: 4611.52,
+        node_s: 196.48,
+    },
+    Table2Row {
+        graph: "eu",
+        cpu_s: 3991.27,
+        edge_s: 591.20,
+        node_s: 71.23,
+    },
+    Table2Row {
+        graph: "kron",
+        cpu_s: 1951.86,
+        edge_s: 1668.27,
+        node_s: 81.54,
+    },
+    Table2Row {
+        graph: "pref",
+        cpu_s: 380.77,
+        edge_s: 62.73,
+        node_s: 10.38,
+    },
+    Table2Row {
+        graph: "small",
+        cpu_s: 360.82,
+        edge_s: 29.14,
+        node_s: 7.20,
+    },
 ];
 
 /// One row of the paper's Table III.
@@ -58,13 +93,55 @@ pub struct Table3Row {
 
 /// Table III of the paper.
 pub const TABLE3: [Table3Row; 7] = [
-    Table3Row { graph: "caida", recompute_s: 1.99, slowest_s: 0.3295, average_s: 0.1585, fastest_s: 0.0003 },
-    Table3Row { graph: "coPap", recompute_s: 31.35, slowest_s: 0.7242, average_s: 0.2049, fastest_s: 0.0003 },
-    Table3Row { graph: "del", recompute_s: 99.60, slowest_s: 10.8997, average_s: 1.9648, fastest_s: 0.0003 },
-    Table3Row { graph: "eu", recompute_s: 21.40, slowest_s: 3.0308, average_s: 0.7123, fastest_s: 0.0003 },
-    Table3Row { graph: "kron", recompute_s: 38.69, slowest_s: 1.5658, average_s: 0.8154, fastest_s: 0.2725 },
-    Table3Row { graph: "pref", recompute_s: 1.27, slowest_s: 0.5907, average_s: 0.1038, fastest_s: 0.0603 },
-    Table3Row { graph: "small", recompute_s: 0.68, slowest_s: 0.0978, average_s: 0.0720, fastest_s: 0.0350 },
+    Table3Row {
+        graph: "caida",
+        recompute_s: 1.99,
+        slowest_s: 0.3295,
+        average_s: 0.1585,
+        fastest_s: 0.0003,
+    },
+    Table3Row {
+        graph: "coPap",
+        recompute_s: 31.35,
+        slowest_s: 0.7242,
+        average_s: 0.2049,
+        fastest_s: 0.0003,
+    },
+    Table3Row {
+        graph: "del",
+        recompute_s: 99.60,
+        slowest_s: 10.8997,
+        average_s: 1.9648,
+        fastest_s: 0.0003,
+    },
+    Table3Row {
+        graph: "eu",
+        recompute_s: 21.40,
+        slowest_s: 3.0308,
+        average_s: 0.7123,
+        fastest_s: 0.0003,
+    },
+    Table3Row {
+        graph: "kron",
+        recompute_s: 38.69,
+        slowest_s: 1.5658,
+        average_s: 0.8154,
+        fastest_s: 0.2725,
+    },
+    Table3Row {
+        graph: "pref",
+        recompute_s: 1.27,
+        slowest_s: 0.5907,
+        average_s: 0.1038,
+        fastest_s: 0.0603,
+    },
+    Table3Row {
+        graph: "small",
+        recompute_s: 0.68,
+        slowest_s: 0.0978,
+        average_s: 0.0720,
+        fastest_s: 0.0350,
+    },
 ];
 
 /// Figure 2's headline statistics.

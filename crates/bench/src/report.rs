@@ -312,7 +312,10 @@ mod tests {
         let entries = split_top_level(&merged);
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].0, "alpha");
-        assert_eq!(entries[1], ("beta".to_string(), "{\"rows\": []}".to_string()));
+        assert_eq!(
+            entries[1],
+            ("beta".to_string(), "{\"rows\": []}".to_string())
+        );
         assert_eq!(entries[0].1, r.value_json());
     }
 

@@ -71,7 +71,11 @@ pub fn remove_duplicates(queue: &mut [u32], len: usize, scratch: &mut DedupScrat
     scratch.compacted.resize(unique, 0);
     for (i, &x) in q.iter().enumerate() {
         let slot = scratch.flags[i] as usize;
-        let next_slot = if i + 1 < len { scratch.flags[i + 1] as usize } else { unique };
+        let next_slot = if i + 1 < len {
+            scratch.flags[i + 1] as usize
+        } else {
+            unique
+        };
         if next_slot != slot {
             scratch.compacted[slot] = x;
         }

@@ -349,8 +349,8 @@ impl BlockCtx {
 
     fn end_warp(&mut self) {
         self.stats.warp_execs += 1;
-        self.compute_cycles += self.dev.warp_base_cycles
-            + self.dev.event_instr_cycles * self.max_lane_events as f64;
+        self.compute_cycles +=
+            self.dev.warp_base_cycles + self.dev.event_instr_cycles * self.max_lane_events as f64;
         if !self.atomic_addrs.is_empty() {
             self.atomic_addrs.sort_unstable();
             let mut run = 1u64;
@@ -382,8 +382,7 @@ impl BlockCtx {
     }
 
     fn commit_interval(&mut self) {
-        self.committed_cycles +=
-            self.compute_cycles.max(self.mem_cycles) + self.atomic_cycles;
+        self.committed_cycles += self.compute_cycles.max(self.mem_cycles) + self.atomic_cycles;
         self.compute_cycles = 0.0;
         self.mem_cycles = 0.0;
         self.atomic_cycles = 0.0;
@@ -439,7 +438,10 @@ impl Lane<'_> {
     #[inline]
     pub fn write<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
         self.block.touch(buf.addr(i));
-        if self.block.record_access(buf, i, AccessKind::Write, v.to_raw_bits()) {
+        if self
+            .block
+            .record_access(buf, i, AccessKind::Write, v.to_raw_bits())
+        {
             buf.set(i, v);
         }
     }
@@ -452,7 +454,10 @@ impl Lane<'_> {
     #[inline]
     pub fn read_volatile<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
         self.block.touch(buf.addr(i));
-        if self.block.record_access(buf, i, AccessKind::VolatileRead, 0) {
+        if self
+            .block
+            .record_access(buf, i, AccessKind::VolatileRead, 0)
+        {
             buf.get(i)
         } else {
             T::from_raw_bits(0)
@@ -505,10 +510,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_add_f64(&mut self, buf: &GpuBuffer<f64>, i: usize, v: f64) -> f64 {
         self.record_atomic(buf.addr(i));
-        if !self
-            .block
-            .record_access(buf, i, AccessKind::Atomic(AtomicKind::AddF64), v.to_raw_bits())
-        {
+        if !self.block.record_access(
+            buf,
+            i,
+            AccessKind::Atomic(AtomicKind::AddF64),
+            v.to_raw_bits(),
+        ) {
             return 0.0;
         }
         let cell = buf.atomic_bits(i);
@@ -560,10 +567,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_cas_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, expect: u32, new: u32) -> u32 {
         self.record_atomic(buf.addr(i));
-        if !self
-            .block
-            .record_access(buf, i, AccessKind::Atomic(AtomicKind::CasU32), u64::from(new))
-        {
+        if !self.block.record_access(
+            buf,
+            i,
+            AccessKind::Atomic(AtomicKind::CasU32),
+            u64::from(new),
+        ) {
             return 0;
         }
         match buf
@@ -579,10 +588,12 @@ impl Lane<'_> {
     #[inline]
     pub fn atomic_cas_u8(&mut self, buf: &GpuBuffer<u8>, i: usize, expect: u8, new: u8) -> u8 {
         self.record_atomic(buf.addr(i));
-        if !self
-            .block
-            .record_access(buf, i, AccessKind::Atomic(AtomicKind::CasU8), u64::from(new))
-        {
+        if !self.block.record_access(
+            buf,
+            i,
+            AccessKind::Atomic(AtomicKind::CasU8),
+            u64::from(new),
+        ) {
             return 0;
         }
         match buf

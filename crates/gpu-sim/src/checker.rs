@@ -381,7 +381,10 @@ impl BlockPair {
     }
 
     fn other_than(&self, block: u32) -> Option<Touch> {
-        [self.a, self.b].into_iter().flatten().find(|t| t.block != block)
+        [self.a, self.b]
+            .into_iter()
+            .flatten()
+            .find(|t| t.block != block)
     }
 }
 
@@ -561,19 +564,40 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                         if let Some((l, _, lb)) = conflict_read(cell) {
                             cell.reported |= DiagClass::DataRace.bit();
                             sink.push(intra_diag(
-                                kernel, dev, DiagClass::DataRace, Severity::Error, a, name, idx,
-                                rec.block, l, lb, "plain write races with earlier plain read",
+                                kernel,
+                                dev,
+                                DiagClass::DataRace,
+                                Severity::Error,
+                                a,
+                                name,
+                                idx,
+                                rec.block,
+                                l,
+                                lb,
+                                "plain write races with earlier plain read",
                             ));
                         } else if let Some((l, _, v, lb)) = conflict_write(cell) {
                             let (sev, what) = if v == a.value {
-                                (Severity::Warning, "same-value write-write race (benign on the paper's hardware)")
+                                (
+                                    Severity::Warning,
+                                    "same-value write-write race (benign on the paper's hardware)",
+                                )
                             } else {
                                 (Severity::Error, "write-write race with differing values")
                             };
                             cell.reported |= DiagClass::DataRace.bit();
                             sink.push(intra_diag(
-                                kernel, dev, DiagClass::DataRace, sev, a, name, idx, rec.block,
-                                l, lb, what,
+                                kernel,
+                                dev,
+                                DiagClass::DataRace,
+                                sev,
+                                a,
+                                name,
+                                idx,
+                                rec.block,
+                                l,
+                                lb,
+                                what,
                             ));
                         }
                     }
@@ -581,8 +605,17 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                         if let Some((l, _, lb)) = conflict_atomic(cell) {
                             cell.reported |= DiagClass::AtomicContract.bit();
                             sink.push(intra_diag(
-                                kernel, dev, DiagClass::AtomicContract, Severity::Error, a, name,
-                                idx, rec.block, l, lb, "plain write races with earlier atomic",
+                                kernel,
+                                dev,
+                                DiagClass::AtomicContract,
+                                Severity::Error,
+                                a,
+                                name,
+                                idx,
+                                rec.block,
+                                l,
+                                lb,
+                                "plain write races with earlier atomic",
                             ));
                         }
                     }
@@ -592,8 +625,17 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                         if let Some((l, _, _, lb)) = conflict_write(cell) {
                             cell.reported |= DiagClass::DataRace.bit();
                             sink.push(intra_diag(
-                                kernel, dev, DiagClass::DataRace, Severity::Error, a, name, idx,
-                                rec.block, l, lb, "plain read races with earlier plain write",
+                                kernel,
+                                dev,
+                                DiagClass::DataRace,
+                                Severity::Error,
+                                a,
+                                name,
+                                idx,
+                                rec.block,
+                                l,
+                                lb,
+                                "plain read races with earlier plain write",
                             ));
                         }
                     }
@@ -603,8 +645,17 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                         if let Some((l, _, _, lb)) = conflict_write(cell) {
                             cell.reported |= DiagClass::AtomicContract.bit();
                             sink.push(intra_diag(
-                                kernel, dev, DiagClass::AtomicContract, Severity::Error, a, name,
-                                idx, rec.block, l, lb, "atomic races with earlier plain write",
+                                kernel,
+                                dev,
+                                DiagClass::AtomicContract,
+                                Severity::Error,
+                                a,
+                                name,
+                                idx,
+                                rec.block,
+                                l,
+                                lb,
+                                "atomic races with earlier plain write",
                             ));
                         }
                     }
@@ -616,7 +667,10 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
             match a.kind {
                 AccessKind::Read => {
                     if cell.reads.len() < KEEP
-                        && !cell.reads.iter().any(|&(l, p, _)| l == a.lane && p == a.phase)
+                        && !cell
+                            .reads
+                            .iter()
+                            .any(|&(l, p, _)| l == a.lane && p == a.phase)
                     {
                         cell.reads.push((a.lane, a.phase, a.label));
                     }
@@ -628,7 +682,10 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                 }
                 AccessKind::Atomic(_) => {
                     if cell.atomics.len() < KEEP
-                        && !cell.atomics.iter().any(|&(l, p, _)| l == a.lane && p == a.phase)
+                        && !cell
+                            .atomics
+                            .iter()
+                            .any(|&(l, p, _)| l == a.lane && p == a.phase)
                     {
                         cell.atomics.push((a.lane, a.phase, a.label));
                     }
@@ -654,7 +711,14 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                     {
                         cell.reported |= DiagClass::DataRace.bit();
                         sink.push(cross_diag(
-                            kernel, dev, DiagClass::DataRace, a, name, idx, rec.block, o,
+                            kernel,
+                            dev,
+                            DiagClass::DataRace,
+                            a,
+                            name,
+                            idx,
+                            rec.block,
+                            o,
                         ));
                     }
                 }
@@ -662,7 +726,14 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                     if let Some(o) = cell.at_blocks.other_than(block) {
                         cell.reported |= DiagClass::AtomicContract.bit();
                         sink.push(cross_diag(
-                            kernel, dev, DiagClass::AtomicContract, a, name, idx, rec.block, o,
+                            kernel,
+                            dev,
+                            DiagClass::AtomicContract,
+                            a,
+                            name,
+                            idx,
+                            rec.block,
+                            o,
                         ));
                     }
                 }
@@ -671,7 +742,14 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                     if let Some(o) = cell.wr_blocks.other_than(block) {
                         cell.reported |= DiagClass::DataRace.bit();
                         sink.push(cross_diag(
-                            kernel, dev, DiagClass::DataRace, a, name, idx, rec.block, o,
+                            kernel,
+                            dev,
+                            DiagClass::DataRace,
+                            a,
+                            name,
+                            idx,
+                            rec.block,
+                            o,
                         ));
                     }
                 }
@@ -679,7 +757,14 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                     if let Some(o) = cell.at_blocks.other_than(block) {
                         cell.reported |= DiagClass::AtomicContract.bit();
                         sink.push(cross_diag(
-                            kernel, dev, DiagClass::AtomicContract, a, name, idx, rec.block, o,
+                            kernel,
+                            dev,
+                            DiagClass::AtomicContract,
+                            a,
+                            name,
+                            idx,
+                            rec.block,
+                            o,
                         ));
                     }
                 }
@@ -692,7 +777,14 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
                     {
                         cell.reported |= DiagClass::AtomicContract.bit();
                         sink.push(cross_diag(
-                            kernel, dev, DiagClass::AtomicContract, a, name, idx, rec.block, o,
+                            kernel,
+                            dev,
+                            DiagClass::AtomicContract,
+                            a,
+                            name,
+                            idx,
+                            rec.block,
+                            o,
                         ));
                     }
                 }
@@ -707,8 +799,8 @@ pub(crate) fn analyze(kernel: &str, dev: &DeviceConfig, recs: &[Recorder]) -> Ch
             // blocks (within one block they execute sequentially).
             if cell.reported & DiagClass::AtomicContract.bit() == 0 {
                 if let (Some((ka, ta)), Some((kb, tb))) = (cell.kind_a, cell.kind_b) {
-                    let multi_block =
-                        matches!(a.kind, AccessKind::Atomic(_)) && cell.at_blocks.other_than(block).is_some();
+                    let multi_block = matches!(a.kind, AccessKind::Atomic(_))
+                        && cell.at_blocks.other_than(block).is_some();
                     if multi_block {
                         cell.reported |= DiagClass::AtomicContract.bit();
                         sink.push(Diagnostic {
@@ -783,7 +875,11 @@ fn intra_diag(
              no lane barrier between them (epoch {})",
             a.kind.describe(),
             lane_str(dev, a.lane),
-            if other_label.is_empty() { "access" } else { other_label },
+            if other_label.is_empty() {
+                "access"
+            } else {
+                other_label
+            },
             lane_str(dev, other_lane),
             a.epoch
         ),
@@ -862,7 +958,10 @@ mod tests {
         assert_eq!(d.index, Some(3));
         assert!(d.lanes.contains(&2), "offending lane listed: {:?}", d.lanes);
         let text = d.to_string();
-        assert!(text.contains("`cells`[3]"), "display locates the cell: {text}");
+        assert!(
+            text.contains("`cells`[3]"),
+            "display locates the cell: {text}"
+        );
     }
 
     #[test]
@@ -1026,7 +1125,10 @@ mod tests {
                 });
             });
         }));
-        assert!(panicked.is_err(), "unchecked divergence models the deadlock");
+        assert!(
+            panicked.is_err(),
+            "unchecked divergence models the deadlock"
+        );
     }
 
     #[test]

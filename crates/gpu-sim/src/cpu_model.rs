@@ -70,7 +70,12 @@ mod tests {
     #[test]
     fn model_time_is_linear_in_ops() {
         let cpu = CpuConfig::i7_2600k();
-        let a = OpCounter { edges: 1000, inits: 500, queue_ops: 100, accums: 50 };
+        let a = OpCounter {
+            edges: 1000,
+            inits: 500,
+            queue_ops: 100,
+            accums: 50,
+        };
         let mut b = a;
         b.add(&a);
         let ta = cpu.model_seconds(&a);
@@ -87,8 +92,14 @@ mod tests {
         // same in both.
         let reference = CpuConfig::i7_2600k();
         let tuned = CpuConfig::i7_2600k_tuned();
-        let inits = OpCounter { inits: 1000, ..OpCounter::new() };
-        let edges = OpCounter { edges: 1000, ..OpCounter::new() };
+        let inits = OpCounter {
+            inits: 1000,
+            ..OpCounter::new()
+        };
+        let edges = OpCounter {
+            edges: 1000,
+            ..OpCounter::new()
+        };
         assert!(reference.model_seconds(&inits) > 5.0 * tuned.model_seconds(&inits));
         assert_eq!(reference.model_seconds(&edges), tuned.model_seconds(&edges));
         // Tuned init really is streaming-cheap relative to traversal.

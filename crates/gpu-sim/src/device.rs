@@ -216,6 +216,9 @@ mod tests {
         let d = DeviceConfig::tesla_c2075();
         let bytes_per_sec_per_sm = 32.0 / d.cycles_to_seconds(d.seg_cycles);
         let total = bytes_per_sec_per_sm * d.num_sms as f64;
-        assert!((1.0e11..2.0e11).contains(&total), "modelled bandwidth {total}");
+        assert!(
+            (1.0e11..2.0e11).contains(&total),
+            "modelled bandwidth {total}"
+        );
     }
 }

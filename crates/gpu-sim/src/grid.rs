@@ -10,7 +10,11 @@
 //!
 //! Simulated blocks are independent interpreter runs, so `launch` fans
 //! them out over real host threads (`DYNBC_HOST_THREADS`, default = the
-//! machine's available cores, `1` = the legacy sequential path). Workers
+//! machine's available cores, `1` = the legacy sequential path). The
+//! setting is a cap: a launch never uses more workers than the host has
+//! cores or the grid has blocks, and grids under [`PARALLEL_MIN_BLOCKS`]
+//! run inline — fanning out work that cannot amortize a thread spawn
+//! only adds wall time. Workers
 //! self-schedule chunks of block ids from an atomic counter; each block
 //! produces its own `(cycles, KernelStats)` pair, and the results are
 //! **reduced serially in block-index order** — exactly the order the
@@ -50,6 +54,12 @@ pub struct LaunchReport {
 /// legacy sequential path.
 pub const HOST_THREADS_ENV: &str = "DYNBC_HOST_THREADS";
 
+/// Grids smaller than this run inline on the calling thread even when more
+/// host threads are available: below it the work cannot amortize even one
+/// thread spawn, so fanning out only adds wall time. Results are identical
+/// either way (the reduction order is block-index order regardless).
+pub const PARALLEL_MIN_BLOCKS: usize = 8;
+
 /// Environment variable enabling checked (racecheck) execution for every
 /// launch of every [`Gpu`] created afterwards: any error-severity
 /// diagnostic fails the launch with the full report. `1`/`true` (any
@@ -87,6 +97,7 @@ pub struct Gpu {
     total_stats: KernelStats,
     launches: u64,
     host_threads: usize,
+    host_cores: usize,
     racecheck: bool,
     check_warnings: u64,
     checked_launches: u64,
@@ -103,6 +114,7 @@ impl Gpu {
             total_stats: KernelStats::default(),
             launches: 0,
             host_threads: host_threads_from_env(),
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
             racecheck: racecheck_from_env(),
             check_warnings: 0,
             checked_launches: 0,
@@ -152,12 +164,19 @@ impl Gpu {
     }
 
     /// Sets the host-thread count for subsequent launches (clamped to ≥ 1).
+    ///
+    /// The count is a *cap*, not a demand: a launch never runs more
+    /// workers than the machine has cores (oversubscribing a smaller host
+    /// only adds spawn and context-switch overhead for zero parallelism)
+    /// nor more than it has blocks, and grids under
+    /// [`PARALLEL_MIN_BLOCKS`] run inline on the calling thread. Results
+    /// are bit-identical for every setting either way.
     pub fn set_host_threads(&mut self, threads: usize) {
         self.host_threads = threads.max(1);
     }
 
-    /// Host threads used to execute launches. Never affects results, only
-    /// wall-clock.
+    /// Host-thread cap for launches (see [`Gpu::set_host_threads`]).
+    /// Never affects results, only wall-clock.
     pub fn host_threads(&self) -> usize {
         self.host_threads
     }
@@ -234,20 +253,24 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
-        let threads = self.host_threads.min(num_blocks.max(1));
-        let per_block: Vec<(f64, KernelStats, Option<Box<Recorder>>)> = if threads <= 1 {
-            // Legacy sequential path: also the fallback that documents the
-            // reduction order the parallel path must reproduce.
-            (0..num_blocks)
-                .map(|b| {
-                    let mut ctx = BlockCtx::new(self.dev, b, record);
-                    f(&mut ctx, b);
-                    ctx.finish_full()
-                })
-                .collect()
-        } else {
-            self.run_blocks_parallel(num_blocks, threads, record, f)
-        };
+        let threads = self
+            .host_threads
+            .min(self.host_cores)
+            .min(num_blocks.max(1));
+        let per_block: Vec<(f64, KernelStats, Option<Box<Recorder>>)> =
+            if threads <= 1 || num_blocks < PARALLEL_MIN_BLOCKS {
+                // Legacy sequential path: also the fallback that documents the
+                // reduction order the parallel path must reproduce.
+                (0..num_blocks)
+                    .map(|b| {
+                        let mut ctx = BlockCtx::new(self.dev, b, record);
+                        f(&mut ctx, b);
+                        ctx.finish_full()
+                    })
+                    .collect()
+            } else {
+                self.run_blocks_parallel(num_blocks, threads, record, f)
+            };
 
         let mut block_cycles = Vec::with_capacity(num_blocks);
         let mut stats = KernelStats::default();
@@ -275,11 +298,13 @@ impl Gpu {
         )
     }
 
-    /// Fans `num_blocks` block interpreters over `threads` scoped host
-    /// threads. Workers claim chunks of block ids from a shared atomic
-    /// counter (self-scheduling, so stragglers rebalance) and return
-    /// `(block_id, result)` pairs; the caller reassembles them into
-    /// block-index order.
+    /// Fans `num_blocks` block interpreters over `threads` host threads.
+    /// The calling thread is worker 0 and only `threads - 1` scoped
+    /// threads are spawned, so the minimum useful setting (2 threads) pays
+    /// for a single spawn instead of two spawns plus an idle caller.
+    /// Workers claim chunks of block ids from a shared atomic counter
+    /// (self-scheduling, so stragglers rebalance) and return `(block_id,
+    /// result)` pairs; the caller reassembles them into block-index order.
     fn run_blocks_parallel<F>(
         &self,
         num_blocks: usize,
@@ -291,35 +316,37 @@ impl Gpu {
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
         type BlockOut = (f64, KernelStats, Option<Box<Recorder>>);
-        // Small chunks keep long-tailed blocks balanced; 4× oversubscription
-        // is plenty while amortizing counter traffic for huge grids.
+        // Chunked claims amortize counter traffic; sizing for ~4 claims
+        // per worker keeps long-tailed blocks balanced without turning the
+        // counter into a hotspot on huge grids.
         let chunk = (num_blocks / (threads * 4)).max(1);
         let next = AtomicUsize::new(0);
         let dev = self.dev;
+        let worker = || {
+            let mut out: Vec<(usize, BlockOut)> = Vec::new();
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= num_blocks {
+                    break;
+                }
+                for b in start..(start + chunk).min(num_blocks) {
+                    let mut ctx = BlockCtx::new(dev, b, record);
+                    f(&mut ctx, b);
+                    out.push((b, ctx.finish_full()));
+                }
+            }
+            out
+        };
         let mut slots: Vec<Option<BlockOut>> = Vec::with_capacity(num_blocks);
         slots.resize_with(num_blocks, || None);
 
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut out: Vec<(usize, BlockOut)> = Vec::new();
-                        loop {
-                            let start = next.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= num_blocks {
-                                break;
-                            }
-                            for b in start..(start + chunk).min(num_blocks) {
-                                let mut ctx = BlockCtx::new(dev, b, record);
-                                f(&mut ctx, b);
-                                out.push((b, ctx.finish_full()));
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
+            let handles: Vec<_> = (1..threads).map(|_| scope.spawn(worker)).collect();
+            // The caller works too; if its share panics, leaving the scope
+            // joins the spawned workers before the panic propagates.
+            for (b, result) in worker() {
+                slots[b] = Some(result);
+            }
             for handle in handles {
                 match handle.join() {
                     Ok(results) => {
@@ -538,6 +565,41 @@ mod tests {
             assert_eq!(baseline.5, got.5, "{threads} threads: max-contended buffer");
             assert_eq!(baseline.6, got.6, "{threads} threads: histogram");
         }
+    }
+
+    #[test]
+    fn forced_worker_fanout_matches_sequential_launch() {
+        // `launch` clamps its worker count to the host's cores, so on a
+        // small CI machine the tests above may never leave the inline
+        // path. Drive the fan-out directly to keep it covered everywhere.
+        const BLOCKS: usize = 16;
+        fn kernel<'a>(
+            buf: &'a GpuBuffer<u32>,
+            hist: &'a GpuBuffer<u32>,
+        ) -> impl Fn(&mut BlockCtx, usize) + Sync + 'a {
+            move |block, b| {
+                let work = 5 + (b * 3) % 11;
+                block.parallel_for(work, |lane, i| {
+                    lane.write(buf, b * 32 + i, (b * 100 + i) as u32);
+                    lane.atomic_add_u32(hist, i % 8, 1);
+                });
+            }
+        }
+        let seq_gpu = gpu().with_host_threads(1);
+        let seq_buf = GpuBuffer::<u32>::new(BLOCKS * 32, 0);
+        let seq_hist = GpuBuffer::<u32>::new(8, 0);
+        let mut seq_gpu = seq_gpu;
+        let seq = seq_gpu.launch(BLOCKS, kernel(&seq_buf, &seq_hist));
+
+        let par_gpu = gpu();
+        let par_buf = GpuBuffer::<u32>::new(BLOCKS * 32, 0);
+        let par_hist = GpuBuffer::<u32>::new(8, 0);
+        let f = kernel(&par_buf, &par_hist);
+        let per_block = par_gpu.run_blocks_parallel(BLOCKS, 4, false, &f);
+        let cycles: Vec<f64> = per_block.iter().map(|(c, _, _)| *c).collect();
+        assert_eq!(seq.block_cycles, cycles, "per-block cycles");
+        assert_eq!(seq_buf.to_vec(), par_buf.to_vec(), "row buffer");
+        assert_eq!(seq_hist.to_vec(), par_hist.to_vec(), "histogram");
     }
 
     #[test]

@@ -325,7 +325,10 @@ mod tests {
         let b = GpuBuffer::<u32>::new(100, 0);
         let a_end = a.addr(99) + 4;
         let b_end = b.addr(99) + 4;
-        assert!(a_end <= b.base || b_end <= a.base, "overlapping allocations");
+        assert!(
+            a_end <= b.base || b_end <= a.base,
+            "overlapping allocations"
+        );
     }
 
     #[test]

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// An arbitrary access script: per lane-item, a list of buffer indices.
 fn arb_pattern() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0usize..256, 0..8),
-        0..40,
-    )
+    proptest::collection::vec(proptest::collection::vec(0usize..256, 0..8), 0..40)
 }
 
 fn run_pattern(dev: DeviceConfig, pattern: &[Vec<usize>]) -> (f64, dynbc_gpusim::KernelStats) {

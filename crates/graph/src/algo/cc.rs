@@ -68,7 +68,11 @@ pub fn connected_components(g: &Csr) -> ComponentInfo {
         label[v as usize] = label[root as usize];
         sizes[label[v as usize] as usize] += 1;
     }
-    ComponentInfo { label, count, sizes }
+    ComponentInfo {
+        label,
+        count,
+        sizes,
+    }
 }
 
 #[cfg(test)]

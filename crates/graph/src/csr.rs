@@ -114,10 +114,7 @@ impl Csr {
 
     /// Converts back to a canonical edge list.
     pub fn to_edge_list(&self) -> EdgeList {
-        EdgeList::from_pairs(
-            self.vertex_count(),
-            self.arcs().filter(|&(u, v)| u < v),
-        )
+        EdgeList::from_pairs(self.vertex_count(), self.arcs().filter(|&(u, v)| u < v))
     }
 }
 

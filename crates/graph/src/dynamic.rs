@@ -42,6 +42,90 @@ impl Block {
     }
 }
 
+/// One streaming mutation of the edge set.
+///
+/// A batch of these is the unit of work for the dynamic-BC engines'
+/// `apply_batch`; the graph side is [`DynGraph::apply_batch`], which
+/// commits a whole batch in submission order or none of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// Insert the undirected edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Remove the undirected edge `{u, v}`.
+    Remove(VertexId, VertexId),
+}
+
+impl EdgeOp {
+    /// The `(u, v)` endpoint pair as submitted.
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        match self {
+            EdgeOp::Insert(u, v) | EdgeOp::Remove(u, v) => (u, v),
+        }
+    }
+
+    /// True for [`EdgeOp::Insert`].
+    pub fn is_insert(self) -> bool {
+        matches!(self, EdgeOp::Insert(..))
+    }
+
+    /// The mutation that undoes this one.
+    pub fn inverse(self) -> EdgeOp {
+        match self {
+            EdgeOp::Insert(u, v) => EdgeOp::Remove(u, v),
+            EdgeOp::Remove(u, v) => EdgeOp::Insert(u, v),
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeOp::Insert(u, v) => write!(f, "insert({u}, {v})"),
+            EdgeOp::Remove(u, v) => write!(f, "remove({u}, {v})"),
+        }
+    }
+}
+
+/// Why a batch was rejected by [`DynGraph::apply_batch`].
+///
+/// The display strings keep the phrases the single-op engines always
+/// panicked with ("self-loop", "already present", "not present") so
+/// batch-of-one callers see unchanged diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOpError {
+    /// Index of the offending op within the submitted batch.
+    pub index: usize,
+    /// The offending op.
+    pub op: EdgeOp,
+    /// What was wrong with it.
+    pub kind: BatchOpErrorKind,
+}
+
+/// The specific rejection reason of a [`BatchOpError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOpErrorKind {
+    /// `u == v`.
+    SelfLoop,
+    /// Insertion of an edge the graph already has.
+    AlreadyPresent,
+    /// Removal of an edge the graph does not have.
+    NotPresent,
+}
+
+impl std::fmt::Display for BatchOpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match (self.kind, self.op.is_insert()) {
+            (BatchOpErrorKind::SelfLoop, true) => "self-loop insertion",
+            (BatchOpErrorKind::SelfLoop, false) => "self-loop removal",
+            (BatchOpErrorKind::AlreadyPresent, _) => "edge already present",
+            (BatchOpErrorKind::NotPresent, _) => "edge not present",
+        };
+        write!(f, "batch op {} ({}): {what}", self.index, self.op)
+    }
+}
+
+impl std::error::Error for BatchOpError {}
+
 /// A mutable simple undirected graph with blocked adjacency lists.
 #[derive(Debug, Clone)]
 pub struct DynGraph {
@@ -154,6 +238,59 @@ impl DynGraph {
         self.detach(v, u);
         self.m -= 1;
         true
+    }
+
+    /// Applies one [`EdgeOp`]. Returns `false` (changing nothing) exactly
+    /// when the matching single-op mutator would: self loops, duplicate
+    /// insertions, removals of absent edges.
+    pub fn apply_op(&mut self, op: EdgeOp) -> bool {
+        match op {
+            EdgeOp::Insert(u, v) => self.insert_edge(u, v),
+            EdgeOp::Remove(u, v) => self.remove_edge(u, v),
+        }
+    }
+
+    /// Commits a batch of mutations in submission order, all or nothing.
+    ///
+    /// If any op is a no-op against the state it would see (self loop,
+    /// duplicate insert, absent removal), the already-applied prefix is
+    /// rolled back — inverse ops in reverse order — and the offending op
+    /// is reported. On success the graph reflects every op.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range (same as [`insert_edge`]).
+    ///
+    /// [`insert_edge`]: DynGraph::insert_edge
+    pub fn apply_batch(&mut self, ops: &[EdgeOp]) -> Result<(), BatchOpError> {
+        for (index, &op) in ops.iter().enumerate() {
+            if self.apply_op(op) {
+                continue;
+            }
+            let (u, v) = op.endpoints();
+            let kind = if u == v {
+                BatchOpErrorKind::SelfLoop
+            } else if op.is_insert() {
+                BatchOpErrorKind::AlreadyPresent
+            } else {
+                BatchOpErrorKind::NotPresent
+            };
+            self.undo_batch(&ops[..index]);
+            return Err(BatchOpError { index, op, kind });
+        }
+        Ok(())
+    }
+
+    /// Reverts a batch previously committed by [`DynGraph::apply_batch`]:
+    /// inverse ops applied in reverse order.
+    ///
+    /// # Panics
+    /// Panics if the batch is not actually undoable from the current
+    /// state (i.e. it was never applied, or the graph moved on since).
+    pub fn undo_batch(&mut self, ops: &[EdgeOp]) {
+        for &op in ops.iter().rev() {
+            let undone = self.apply_op(op.inverse());
+            assert!(undone, "undo_batch: {op} was not applied");
+        }
     }
 
     /// Appends `w` to `v`'s list, allocating a tail block if needed.
@@ -365,6 +502,72 @@ mod tests {
     }
 
     #[test]
+    fn apply_batch_commits_in_order() {
+        let mut g = DynGraph::new(6);
+        g.apply_batch(&[
+            EdgeOp::Insert(0, 1),
+            EdgeOp::Insert(1, 2),
+            EdgeOp::Remove(0, 1),
+            EdgeOp::Insert(0, 1),
+        ])
+        .unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn apply_batch_rolls_back_on_invalid_op() {
+        let mut g = DynGraph::new(6);
+        g.insert_edge(0, 1);
+        let before = g.to_edge_list();
+        // Op 2 re-inserts an edge op 0 already inserted: the whole batch
+        // must be refused and the graph left exactly as it was.
+        let err = g
+            .apply_batch(&[
+                EdgeOp::Insert(2, 3),
+                EdgeOp::Remove(0, 1),
+                EdgeOp::Insert(2, 3),
+            ])
+            .unwrap_err();
+        assert_eq!(err.index, 2);
+        assert_eq!(err.kind, BatchOpErrorKind::AlreadyPresent);
+        assert!(err.to_string().contains("already present"), "{err}");
+        assert_eq!(g.to_edge_list(), before);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn apply_batch_rejects_self_loops_and_absent_removals() {
+        let mut g = DynGraph::new(4);
+        let err = g.apply_batch(&[EdgeOp::Insert(1, 1)]).unwrap_err();
+        assert_eq!(err.kind, BatchOpErrorKind::SelfLoop);
+        assert!(err.to_string().contains("self-loop insertion"), "{err}");
+        let err = g.apply_batch(&[EdgeOp::Remove(0, 2)]).unwrap_err();
+        assert_eq!(err.kind, BatchOpErrorKind::NotPresent);
+        assert!(err.to_string().contains("not present"), "{err}");
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn undo_batch_restores_edge_set() {
+        let mut g = DynGraph::new(8);
+        for w in 1..6 {
+            g.insert_edge(0, w);
+        }
+        let before = g.to_edge_list();
+        let ops = [
+            EdgeOp::Remove(0, 2),
+            EdgeOp::Insert(2, 3),
+            EdgeOp::Remove(0, 4),
+            EdgeOp::Insert(0, 6),
+        ];
+        g.apply_batch(&ops).unwrap();
+        g.undo_batch(&ops);
+        assert_eq!(g.to_edge_list(), before);
+    }
+
+    #[test]
     fn interleaved_insert_remove_matches_edge_list_model() {
         // Drive DynGraph and the simple EdgeList model with the same
         // pseudo-random operation stream; they must agree throughout.
@@ -387,7 +590,11 @@ mod tests {
                 assert_eq!(a, b, "remove disagreement at step {step} ({u},{v})");
             } else {
                 let a = g.insert_edge(u, v);
-                let b = if u == v { false } else { model.insert_edge(u, v) };
+                let b = if u == v {
+                    false
+                } else {
+                    model.insert_edge(u, v)
+                };
                 assert_eq!(a, b, "insert disagreement at step {step} ({u},{v})");
             }
             assert_eq!(g.edge_count(), model.edge_count());

@@ -34,10 +34,7 @@ impl EdgeList {
             .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
             .collect();
         for &(u, v) in &edges {
-            assert!(
-                (v as usize) < n,
-                "edge ({u}, {v}) out of range for n = {n}"
-            );
+            assert!((v as usize) < n, "edge ({u}, {v}) out of range for n = {n}");
         }
         edges.sort_unstable();
         edges.dedup();
@@ -46,7 +43,10 @@ impl EdgeList {
 
     /// An empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.

@@ -69,7 +69,11 @@ mod tests {
         // seed clique (15) + 5 per arrival; allow small shortfall from the
         // duplicate-redraw guard.
         let expect = 15 + (n - 6) * 5;
-        assert!(g.edge_count() as f64 > 0.99 * expect as f64, "{}", g.edge_count());
+        assert!(
+            g.edge_count() as f64 > 0.99 * expect as f64,
+            "{}",
+            g.edge_count()
+        );
         assert!(g.edge_count() <= expect);
     }
 
@@ -94,7 +98,10 @@ mod tests {
         let g = ba(&mut rng, 500, 3);
         let csr = crate::csr::Csr::from_edge_list(&g);
         let dist = crate::algo::bfs(&csr, 0);
-        assert!(dist.iter().all(|&d| d != u32::MAX), "BA graph must be connected");
+        assert!(
+            dist.iter().all(|&d| d != u32::MAX),
+            "BA graph must be connected"
+        );
     }
 
     #[test]

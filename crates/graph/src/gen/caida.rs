@@ -68,7 +68,10 @@ mod tests {
         let g = caida(&mut StdRng::seed_from_u64(1), 2000, 2.0);
         let csr = crate::csr::Csr::from_edge_list(&g);
         let d = crate::algo::bfs(&csr, 0);
-        assert!(d.iter().all(|&x| x != u32::MAX), "tree backbone connects everything");
+        assert!(
+            d.iter().all(|&x| x != u32::MAX),
+            "tree backbone connects everything"
+        );
     }
 
     #[test]
@@ -84,7 +87,11 @@ mod tests {
         let g = caida(&mut StdRng::seed_from_u64(3), 4000, 2.0);
         let mut deg = g.degrees();
         deg.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(deg[0] > 50, "core routers should be hubs, max degree {}", deg[0]);
+        assert!(
+            deg[0] > 50,
+            "core routers should be hubs, max degree {}",
+            deg[0]
+        );
         let leaves = deg.iter().filter(|&&d| d <= 2).count();
         assert!(
             leaves as f64 > 0.3 * deg.len() as f64,

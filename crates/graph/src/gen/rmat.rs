@@ -113,7 +113,12 @@ mod tests {
 
     #[test]
     fn uniform_params_behave_like_er() {
-        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
         let g = rmat(&mut StdRng::seed_from_u64(3), 10, 8, p);
         let deg = g.degrees();
         let max = *deg.iter().max().unwrap();
@@ -125,7 +130,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_probabilities() {
-        let p = RmatParams { a: 0.9, b: 0.2, c: 0.2, d: 0.2 };
+        let p = RmatParams {
+            a: 0.9,
+            b: 0.2,
+            c: 0.2,
+            d: 0.2,
+        };
         let _ = rmat(&mut StdRng::seed_from_u64(4), 4, 2, p);
     }
 

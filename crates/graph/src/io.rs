@@ -172,7 +172,11 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<EdgeList, 
         max_id = max_id.max(u).max(v);
         pairs.push((u, v));
     }
-    let inferred = if pairs.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if pairs.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let n = n.unwrap_or(inferred);
     if n < inferred {
         return Err(ParseError::Format(format!(

@@ -30,5 +30,5 @@ pub mod suite;
 pub type VertexId = u32;
 
 pub use csr::Csr;
-pub use dynamic::DynGraph;
+pub use dynamic::{BatchOpError, BatchOpErrorKind, DynGraph, EdgeOp};
 pub use edgelist::EdgeList;

@@ -117,7 +117,8 @@ impl SuiteEntry {
     pub fn generate(&self, scale: f64, seed: u64) -> EdgeList {
         assert!(scale > 0.0, "scale must be positive");
         let n = ((self.default_vertices as f64 * scale) as usize).max(64);
-        let mut rng = StdRng::seed_from_u64(seed ^ (self.short.len() as u64) ^ hash_name(self.name));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (self.short.len() as u64) ^ hash_name(self.name));
         match self.family {
             Family::Caida => gen::caida(&mut rng, n, 2.2),
             Family::CoPapers => gen::copapers(&mut rng, n, 36.0),
@@ -166,7 +167,11 @@ mod tests {
         for entry in &TABLE_I {
             let g = entry.generate(0.05, 42);
             assert!(g.vertex_count() >= 64, "{}: too few vertices", entry.short);
-            assert!(g.edge_count() > g.vertex_count() / 2, "{}: too sparse", entry.short);
+            assert!(
+                g.edge_count() > g.vertex_count() / 2,
+                "{}: too sparse",
+                entry.short
+            );
         }
     }
 
@@ -189,7 +194,10 @@ mod tests {
 
     #[test]
     fn lookup_by_short_name() {
-        assert_eq!(entry_by_short("kron").unwrap().name, "kron_g500-simple-logn19");
+        assert_eq!(
+            entry_by_short("kron").unwrap().name,
+            "kron_g500-simple-logn19"
+        );
         assert!(entry_by_short("nope").is_none());
     }
 

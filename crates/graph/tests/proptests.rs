@@ -8,16 +8,20 @@ use rand::SeedableRng;
 
 /// Arbitrary canonical edge lists over up to 24 vertices.
 fn arb_edge_list() -> impl Strategy<Value = EdgeList> {
-    (2usize..24, proptest::collection::vec((0u32..24, 0u32..24), 0..60)).prop_map(|(n, pairs)| {
-        let n = n.max(
-            pairs
-                .iter()
-                .map(|&(a, b)| a.max(b) as usize + 1)
-                .max()
-                .unwrap_or(0),
-        );
-        EdgeList::from_pairs(n, pairs)
-    })
+    (
+        2usize..24,
+        proptest::collection::vec((0u32..24, 0u32..24), 0..60),
+    )
+        .prop_map(|(n, pairs)| {
+            let n = n.max(
+                pairs
+                    .iter()
+                    .map(|&(a, b)| a.max(b) as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+            EdgeList::from_pairs(n, pairs)
+        })
 }
 
 proptest! {

@@ -49,7 +49,10 @@ fn main() {
         }
     }
 
-    println!("\nevaluating {} candidate reinforcement lines:", candidates.len());
+    println!(
+        "\nevaluating {} candidate reinforcement lines:",
+        candidates.len()
+    );
     let mut best: Option<(u32, u32, f64, f64)> = None;
     for &(a, b) in &candidates {
         // What-if on a cloned engine: one incremental update.

@@ -7,6 +7,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== formatting gate (first-party crates; vendor/ is exempt) =="
+cargo fmt --check \
+    -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph -p dynbc-gpusim
+
 echo "== tier-1: release build =="
 cargo build --release
 

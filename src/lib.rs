@@ -31,6 +31,12 @@
 //! let mut gpu = GpuDynamicBc::new(&graph, &sources, DeviceConfig::tesla_c2075(), Parallelism::Node);
 //! let gpu_result = gpu.insert_edge(3, 117);
 //! assert_eq!(gpu_result.cases, result.cases);
+//!
+//! // Streaming workloads batch their events: one shared update plan,
+//! // fused kernel launches, results bit-identical to one-at-a-time.
+//! let batch = [EdgeOp::Insert(5, 90), EdgeOp::Remove(3, 117)];
+//! let report = gpu.apply_batch(&batch);
+//! assert_eq!(report.per_op.len(), 2);
 //! ```
 //!
 //! ## Crate map
@@ -47,16 +53,21 @@
 
 pub use dynbc_bc as bc;
 pub use dynbc_ds as ds;
-pub use dynbc_graph as graph;
 pub use dynbc_gpusim as gpusim;
+pub use dynbc_graph as graph;
 
 /// The one-import surface for applications.
 pub mod prelude {
     pub use dynbc_bc::brandes::{brandes_approx, brandes_exact, brandes_state, sample_sources};
     pub use dynbc_bc::cases::{classify, CaseCounts, InsertionCase};
-    pub use dynbc_bc::dynamic::{CpuDynamicBc, SourceOutcome, UpdateResult};
-    pub use dynbc_bc::gpu::{static_bc_gpu, static_bc_gpu_on, GpuDynamicBc, Parallelism, StaticBcReport};
+    pub use dynbc_bc::dynamic::{
+        BatchResult, CpuDynamicBc, OpOutcome, SourceOutcome, UpdateResult,
+    };
+    pub use dynbc_bc::gpu::{
+        static_bc_gpu, static_bc_gpu_on, GpuDynamicBc, MultiGpuDynamicBc, Parallelism,
+        StaticBcReport,
+    };
     pub use dynbc_bc::state::BcState;
-    pub use dynbc_graph::{Csr, DynGraph, EdgeList, VertexId};
     pub use dynbc_gpusim::{CpuConfig, DeviceConfig};
+    pub use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
 }

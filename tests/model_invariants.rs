@@ -24,9 +24,21 @@ fn results_are_identical_across_devices() {
     let el = test_graph(300, 1);
     let csr = Csr::from_edge_list(&el);
     let sources: Vec<u32> = (0..30).collect();
-    let a = static_bc_gpu(DeviceConfig::tesla_c2075(), &csr, &sources, Parallelism::Node, 14);
+    let a = static_bc_gpu(
+        DeviceConfig::tesla_c2075(),
+        &csr,
+        &sources,
+        Parallelism::Node,
+        14,
+    );
     let b = static_bc_gpu(DeviceConfig::gtx560(), &csr, &sources, Parallelism::Node, 7);
-    let c = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, 3);
+    let c = static_bc_gpu(
+        DeviceConfig::test_tiny(),
+        &csr,
+        &sources,
+        Parallelism::Node,
+        3,
+    );
     // Accumulation order differs with warp size and scheduling, so the
     // comparison is to f64 round-off, not bit equality.
     assert_close(&a.bc, &b.bc, "C2075 vs GTX 560");
@@ -38,10 +50,21 @@ fn results_are_identical_across_block_counts() {
     let el = test_graph(200, 2);
     let csr = Csr::from_edge_list(&el);
     let sources: Vec<u32> = (0..20).collect();
-    let base = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, 1);
+    let base = static_bc_gpu(
+        DeviceConfig::test_tiny(),
+        &csr,
+        &sources,
+        Parallelism::Node,
+        1,
+    );
     for blocks in [2, 3, 5, 8, 16] {
-        let other =
-            static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, Parallelism::Node, blocks);
+        let other = static_bc_gpu(
+            DeviceConfig::test_tiny(),
+            &csr,
+            &sources,
+            Parallelism::Node,
+            blocks,
+        );
         assert_close(&base.bc, &other.bc, "block count changed results");
     }
 }
@@ -51,7 +74,12 @@ fn dynamic_results_are_identical_across_devices() {
     let el = test_graph(120, 3);
     let mut rng = StdRng::seed_from_u64(9);
     let sources = sample_sources(&mut rng, 120, 8);
-    let mut fast = GpuDynamicBc::new(&el, &sources, DeviceConfig::tesla_c2075(), Parallelism::Node);
+    let mut fast = GpuDynamicBc::new(
+        &el,
+        &sources,
+        DeviceConfig::tesla_c2075(),
+        Parallelism::Node,
+    );
     let mut tiny = GpuDynamicBc::new(&el, &sources, DeviceConfig::test_tiny(), Parallelism::Node);
     for (u, v) in [(0u32, 60u32), (5, 99), (30, 110), (1, 119)] {
         if fast.graph().has_edge(u, v) {
@@ -60,7 +88,11 @@ fn dynamic_results_are_identical_across_devices() {
         fast.insert_edge(u, v);
         tiny.insert_edge(u, v);
     }
-    assert_close(&fast.state_snapshot().bc, &tiny.state_snapshot().bc, "dynamic devices");
+    assert_close(
+        &fast.state_snapshot().bc,
+        &tiny.state_snapshot().bc,
+        "dynamic devices",
+    );
 }
 
 #[test]
@@ -68,8 +100,20 @@ fn edge_and_node_agree_functionally_but_not_in_cost() {
     let el = test_graph(400, 4);
     let csr = Csr::from_edge_list(&el);
     let sources: Vec<u32> = (0..24).collect();
-    let node = static_bc_gpu(DeviceConfig::tesla_c2075(), &csr, &sources, Parallelism::Node, 14);
-    let edge = static_bc_gpu(DeviceConfig::tesla_c2075(), &csr, &sources, Parallelism::Edge, 14);
+    let node = static_bc_gpu(
+        DeviceConfig::tesla_c2075(),
+        &csr,
+        &sources,
+        Parallelism::Node,
+        14,
+    );
+    let edge = static_bc_gpu(
+        DeviceConfig::tesla_c2075(),
+        &csr,
+        &sources,
+        Parallelism::Edge,
+        14,
+    );
     for v in 0..400 {
         assert!(
             (node.bc[v] - edge.bc[v]).abs() < 1e-9,
@@ -90,9 +134,8 @@ fn makespan_improves_up_to_sm_count_then_plateaus() {
     let csr = Csr::from_edge_list(&el);
     let sources: Vec<u32> = (0..28).collect();
     let device = DeviceConfig::tesla_c2075();
-    let t = |blocks: usize| {
-        static_bc_gpu(device, &csr, &sources, Parallelism::Node, blocks).seconds
-    };
+    let t =
+        |blocks: usize| static_bc_gpu(device, &csr, &sources, Parallelism::Node, blocks).seconds;
     let t1 = t(1);
     let t7 = t(7);
     let t14 = t(14);
@@ -100,7 +143,10 @@ fn makespan_improves_up_to_sm_count_then_plateaus() {
     assert!(t7 < t1 * 0.5, "7 blocks should be far faster than 1");
     assert!(t14 < t7, "14 blocks beat 7 on 14 SMs");
     // Beyond one block per SM: no further meaningful gain.
-    assert!(t28 > t14 * 0.8, "blocks beyond SM count must not keep scaling");
+    assert!(
+        t28 > t14 * 0.8,
+        "blocks beyond SM count must not keep scaling"
+    );
 }
 
 #[test]
@@ -109,8 +155,12 @@ fn deterministic_replay_of_a_full_experiment() {
         let el = test_graph(150, 6);
         let mut rng = StdRng::seed_from_u64(77);
         let sources = sample_sources(&mut rng, 150, 6);
-        let mut engine =
-            GpuDynamicBc::new(&el, &sources, DeviceConfig::tesla_c2075(), Parallelism::Edge);
+        let mut engine = GpuDynamicBc::new(
+            &el,
+            &sources,
+            DeviceConfig::tesla_c2075(),
+            Parallelism::Edge,
+        );
         let mut seconds = Vec::new();
         for (u, v) in [(3u32, 77u32), (10, 140), (66, 67)] {
             if engine.graph().has_edge(u, v) {
@@ -134,10 +184,14 @@ fn case1_updates_cost_orders_of_magnitude_less_than_worked_ones() {
     // Case 3 update on the same engine.
     let el = EdgeList::from_pairs(4096, (0..4095).map(|i| (i, i + 1)));
     let sources = vec![0u32];
-    let mut engine =
-        GpuDynamicBc::new(&el, &sources, DeviceConfig::tesla_c2075(), Parallelism::Node);
+    let mut engine = GpuDynamicBc::new(
+        &el,
+        &sources,
+        DeviceConfig::tesla_c2075(),
+        Parallelism::Node,
+    );
     let worked = engine.insert_edge(1, 4000); // huge Case 3 shortcut
-    // Vertices 2 and 4000 are now both at distance 2 from 0 → Case 1.
+                                              // Vertices 2 and 4000 are now both at distance 2 from 0 → Case 1.
     let snapshot = engine.state_snapshot();
     assert_eq!(snapshot.d[0][2], snapshot.d[0][4000]);
     let idle = engine.insert_edge(2, 4000);

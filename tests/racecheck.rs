@@ -230,7 +230,11 @@ fn racecheck_clean_static_brandes_both_parallelisms() {
         // Checked execution must not perturb results.
         let unchecked = static_bc_gpu(DeviceConfig::test_tiny(), &csr, &sources, par, 2);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
-        assert_eq!(bits(&report.bc), bits(&unchecked.bc), "static {par}: scores");
+        assert_eq!(
+            bits(&report.bc),
+            bits(&unchecked.bc),
+            "static {par}: scores"
+        );
         assert_eq!(
             report.seconds.to_bits(),
             unchecked.seconds.to_bits(),
@@ -362,8 +366,9 @@ fn racecheck_checked_stream_is_cost_and_state_neutral() {
         let mut rng = StdRng::seed_from_u64(606);
         let el = dynbc::graph::gen::er(&mut rng, 22, 44);
         let sources = sample_sources(&mut rng, 22, 4);
-        let mut eng = GpuDynamicBc::new(&el, &sources, DeviceConfig::test_tiny(), Parallelism::Node)
-            .with_racecheck(checked);
+        let mut eng =
+            GpuDynamicBc::new(&el, &sources, DeviceConfig::test_tiny(), Parallelism::Node)
+                .with_racecheck(checked);
         let mut rng = StdRng::seed_from_u64(17);
         let mut done = 0;
         while done < 12 {

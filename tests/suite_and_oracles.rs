@@ -19,7 +19,10 @@ fn suite_families_have_their_signature_shapes() {
     let del = Csr::from_edge_list(by_name["del"]);
     assert!(degree_stats(&del).max <= 8);
     let d = pseudo_diameter(&del, 0, 3);
-    assert!(d as f64 > (del.vertex_count() as f64).sqrt() * 0.5, "mesh diameter {d}");
+    assert!(
+        d as f64 > (del.vertex_count() as f64).sqrt() * 0.5,
+        "mesh diameter {d}"
+    );
 
     // Small world: tiny diameter, tight degree spread.
     let small = Csr::from_edge_list(by_name["small"]);
