@@ -29,7 +29,7 @@ pub struct SourcePass {
 /// accumulation (stages 2 and 3 of Algorithm 1), without predecessor
 /// lists: the dependency stage re-examines neighbours and filters with
 /// `d[v] + 1 == d[w]`, the O(E)-memory-saving variant of Green & Bader
-/// the paper adopts (its reference [18]).
+/// the paper adopts (its reference \[18\]).
 pub fn source_pass(g: &Csr, s: VertexId) -> SourcePass {
     source_pass_on(g, s)
 }

@@ -12,7 +12,7 @@
 //!    `(source, op)` pair — Case 1 / D1 sources are dropped before any
 //!    launch ("figuring out which case each source node has to compute
 //!    is trivial");
-//! 2. the **exec layer** ([`super::exec`]) fuses each stage's surviving
+//! 2. the **exec layer** (`super::exec`) fuses each stage's surviving
 //!    work items into a single grid, with per-op CSR snapshots and a
 //!    per-*(op, block)* BC delta slab so batching is bit-identical to
 //!    one-at-a-time application;
@@ -40,7 +40,7 @@ use crate::brandes::brandes_state;
 use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};
 use crate::plan::{self, PlannedOp};
 use crate::state::BcState;
-use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer, KernelStats};
+use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer, KernelStats, ProfileReport};
 use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
 
 /// Fine-grained work decomposition: one thread per arc, or one thread per
@@ -172,6 +172,37 @@ impl GpuDynamicBc {
         self.gpu.checked_launches()
     }
 
+    /// Enables/disables profiled execution for every launch this engine
+    /// performs (builder form). Overrides `DYNBC_PROFILE`. Profiled runs
+    /// collect per-kernel/per-stage hardware-style counters into
+    /// [`profile_report`](Self::profile_report); results are unaffected
+    /// and the counters are bit-identical for any host-thread count.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.gpu.set_profiling(on);
+        self
+    }
+
+    /// Enables/disables profiled execution for every launch.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.gpu.set_profiling(on);
+    }
+
+    /// True when launches run under the profiler.
+    pub fn profiling(&self) -> bool {
+        self.gpu.profiling()
+    }
+
+    /// The profiles accumulated by launches that ran with profiling on.
+    pub fn profile_report(&self) -> &ProfileReport {
+        self.gpu.profile_report()
+    }
+
+    /// Drains the accumulated profiles (profile one phase, take the
+    /// report, keep going).
+    pub fn take_profile_report(&mut self) -> ProfileReport {
+        self.gpu.take_profile_report()
+    }
+
     /// The number of host threads launches fan blocks over.
     pub fn host_threads(&self) -> usize {
         self.gpu.host_threads()
@@ -231,7 +262,7 @@ impl GpuDynamicBc {
     ///
     /// The batch is validated up front (all or nothing), then split into
     /// stages at distance-changing ops and executed with one fused grid
-    /// per stage (see [`super::exec`]). Results — every `f64` of BC and
+    /// per stage (see `super::exec`). Results — every `f64` of BC and
     /// state, the case tallies, the touched statistics — are bit-identical
     /// to applying the ops one at a time; what batching changes is the
     /// simulated cost, by amortizing launch overhead and packing light
@@ -247,6 +278,7 @@ impl GpuDynamicBc {
 
         let mut per_op: Vec<OpOutcome> = Vec::with_capacity(batch.len());
         let mut next = 0;
+        let mut stage_idx = 0usize;
         while next < batch.len() {
             // Plan one stage (host side, off the simulated clock): commit
             // each op to the graph and classify it against the stage-start
@@ -275,14 +307,30 @@ impl GpuDynamicBc {
             self.scr.ensure_arc_capacity(max_arcs + 4096);
             self.scr.ensure_bc_rows(stage.len() * self.num_blocks);
 
-            exec::charge_classification(&mut self.gpu, &self.st, &self.case_buf, &stage, &gbufs);
+            exec::charge_classification(
+                &mut self.gpu,
+                &self.st,
+                &self.case_buf,
+                &stage,
+                &gbufs,
+                stage_idx,
+            );
             let cfg = ExecConfig {
                 par: self.par,
                 dedup: self.dedup,
                 force_general: self.force_general,
                 num_blocks: self.num_blocks,
             };
-            let touched = exec::run_stage(&mut self.gpu, cfg, &self.st, &self.scr, &stage, &gbufs);
+            let touched = exec::run_stage(
+                &mut self.gpu,
+                cfg,
+                &self.st,
+                &self.scr,
+                &stage,
+                &gbufs,
+                stage_idx,
+            );
+            stage_idx += 1;
 
             for planned in &stage {
                 per_op.push(OpOutcome {

@@ -73,10 +73,13 @@ pub(super) fn charge_classification(
     case_buf: &GpuBuffer<u32>,
     stage: &[PlannedOp],
     gbufs: &[GraphBuffers],
+    stage_idx: usize,
 ) {
     let n = st.n;
     let k = st.k;
-    gpu.launch_named("batch::classify", 1, |block, _| {
+    // The stage ordinal lands in the launch name so profiles attribute
+    // work to individual pipeline stages of a batch (`#0`, `#1`, …).
+    gpu.launch_named(&format!("batch::classify#{stage_idx}"), 1, |block, _| {
         block.label("batch::classify");
         for (slot, planned) in stage.iter().enumerate() {
             let (u, v) = planned.op.endpoints();
@@ -120,6 +123,7 @@ pub(super) fn run_stage(
     scr: &ScratchBuffers,
     stage: &[PlannedOp],
     gbufs: &[GraphBuffers],
+    stage_idx: usize,
 ) -> Vec<(usize, usize, usize)> {
     let mut items = Vec::new();
     for (op_slot, planned) in stage.iter().enumerate() {
@@ -148,10 +152,10 @@ pub(super) fn run_stage(
         (0..num_blocks).map(|_| Mutex::new(Vec::new())).collect();
     let items_ref = &items;
     let fused_name = match cfg.par {
-        Parallelism::Node => "batch::fused::node",
-        Parallelism::Edge => "batch::fused::edge",
+        Parallelism::Node => format!("batch::fused::node#{stage_idx}"),
+        Parallelism::Edge => format!("batch::fused::edge#{stage_idx}"),
     };
-    gpu.launch_named(fused_name, num_blocks, |block, b| {
+    gpu.launch_named(&fused_name, num_blocks, |block, b| {
         // Items arrive op-major / row-minor; the filter preserves that
         // order, so two ops touching the same source row are applied in
         // submission order by the row's owning block.

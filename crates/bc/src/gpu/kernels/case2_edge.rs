@@ -12,7 +12,7 @@
 //! — would propagate and the touched set would balloon to everything below
 //! `u_low`'s level, contradicting the paper's own Figure 4; (2) Algorithm
 //! 6's listing swaps the roles of `v` and `w` relative to Algorithm 7
-//! (σ̂[v]/σ̂[w] with v the *deeper* endpoint is dimensionally wrong); we
+//! (σ̂\[v\]/σ̂\[w\] with v the *deeper* endpoint is dimensionally wrong); we
 //! implement the orientation consistent with Algorithms 2 and 7.
 
 use super::Ctx;
@@ -31,6 +31,7 @@ pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
         let mut done = true; // shared
         block.parallel_for(num_arcs, |lane, e| {
             let v = lane.read(&ctx.g.arc_tails, e);
+            lane.prof_edges_scanned(1);
             if lane.read(&ctx.st.d, ctx.kn(v)) != depth {
                 return; // the futile-thread fast path
             }
@@ -39,6 +40,7 @@ pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             }
             let w = lane.read(&ctx.g.arc_heads, e);
             if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
+                lane.prof_edges_passed(1);
                 if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
                     // Benign race, declared volatile for the racechecker.
                     lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
@@ -72,6 +74,7 @@ pub fn dep_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
             // w: the deeper endpoint (at `depth`, must be touched);
             // v: its predecessor candidate (at `depth - 1`).
             let w = lane.read(&ctx.g.arc_tails, e);
+            lane.prof_edges_scanned(1);
             if lane.read(&ctx.st.d, ctx.kn(w)) != depth {
                 return;
             }
@@ -82,6 +85,7 @@ pub fn dep_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
             if lane.read(&ctx.st.d, ctx.kn(v)) != depth - 1 {
                 return;
             }
+            lane.prof_edges_passed(1);
             let mut dsv = 0.0;
             if lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(v), T_UNTOUCHED, T_UP) == T_UNTOUCHED {
                 dsv += lane.read(&ctx.st.delta, ctx.kn(v));

@@ -43,7 +43,9 @@ pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32
             let end = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
             for e in start..end {
                 let w = lane.read(&ctx.g.adj, e);
+                lane.prof_edges_scanned(1);
                 if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
+                    lane.prof_edges_passed(1);
                     let discovered = match dedup {
                         DedupStrategy::SortScan => {
                             // Plain test-then-set: a benign race in CUDA
@@ -64,6 +66,7 @@ pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32
                         let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                         assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                         lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
+                        lane.prof_queue_push(1);
                     }
                     lane.atomic_add_f64(&ctx.scr.sigma_hat, ctx.sn(w), push);
                 }
@@ -108,9 +111,11 @@ pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
             let end = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
             for e in start..end {
                 let v = lane.read(&ctx.g.adj, e);
+                lane.prof_edges_scanned(1);
                 if lane.read(&ctx.st.d, ctx.kn(v)) != depth - 1 {
                     continue;
                 }
+                lane.prof_edges_passed(1);
                 let mut dsv = 0.0;
                 // First toucher seeds δ̂[v] with the old dependency and
                 // publishes v for shallower iterations.
@@ -119,6 +124,7 @@ pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!(qq_len + (i as usize) < ctx.scr.qw, "QQ overflow");
                     lane.write(&ctx.scr.qq, ctx.qi(qq_len + i as usize), v);
+                    lane.prof_queue_push(1);
                 }
                 lane.compute(2); // the divide + multiply-add below
                 dsv += lane.read(&ctx.scr.sigma_hat, ctx.sn(v)) / sig_hat_w * (1.0 + del_hat_w);

@@ -34,6 +34,7 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
         // Pass B: accumulate σ̂ from predecessors into this level.
         block.parallel_for(num_arcs, |lane, e| {
             let b = lane.read(&ctx.g.arc_tails, e);
+            lane.prof_edges_scanned(1);
             if lane.read(&ctx.scr.d_hat, ctx.sn(b)) != level
                 || lane.read(&ctx.scr.t, ctx.sn(b)) != T_DOWN
             {
@@ -41,6 +42,7 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             }
             let a = lane.read(&ctx.g.arc_heads, e);
             if lane.read(&ctx.scr.d_hat, ctx.sn(a)) == level - 1 {
+                lane.prof_edges_passed(1);
                 let sig_a = lane.read(&ctx.scr.sigma_hat, ctx.sn(a));
                 lane.atomic_add_f64(&ctx.scr.sigma_hat, ctx.sn(b), sig_a);
             }
@@ -50,6 +52,7 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
         let mut done = true; // shared
         block.parallel_for(num_arcs, |lane, e| {
             let a = lane.read(&ctx.g.arc_tails, e);
+            lane.prof_edges_scanned(1);
             if lane.read(&ctx.scr.d_hat, ctx.sn(a)) != level
                 || lane.read(&ctx.scr.t, ctx.sn(a)) != T_DOWN
             {
@@ -58,12 +61,14 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             let b = lane.read(&ctx.g.arc_heads, e);
             let db = lane.read(&ctx.scr.d_hat, ctx.sn(b));
             if db > level + 1 {
+                lane.prof_edges_passed(1);
                 // Benign same-value races (multiple arcs into `b`);
                 // volatile declares them to the racechecker.
                 lane.write_volatile(&ctx.scr.d_hat, ctx.sn(b), level + 1);
                 lane.write_volatile(&ctx.scr.t, ctx.sn(b), T_DOWN);
                 done = false;
             } else if db == level + 1 && lane.read(&ctx.scr.t, ctx.sn(b)) == T_UNTOUCHED {
+                lane.prof_edges_passed(1);
                 lane.write_volatile(&ctx.scr.t, ctx.sn(b), T_DOWN);
                 done = false;
             }
@@ -88,6 +93,7 @@ pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
         block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DONE), 1);
         block.parallel_for(num_arcs, |lane, e| {
             let w = lane.read(&ctx.g.arc_tails, e);
+            lane.prof_edges_scanned(1);
             if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
                 return;
             }
@@ -103,6 +109,7 @@ pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
             if (new_pred || old_pred)
                 && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP) == T_UNTOUCHED
             {
+                lane.prof_edges_passed(1);
                 lane.atomic_max_u32(&ctx.scr.lens, ctx.li(SLOT_DEPTH), dx);
                 // Same-value flag lowering — benign, declared volatile.
                 lane.write_volatile(&ctx.scr.lens, ctx.li(SLOT_DONE), 0);
@@ -126,6 +133,7 @@ pub fn phase2_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
     loop {
         block.parallel_for(num_arcs, |lane, e| {
             let a = lane.read(&ctx.g.arc_tails, e);
+            lane.prof_edges_scanned(1);
             if lane.read(&ctx.scr.t, ctx.sn(a)) == T_UNTOUCHED {
                 return;
             }
@@ -136,6 +144,7 @@ pub fn phase2_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
             if lane.read(&ctx.scr.d_hat, ctx.sn(b)) != depth + 1 {
                 return;
             }
+            lane.prof_edges_passed(1);
             lane.compute(2);
             let sig_a = lane.read(&ctx.scr.sigma_hat, ctx.sn(a));
             let sig_b = lane.read(&ctx.scr.sigma_hat, ctx.sn(b));

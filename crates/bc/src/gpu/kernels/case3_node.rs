@@ -55,7 +55,9 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             let mut sig = 0.0;
             for e in start_e..end_e {
                 let x = lane.read(&ctx.g.adj, e);
+                lane.prof_edges_scanned(1);
                 if lane.read(&ctx.scr.d_hat, ctx.sn(x)) == level - 1 {
+                    lane.prof_edges_passed(1);
                     // Untouched x: σ̂ = σ from init. Touched x: final, its
                     // level is fully drained.
                     sig += lane.read(&ctx.scr.sigma_hat, ctx.sn(x));
@@ -74,8 +76,10 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             let end_e = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
             for e in start_e..end_e {
                 let w = lane.read(&ctx.g.adj, e);
+                lane.prof_edges_scanned(1);
                 let dw = lane.read(&ctx.scr.d_hat, ctx.sn(w));
                 if dw > level + 1 {
+                    lane.prof_edges_passed(1);
                     // Relocation (covers dw = ∞, the merge case). The
                     // double write is a benign same-value race in CUDA;
                     // volatile declares it to the racechecker.
@@ -84,11 +88,14 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                     lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
+                    lane.prof_queue_push(1);
                 } else if dw == level + 1 && lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
+                    lane.prof_edges_passed(1);
                     lane.write_volatile(&ctx.scr.t, ctx.sn(w), T_DOWN);
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                     lane.write(&ctx.scr.q2, ctx.qi(i as usize), w);
+                    lane.prof_queue_push(1);
                 }
             }
         });
@@ -129,6 +136,7 @@ pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
             let end_e = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
             for e in start_e..end_e {
                 let x = lane.read(&ctx.g.adj, e);
+                lane.prof_edges_scanned(1);
                 if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {
                     continue;
                 }
@@ -139,10 +147,12 @@ pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
                 if (new_pred || old_pred)
                     && lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(x), T_UNTOUCHED, T_UP) == T_UNTOUCHED
                 {
+                    lane.prof_edges_passed(1);
                     lane.atomic_max_u32(&ctx.scr.lens, ctx.li(SLOT_DEPTH), dx);
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!((i as usize) < ctx.scr.qw, "Q2 overflow");
                     lane.write(&ctx.scr.q2, ctx.qi(i as usize), x);
+                    lane.prof_queue_push(1);
                 }
             }
         });
@@ -159,6 +169,7 @@ pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
             let v = lane.read(&ctx.scr.q2, ctx.qi(i));
             lane.write(&ctx.scr.q, ctx.qi(i), v);
             lane.write(&ctx.scr.qq, ctx.qi(qq_len + i), v);
+            lane.prof_queue_push(2);
         });
         block.barrier();
         block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), added as u32);
@@ -186,9 +197,11 @@ pub fn phase2_node(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
             let mut acc = 0.0;
             for e in start_e..end_e {
                 let x = lane.read(&ctx.g.adj, e);
+                lane.prof_edges_scanned(1);
                 if lane.read(&ctx.scr.d_hat, ctx.sn(x)) != depth + 1 {
                     continue;
                 }
+                lane.prof_edges_passed(1);
                 lane.compute(2);
                 let sig_x = lane.read(&ctx.scr.sigma_hat, ctx.sn(x));
                 let del_x = if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {

@@ -122,6 +122,7 @@ pub fn advance_no_dedup(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
         let v = lane.read(&ctx.scr.q2, qbase + i);
         lane.write(&ctx.scr.q, qbase + i, v);
         lane.write(&ctx.scr.qq, qbase + qq_len + i, v);
+        lane.prof_queue_push(2);
     });
     block.barrier();
     block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), len as u32);
@@ -162,6 +163,7 @@ pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
         // Step 0: pad with +inf sentinels.
         block.parallel_for(padded - len, |lane, i| {
             lane.write(&ctx.scr.q2, qbase + len + i, u32::MAX);
+            lane.prof_dedup_ops(1);
         });
         block.barrier();
         // Step 1: bitonic sorting network (one barrier per stage).
@@ -172,6 +174,7 @@ pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
                 block.parallel_for(padded, |lane, i| {
                     let partner = i ^ j;
                     if partner > i {
+                        lane.prof_dedup_ops(1);
                         let a = lane.read(&ctx.scr.q2, qbase + i);
                         let b = lane.read(&ctx.scr.q2, qbase + partner);
                         let ascending = (i & k) == 0;
@@ -189,6 +192,7 @@ pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
         // Step 2: flag first occurrences into the scan buffer.
         let flags = ctx.scan_base();
         block.parallel_for(len, |lane, i| {
+            lane.prof_dedup_ops(1);
             let cur = lane.read(&ctx.scr.q2, qbase + i);
             let flag = if i == 0 {
                 1
@@ -206,6 +210,7 @@ pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
         let mut stride = 1usize;
         while stride < len {
             block.parallel_for(len, |lane, i| {
+                lane.prof_dedup_ops(1);
                 let mut v = lane.read(&ctx.scr.scan, src + i);
                 if i >= stride {
                     v += lane.read(&ctx.scr.scan, src + i - stride);
@@ -219,11 +224,13 @@ pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
         let unique = block.read_scalar(&ctx.scr.scan, src + len - 1) as usize;
         // Step 3b: scatter-compact first occurrences into Q.
         block.parallel_for(len, |lane, i| {
+            lane.prof_dedup_ops(1);
             let cur = lane.read(&ctx.scr.q2, qbase + i);
             let first = i == 0 || lane.read(&ctx.scr.q2, qbase + i - 1) != cur;
             if first {
                 let pos = lane.read(&ctx.scr.scan, src + i) as usize - 1;
                 lane.write(&ctx.scr.q, qbase + pos, cur);
+                lane.prof_queue_push(1);
             }
         });
         block.barrier();
@@ -240,6 +247,7 @@ pub fn dedup_and_advance(block: &mut BlockCtx, ctx: &Ctx<'_>) -> usize {
     block.parallel_for(unique, |lane, i| {
         let v = lane.read(&ctx.scr.q, qbase + i);
         lane.write(&ctx.scr.qq, qbase + qq_len + i, v);
+        lane.prof_queue_push(1);
     });
     block.barrier();
     block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_QLEN), unique as u32);

@@ -39,6 +39,7 @@ pub fn phantom_retraction(block: &mut BlockCtx, ctx: &Ctx<'_>) {
             let qq_len = lane.read(&ctx.scr.lens, ctx.li(SLOT_QQLEN));
             assert!(((qq_len + i) as usize) < ctx.scr.qw, "QQ overflow");
             lane.write(&ctx.scr.qq, ctx.qi((qq_len + i) as usize), u_high);
+            lane.prof_queue_push(1);
         }
         lane.compute(2);
         let sig_high = lane.read(&ctx.st.sigma, ctx.kn(u_high));

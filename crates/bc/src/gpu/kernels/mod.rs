@@ -1,7 +1,7 @@
 //! Device kernels for dynamic betweenness centrality (Algorithms 3–8 of
 //! the paper, plus our Case 3 generalization).
 //!
-//! All kernels are written against `dynbc-gpusim`'s [`BlockCtx`]/[`Lane`]
+//! All kernels are written against `dynbc-gpusim`'s `BlockCtx`/`Lane`
 //! API: every global-memory access flows through a lane and is charged to
 //! the machine model, so the edge-vs-node comparison measures exactly the
 //! traffic each decomposition generates.

@@ -2,7 +2,7 @@
 //!
 //! * [`engine`] — the dynamic-BC batch orchestration ([`GpuDynamicBc`]),
 //!   in both [`Parallelism`] decompositions;
-//! * [`exec`] — the batch-aware dispatcher: one fused grid per stage of
+//! * `exec` (private) — the batch-aware dispatcher: one fused grid per stage of
 //!   the update plan;
 //! * [`kernels`] — Algorithms 3–8 plus the Case 3 generalization;
 //! * [`static_bc`] — from-scratch GPU BC (the Fig. 1 workload and the

@@ -15,7 +15,7 @@
 
 use super::engine::{GpuDynamicBc, Parallelism};
 use crate::dynamic::result::{BatchResult, UpdateResult};
-use dynbc_gpusim::DeviceConfig;
+use dynbc_gpusim::{DeviceConfig, ProfileReport};
 use dynbc_graph::{DynGraph, EdgeList, EdgeOp, VertexId};
 
 /// Dynamic BC across several (simulated) GPUs.
@@ -57,6 +57,9 @@ forward_device_knobs! {
                   bit-identical for any value; see [`GpuDynamicBc::set_host_threads`])."];
     set set_racecheck(bool),
         #[doc = " Enables/disables checked (racecheck) execution on every device."];
+    set set_profiling(bool),
+        #[doc = " Enables/disables profiled execution on every device (see \
+                  [`GpuDynamicBc::set_profiling`])."];
     sum racecheck_warnings() -> u64,
         #[doc = " Warning-severity racecheck diagnostics summed over all devices."];
     sum checked_launches() -> u64,
@@ -176,6 +179,18 @@ impl MultiGpuDynamicBc {
             .iter()
             .map(GpuDynamicBc::elapsed_seconds)
             .fold(0.0, f64::max)
+    }
+
+    /// Merges the per-device profiles into one report, **in device-index
+    /// order** (the only aggregation a sum-type counter set admits, and
+    /// deterministic for any host-thread count because each device's own
+    /// report already is).
+    pub fn profile_report(&self) -> ProfileReport {
+        let mut merged = ProfileReport::new();
+        for dev in &self.devices {
+            merged.merge(dev.profile_report());
+        }
+        merged
     }
 }
 

@@ -203,12 +203,15 @@ pub(crate) fn static_source_node(
             let end = lane.read(&g.row_offsets, v as usize + 1) as usize;
             for e in start..end {
                 let w = lane.read(&g.adj, e) as usize;
+                lane.prof_edges_scanned(1);
                 let old = lane.atomic_cas_u32(&scr.d_hat, row + w, INF, depth + 1);
                 if old == INF {
                     let i = lane.atomic_add_u32(&scr.lens, lrow + SLOT_Q2LEN, 1);
                     lane.write(&scr.q2, qrow + i as usize, w as u32);
+                    lane.prof_queue_push(1);
                 }
                 if old == INF || old == depth + 1 {
+                    lane.prof_edges_passed(1);
                     lane.atomic_add_f64(&scr.sigma_hat, row + w, sig_v);
                 }
             }
@@ -224,6 +227,7 @@ pub(crate) fn static_source_node(
             let v = lane.read(&scr.q2, qrow + i);
             lane.write(&scr.q, qrow + i, v);
             lane.write(&scr.qq, qrow + qq_len + i, v);
+            lane.prof_queue_push(2);
         });
         block.barrier();
         block.write_scalar(&scr.lens, lrow + SLOT_QLEN, found as u32);
@@ -245,7 +249,9 @@ pub(crate) fn static_source_node(
             let end = lane.read(&g.row_offsets, w + 1) as usize;
             for e in start..end {
                 let v = lane.read(&g.adj, e) as usize;
+                lane.prof_edges_scanned(1);
                 if lane.read(&scr.d_hat, row + v) == depth - 1 {
+                    lane.prof_edges_passed(1);
                     lane.compute(2);
                     let sig_v = lane.read(&scr.sigma_hat, row + v);
                     lane.atomic_add_f64(&scr.delta_hat, row + v, sig_v / sig_w * (1.0 + del_w));
@@ -277,6 +283,7 @@ pub(crate) fn static_source_edge(
         let mut done = true;
         block.parallel_for(num_arcs, |lane, e| {
             let v = lane.read(&g.arc_tails, e) as usize;
+            lane.prof_edges_scanned(1);
             if lane.read(&scr.d_hat, row + v) != depth {
                 return;
             }
@@ -286,6 +293,7 @@ pub(crate) fn static_source_edge(
                 done = false;
             }
             if old == INF || old == depth + 1 {
+                lane.prof_edges_passed(1);
                 let sig_v = lane.read(&scr.sigma_hat, row + v);
                 lane.atomic_add_f64(&scr.sigma_hat, row + w, sig_v);
             }
@@ -299,11 +307,13 @@ pub(crate) fn static_source_edge(
     while depth > 0 {
         block.parallel_for(num_arcs, |lane, e| {
             let w = lane.read(&g.arc_tails, e) as usize;
+            lane.prof_edges_scanned(1);
             if lane.read(&scr.d_hat, row + w) != depth {
                 return;
             }
             let v = lane.read(&g.arc_heads, e) as usize;
             if lane.read(&scr.d_hat, row + v) == depth - 1 {
+                lane.prof_edges_passed(1);
                 lane.compute(2);
                 let sig_v = lane.read(&scr.sigma_hat, row + v);
                 let sig_w = lane.read(&scr.sigma_hat, row + w);

@@ -6,7 +6,7 @@
 //!
 //! * [`brandes`] — Algorithm 1 (exact and k-source approximate), plus the
 //!   per-source state retention dynamic updating needs;
-//! * [`reference`] — a definition-level BC oracle sharing no code with
+//! * [`reference`](mod@reference) — a definition-level BC oracle sharing no code with
 //!   Brandes, used for cross-validation;
 //! * [`cases`] — the Case 1/2/3 insertion taxonomy;
 //! * [`plan`] — the shared plan layer: per-`(source, op)` classification

@@ -292,6 +292,7 @@ fn bench_racecheck_overhead(c: &mut Criterion) {
 
     let mut report = HarnessReport::new("racecheck_overhead");
     let mut wall_unchecked = f64::NAN;
+    let mut overhead = f64::NAN;
     for (engine, racecheck) in [("unchecked", false), ("checked", true)] {
         let iters = 8;
         let t0 = Instant::now();
@@ -301,6 +302,8 @@ fn bench_racecheck_overhead(c: &mut Criterion) {
         let wall = t0.elapsed().as_secs_f64() / iters as f64;
         if !racecheck {
             wall_unchecked = wall;
+        } else {
+            overhead = wall / wall_unchecked;
         }
         report.push_row("blocks56", engine, unchecked.0, wall);
         report.annotate("overhead_vs_unchecked", wall / wall_unchecked);
@@ -309,6 +312,13 @@ fn bench_racecheck_overhead(c: &mut Criterion) {
             b.iter(|| black_box(scaling_launch_mode(1, racecheck)))
         });
     }
+    // Budget for checked mode: the event-log capacity reservation and the
+    // base-resolution cache in `note_buffer` keep it within 25x of the
+    // unchecked interpreter on this launch.
+    assert!(
+        overhead <= 25.0,
+        "racecheck overhead {overhead:.1}x exceeds the 25x budget"
+    );
     report.write_default();
 }
 

@@ -15,7 +15,7 @@ use crate::config::Config;
 use dynbc_bc::brandes::{brandes_state, sample_sources};
 use dynbc_bc::dynamic::{CpuDynamicBc, UpdateResult};
 use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
-use dynbc_gpusim::DeviceConfig;
+use dynbc_gpusim::{DeviceConfig, ProfileReport};
 use dynbc_graph::suite::SuiteEntry;
 use dynbc_graph::{Csr, EdgeList, VertexId};
 use rand::rngs::StdRng;
@@ -185,6 +185,34 @@ pub fn run_gpu(setup: &Setup, device: DeviceConfig, par: Parallelism) -> DynRun 
     DynRun::from_results(format!("GPU {par} ({})", device.name), results)
 }
 
+/// Runs the insertion stream through a simulated-GPU engine with the
+/// hardware-counter profiler enabled, returning both the timing run and
+/// the accumulated per-kernel [`ProfileReport`].
+///
+/// Profiling never changes results or modeled time — only what the host
+/// records — so the run is verified against Brandes exactly like
+/// [`run_gpu`].
+pub fn run_gpu_profiled(
+    setup: &Setup,
+    device: DeviceConfig,
+    par: Parallelism,
+) -> (DynRun, ProfileReport) {
+    let mut engine = GpuDynamicBc::new(&setup.start, &setup.sources, device, par);
+    engine.set_profiling(true);
+    let results: Vec<UpdateResult> = setup
+        .insertions
+        .iter()
+        .map(|&(u, v)| engine.insert_edge(u, v))
+        .collect();
+    let snapshot = engine.state_snapshot();
+    verify_final_state(setup, &snapshot.bc, &format!("gpu-{par}-profiled"));
+    let profile = engine.take_profile_report();
+    (
+        DynRun::from_results(format!("GPU {par} ({})", device.name), results),
+        profile,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +264,22 @@ mod tests {
         assert!(cpu.total_model_seconds > 0.0);
         assert!(gpu.fastest() <= gpu.average());
         assert!(gpu.average() <= gpu.slowest());
+    }
+
+    #[test]
+    fn profiled_run_keeps_modeled_time_and_yields_counters() {
+        let entry = entry_by_short("small").unwrap();
+        let cfg = tiny_cfg();
+        let setup = build_setup(entry, &cfg);
+        let plain = run_gpu(&setup, DeviceConfig::test_tiny(), Parallelism::Edge);
+        let (profiled, profile) =
+            run_gpu_profiled(&setup, DeviceConfig::test_tiny(), Parallelism::Edge);
+        assert_eq!(
+            plain.total_model_seconds.to_bits(),
+            profiled.total_model_seconds.to_bits(),
+            "profiling must not perturb the machine model"
+        );
+        assert!(profile.total().edges_scanned > 0);
+        assert!(!profile.launches.is_empty());
     }
 }

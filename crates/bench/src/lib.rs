@@ -11,6 +11,7 @@
 //! | `table3_update_vs_recompute` | Table III | even the slowest update beats recomputation |
 //! | `fig4_touched` | Figure 4 | updates touch a tiny fraction of the graph |
 //! | `ablation` | (ours) | design choices: dedup strategy, incremental-vs-pull Case 2 |
+//! | `fig_futile_work` | (ours) | profiler counters: node-parallel futile-edge ratio < edge-parallel on every graph |
 //! | `micro` | (ours) | Criterion microbenches of the substrate |
 //!
 //! Scale defaults are reduced so the suite finishes on one CPU core;
@@ -26,5 +27,5 @@ pub mod report;
 pub mod table;
 
 pub use config::Config;
-pub use driver::{build_setup, emit_bench_json, run_cpu, run_gpu, DynRun, Setup};
+pub use driver::{build_setup, emit_bench_json, run_cpu, run_gpu, run_gpu_profiled, DynRun, Setup};
 pub use report::HarnessReport;

@@ -110,7 +110,7 @@ impl MultiLevelQueue {
     /// matching the `while level > 0` loop of Algorithm 2), invoking
     /// `visit(level, vertex)` for each vertex. `visit` may enqueue vertices
     /// at strictly shallower levels via the returned handle pattern — for
-    /// that flexibility callers usually drive [`take_level`] manually; this
+    /// that flexibility callers usually drive [`take_level`](Self::take_level) manually; this
     /// convenience method serves read-only traversals.
     pub fn drain_top_down<F: FnMut(usize, u32)>(&mut self, start_level: usize, mut visit: F) {
         let mut level = start_level.min(self.levels.len().saturating_sub(1));

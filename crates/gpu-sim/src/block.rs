@@ -33,6 +33,7 @@ use crate::checker::{
 };
 use crate::device::DeviceConfig;
 use crate::mem::{DeviceValue, GpuBuffer};
+use crate::profile::{BlockBuckets, BlockProfile};
 use crate::stats::KernelStats;
 use std::sync::atomic::Ordering;
 
@@ -127,6 +128,8 @@ pub struct BlockCtx {
     // Checked-execution shadow state (None ⇒ negligible overhead: one
     // branch per access).
     recorder: Option<Box<Recorder>>,
+    // Profile collector (None ⇒ same no-op guarantee as `recorder`).
+    prof: Option<Box<BlockProfile>>,
     label: &'static str,
     /// Ordered program region: bumped at `parallel_for` boundaries and
     /// block barriers. Accesses in different regions never race.
@@ -146,7 +149,7 @@ pub struct BlockCtx {
 }
 
 impl BlockCtx {
-    pub(crate) fn new(dev: DeviceConfig, block_id: usize, record: bool) -> Self {
+    pub(crate) fn new(dev: DeviceConfig, block_id: usize, record: bool, profile: bool) -> Self {
         Self {
             dev,
             block_id,
@@ -160,6 +163,7 @@ impl BlockCtx {
             max_lane_events: 0,
             stats: KernelStats::default(),
             recorder: record.then(|| Box::new(Recorder::new(block_id))),
+            prof: profile.then(|| Box::new(BlockProfile::new())),
             label: "",
             region: 0,
             epoch: 0,
@@ -180,6 +184,9 @@ impl BlockCtx {
     /// at the launch. Cost-free.
     pub fn label(&mut self, label: &'static str) {
         self.label = label;
+        if let Some(p) = &mut self.prof {
+            p.set_label(label);
+        }
     }
 
     /// The device this block runs on.
@@ -212,6 +219,9 @@ impl BlockCtx {
                 let mut lane = Lane { block: self };
                 f(&mut lane, i);
                 self.max_lane_events = self.max_lane_events.max(self.lane_events);
+                if let Some(p) = &mut self.prof {
+                    p.lane_retired(self.lane_events);
+                }
                 self.end_lane(i);
             }
             self.end_warp();
@@ -224,6 +234,9 @@ impl BlockCtx {
             self.commit_interval();
             self.committed_cycles += self.pf_max_phase as f64 * self.dev.barrier_cycles;
             self.stats.barriers += u64::from(self.pf_max_phase);
+            if let Some(p) = &mut self.prof {
+                p.cur_mut().barriers += u64::from(self.pf_max_phase);
+            }
         }
         self.region += 1;
     }
@@ -269,6 +282,9 @@ impl BlockCtx {
         self.commit_interval();
         self.committed_cycles += self.dev.barrier_cycles;
         self.stats.barriers += 1;
+        if let Some(p) = &mut self.prof {
+            p.cur_mut().barriers += 1;
+        }
         self.epoch += 1;
         self.region += 1;
     }
@@ -321,6 +337,9 @@ impl BlockCtx {
         self.lane_events = 0;
         self.touch(buf.addr(i));
         self.max_lane_events = self.lane_events;
+        if let Some(p) = &mut self.prof {
+            p.lane_retired(self.lane_events);
+        }
         self.end_warp();
         if self.record_access(buf, i, AccessKind::Read, 0) {
             buf.get(i)
@@ -335,6 +354,9 @@ impl BlockCtx {
         self.lane_events = 0;
         self.touch(buf.addr(i));
         self.max_lane_events = self.lane_events;
+        if let Some(p) = &mut self.prof {
+            p.lane_retired(self.lane_events);
+        }
         self.end_warp();
         if self.record_access(buf, i, AccessKind::Write, v.to_raw_bits()) {
             buf.set(i, v);
@@ -345,6 +367,9 @@ impl BlockCtx {
         self.seg_set.next_generation();
         self.atomic_addrs.clear();
         self.max_lane_events = 0;
+        if let Some(p) = &mut self.prof {
+            p.begin_warp();
+        }
     }
 
     fn end_warp(&mut self) {
@@ -369,6 +394,11 @@ impl BlockCtx {
                 + total_conflicts as f64 * self.dev.atomic_conflict_cycles;
             self.stats.atomic_conflicts += total_conflicts;
         }
+        if let Some(p) = &mut self.prof {
+            // `atomic_addrs` is sorted by the conflict pass above (or
+            // empty, which is vacuously sorted).
+            p.end_warp(self.max_lane_events, self.dev.warp_size, &self.atomic_addrs);
+        }
     }
 
     #[inline]
@@ -378,6 +408,9 @@ impl BlockCtx {
         if self.seg_set.insert(addr >> 5) {
             self.stats.mem_segments += 1;
             self.mem_cycles += self.dev.seg_cycles;
+        }
+        if let Some(p) = &mut self.prof {
+            p.touch_seg(addr >> 5);
         }
     }
 
@@ -393,14 +426,28 @@ impl BlockCtx {
     /// [`Self::finish_full`]).
     #[cfg(test)]
     pub(crate) fn finish(self) -> (f64, KernelStats) {
-        let (cycles, stats, _) = self.finish_full();
+        let (cycles, stats, _, _) = self.finish_full();
         (cycles, stats)
     }
 
-    /// Finalization that also surrenders the shadow log (checked mode).
-    pub(crate) fn finish_full(mut self) -> (f64, KernelStats, Option<Box<Recorder>>) {
+    /// Finalization that also surrenders the shadow logs (checked mode's
+    /// access records, profiling's counter buckets).
+    pub(crate) fn finish_full(
+        mut self,
+    ) -> (
+        f64,
+        KernelStats,
+        Option<Box<Recorder>>,
+        Option<BlockBuckets>,
+    ) {
         self.commit_interval();
-        (self.committed_cycles, self.stats, self.recorder.take())
+        let buckets = self.prof.take().map(|p| p.into_buckets());
+        (
+            self.committed_cycles,
+            self.stats,
+            self.recorder.take(),
+            buckets,
+        )
     }
 
     /// Cycles committed so far (testing/diagnostics; excludes the open
@@ -497,6 +544,43 @@ impl Lane<'_> {
     pub fn compute(&mut self, units: u32) {
         self.block.lane_events += units;
         self.block.stats.lane_events += units as u64;
+    }
+
+    /// Profiler annotation: this lane examined `n` edges (loop iterations
+    /// over arcs or adjacency entries). Free when profiling is off — one
+    /// predictable branch, no cost-model effect.
+    #[inline]
+    pub fn prof_edges_scanned(&mut self, n: u32) {
+        if let Some(p) = &mut self.block.prof {
+            p.cur_mut().edges_scanned += u64::from(n);
+        }
+    }
+
+    /// Profiler annotation: `n` of the scanned edges passed the frontier
+    /// test and produced useful work. No cost-model effect.
+    #[inline]
+    pub fn prof_edges_passed(&mut self, n: u32) {
+        if let Some(p) = &mut self.block.prof {
+            p.cur_mut().edges_passed += u64::from(n);
+        }
+    }
+
+    /// Profiler annotation: this lane pushed `n` entries onto a frontier
+    /// queue (node-parallel pipeline). No cost-model effect.
+    #[inline]
+    pub fn prof_queue_push(&mut self, n: u32) {
+        if let Some(p) = &mut self.block.prof {
+            p.cur_mut().queue_pushes += u64::from(n);
+        }
+    }
+
+    /// Profiler annotation: this lane performed `n` dedup pipeline steps
+    /// (bitonic compare-exchange, scan, or scatter). No cost-model effect.
+    #[inline]
+    pub fn prof_dedup_ops(&mut self, n: u32) {
+        if let Some(p) = &mut self.block.prof {
+            p.cur_mut().dedup_ops += u64::from(n);
+        }
     }
 
     /// `atomicAdd` on an `f64` cell; returns the previous value.
@@ -618,7 +702,7 @@ mod tests {
     use crate::device::DeviceConfig;
 
     fn ctx() -> BlockCtx {
-        BlockCtx::new(DeviceConfig::test_tiny(), 0, false)
+        BlockCtx::new(DeviceConfig::test_tiny(), 0, false, false)
     }
 
     #[test]
@@ -661,14 +745,14 @@ mod tests {
     fn lockstep_charges_longest_lane() {
         let dev = DeviceConfig::test_tiny();
         // Warp A: every lane does 1 event. Warp B: one lane does 4 events.
-        let mut a = BlockCtx::new(dev, 0, false);
+        let mut a = BlockCtx::new(dev, 0, false, false);
         let buf = GpuBuffer::<u32>::new(64, 0);
         a.parallel_for(4, |lane, i| {
             lane.read(&buf, i);
         });
         let (cycles_a, _) = a.finish();
 
-        let mut b = BlockCtx::new(dev, 0, false);
+        let mut b = BlockCtx::new(dev, 0, false, false);
         b.parallel_for(4, |lane, i| {
             if i == 0 {
                 for j in 0..4 {
@@ -735,7 +819,7 @@ mod tests {
     #[test]
     fn barrier_commits_max_of_compute_and_memory() {
         let dev = DeviceConfig::test_tiny();
-        let mut b = BlockCtx::new(dev, 0, false);
+        let mut b = BlockCtx::new(dev, 0, false, false);
         let buf = GpuBuffer::<u32>::new(256, 0);
         // One warp, 4 lanes, one scattered read each: compute = base 1 +
         // 1 event * 1 = 2; mem = 4 segments * 2 = 8. Interval = max = 8.

@@ -176,21 +176,35 @@ pub(crate) struct Recorder {
     pub buffers: Vec<(u64, &'static str, usize)>,
     pub oob: Vec<OobRecord>,
     pub divergence: Vec<DivergenceRecord>,
+    /// Base of the most recently noted buffer: kernels hammer one buffer
+    /// for long runs, so this turns `note_buffer`'s per-access linear
+    /// scan into a single compare on the happy path.
+    last_base: u64,
 }
+
+/// Access-log capacity reserved up front: checked runs of the BC kernels
+/// log thousands of accesses per block, and growing the vec inside the
+/// per-access hot path is a measurable share of racecheck's overhead.
+const ACCESS_LOG_RESERVE: usize = 4096;
 
 impl Recorder {
     pub(crate) fn new(block: usize) -> Self {
         Self {
             block,
-            accesses: Vec::new(),
-            buffers: Vec::new(),
+            accesses: Vec::with_capacity(ACCESS_LOG_RESERVE),
+            buffers: Vec::with_capacity(16),
             oob: Vec::new(),
             divergence: Vec::new(),
+            last_base: u64::MAX,
         }
     }
 
     #[inline]
     pub(crate) fn note_buffer(&mut self, base: u64, name: &'static str, len: usize) {
+        if base == self.last_base {
+            return;
+        }
+        self.last_base = base;
         if !self.buffers.iter().any(|&(b, _, _)| b == base) {
             self.buffers.push((base, name, len));
         }

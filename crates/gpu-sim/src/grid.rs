@@ -33,7 +33,9 @@
 use crate::block::BlockCtx;
 use crate::checker::{self, CheckReport, Recorder};
 use crate::device::DeviceConfig;
+use crate::profile::{self, BlockBuckets};
 use crate::stats::KernelStats;
+use dynbc_prof::{LaunchProfile, ProfileReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outcome of one kernel launch.
@@ -48,6 +50,15 @@ pub struct LaunchReport {
     /// Work counters summed over all blocks.
     pub stats: KernelStats,
 }
+
+/// What one finished block hands back to the launch reducer: cycles,
+/// work counters, and the optional checked-mode / profiling shadow logs.
+type BlockOut = (
+    f64,
+    KernelStats,
+    Option<Box<Recorder>>,
+    Option<BlockBuckets>,
+);
 
 /// Environment variable selecting how many host threads a launch may use.
 /// Unset, `0`, or unparsable means "all available cores"; `1` forces the
@@ -70,6 +81,21 @@ pub const RACECHECK_ENV: &str = "DYNBC_RACECHECK";
 /// [`Gpu::new`] uses; public so harnesses can report the setting).
 pub fn racecheck_from_env() -> bool {
     std::env::var(RACECHECK_ENV).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
+
+/// Environment variable enabling profiled execution for every launch of
+/// every [`Gpu`] created afterwards: each launch collects a
+/// [`LaunchProfile`] into the device's accumulated [`ProfileReport`].
+/// `1`/`true` (any case) enables; unset, empty, `0`, or `false` disables.
+pub const PROFILE_ENV: &str = "DYNBC_PROFILE";
+
+/// Resolves the profiling default from [`PROFILE_ENV`] (what [`Gpu::new`]
+/// uses; public so harnesses can report the setting).
+pub fn profile_from_env() -> bool {
+    std::env::var(PROFILE_ENV).is_ok_and(|v| {
         let v = v.trim();
         !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
     })
@@ -101,6 +127,8 @@ pub struct Gpu {
     racecheck: bool,
     check_warnings: u64,
     checked_launches: u64,
+    profiling: bool,
+    profile: ProfileReport,
 }
 
 impl Gpu {
@@ -118,6 +146,8 @@ impl Gpu {
             racecheck: racecheck_from_env(),
             check_warnings: 0,
             checked_launches: 0,
+            profiling: profile_from_env(),
+            profile: ProfileReport::new(),
         }
     }
 
@@ -153,6 +183,42 @@ impl Gpu {
     /// Number of launches that ran under the checker.
     pub fn checked_launches(&self) -> u64 {
         self.checked_launches
+    }
+
+    /// Builder-style override of profiled execution (see
+    /// [`Gpu::set_profiling`]). Prefer this over mutating the environment
+    /// in tests: process-global env writes race between test threads.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.set_profiling(on);
+        self
+    }
+
+    /// Enables/disables profiled execution for subsequent launches. When
+    /// on, every launch collects a [`LaunchProfile`] (per-stage hardware
+    /// counters plus the block timeline) into [`Gpu::profile_report`].
+    /// Results (simulated seconds, stats, buffer contents) are unaffected;
+    /// only host wall-clock pays. When off, the collection hooks are
+    /// no-ops: one predictable branch per access, no allocation.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// True when launches run under the profiler.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The profiles accumulated by launches that ran with profiling on
+    /// (empty otherwise). Bit-identical for any `DYNBC_HOST_THREADS`
+    /// value: per-block counters reduce in block-index order.
+    pub fn profile_report(&self) -> &ProfileReport {
+        &self.profile
+    }
+
+    /// Drains the accumulated profiles, leaving an empty report behind
+    /// (harnesses profile one phase, take the report, and continue).
+    pub fn take_profile_report(&mut self) -> ProfileReport {
+        std::mem::take(&mut self.profile)
     }
 
     /// Builder-style override of the host-thread count (clamped to ≥ 1).
@@ -218,8 +284,33 @@ impl Gpu {
             assert!(!check.has_errors(), "DYNBC_RACECHECK failed:\n{check}");
             report
         } else {
-            self.run_launch(num_blocks, false, &f).0
+            self.run_launch(name, num_blocks, false, self.profiling, &f)
+                .0
         }
+    }
+
+    /// Runs the kernel with profiling unconditionally on and returns the
+    /// launch's [`LaunchProfile`] alongside the cost report. The profile
+    /// is *also* appended to [`Gpu::profile_report`]. Simulated seconds,
+    /// stats and buffer contents are identical to an unprofiled launch;
+    /// counters are bit-identical for any `DYNBC_HOST_THREADS` value.
+    pub fn launch_profiled<F>(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        f: F,
+    ) -> (LaunchReport, LaunchProfile)
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
+        let (report, _) = self.run_launch(name, num_blocks, false, true, &f);
+        let prof = self
+            .profile
+            .launches
+            .last()
+            .cloned()
+            .expect("profiled launch records a profile");
+        (report, prof)
     }
 
     /// Runs the kernel in checked mode unconditionally and returns the
@@ -236,18 +327,21 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
-        let (report, recorders) = self.run_launch(num_blocks, true, &f);
+        let (report, recorders) = self.run_launch(name, num_blocks, true, self.profiling, &f);
         let check = checker::analyze(name, &self.dev, &recorders);
         self.checked_launches += 1;
         (report, check)
     }
 
-    /// Shared launch body; `record` selects checked execution. Shadow logs
-    /// come back in block-index order, matching the reduction order.
+    /// Shared launch body; `record` selects checked execution, `profiled`
+    /// counter collection. Shadow logs and counter buckets come back in
+    /// block-index order, matching the reduction order.
     fn run_launch<F>(
         &mut self,
+        name: &str,
         num_blocks: usize,
         record: bool,
+        profiled: bool,
         f: &F,
     ) -> (LaunchReport, Vec<Recorder>)
     where
@@ -257,33 +351,58 @@ impl Gpu {
             .host_threads
             .min(self.host_cores)
             .min(num_blocks.max(1));
-        let per_block: Vec<(f64, KernelStats, Option<Box<Recorder>>)> =
-            if threads <= 1 || num_blocks < PARALLEL_MIN_BLOCKS {
-                // Legacy sequential path: also the fallback that documents the
-                // reduction order the parallel path must reproduce.
-                (0..num_blocks)
-                    .map(|b| {
-                        let mut ctx = BlockCtx::new(self.dev, b, record);
-                        f(&mut ctx, b);
-                        ctx.finish_full()
-                    })
-                    .collect()
-            } else {
-                self.run_blocks_parallel(num_blocks, threads, record, f)
-            };
+        let per_block: Vec<BlockOut> = if threads <= 1 || num_blocks < PARALLEL_MIN_BLOCKS {
+            // Legacy sequential path: also the fallback that documents the
+            // reduction order the parallel path must reproduce.
+            (0..num_blocks)
+                .map(|b| {
+                    let mut ctx = BlockCtx::new(self.dev, b, record, profiled);
+                    f(&mut ctx, b);
+                    ctx.finish_full()
+                })
+                .collect()
+        } else {
+            self.run_blocks_parallel(num_blocks, threads, record, profiled, f)
+        };
 
         let mut block_cycles = Vec::with_capacity(num_blocks);
         let mut stats = KernelStats::default();
         let mut recorders = Vec::new();
-        for (cycles, block_stats, recorder) in per_block {
+        let mut block_buckets: Vec<BlockBuckets> = Vec::new();
+        for (cycles, block_stats, recorder, buckets) in per_block {
             block_cycles.push(cycles);
             stats.add(&block_stats);
             if let Some(r) = recorder {
                 recorders.push(*r);
             }
+            if let Some(bk) = buckets {
+                block_buckets.push(bk);
+            }
         }
         let makespan_cycles = schedule_makespan(&block_cycles, self.dev.num_sms);
         let seconds = self.dev.cycles_to_seconds(makespan_cycles) + self.dev.launch_overhead_s;
+        if profiled {
+            // Per-block buckets arrive (and merge) in block-index order —
+            // the same contract that makes `bc_delta` reduction exact —
+            // so this profile is bit-identical for any host-thread count.
+            let (stages, total) = profile::reduce_blocks(block_buckets);
+            let blocks = profile::block_spans(
+                &block_cycles,
+                self.dev.num_sms,
+                |c| self.dev.cycles_to_seconds(c),
+                self.elapsed_s + self.dev.launch_overhead_s,
+            );
+            self.profile.launches.push(LaunchProfile {
+                kernel: name.to_string(),
+                index: self.launches,
+                num_blocks,
+                start_s: self.elapsed_s,
+                seconds,
+                stages,
+                total,
+                blocks,
+            });
+        }
         self.elapsed_s += seconds;
         self.total_stats.add(&stats);
         self.launches += 1;
@@ -310,12 +429,12 @@ impl Gpu {
         num_blocks: usize,
         threads: usize,
         record: bool,
+        profiled: bool,
         f: &F,
-    ) -> Vec<(f64, KernelStats, Option<Box<Recorder>>)>
+    ) -> Vec<BlockOut>
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
-        type BlockOut = (f64, KernelStats, Option<Box<Recorder>>);
         // Chunked claims amortize counter traffic; sizing for ~4 claims
         // per worker keeps long-tailed blocks balanced without turning the
         // counter into a hotspot on huge grids.
@@ -330,7 +449,7 @@ impl Gpu {
                     break;
                 }
                 for b in start..(start + chunk).min(num_blocks) {
-                    let mut ctx = BlockCtx::new(dev, b, record);
+                    let mut ctx = BlockCtx::new(dev, b, record, profiled);
                     f(&mut ctx, b);
                     out.push((b, ctx.finish_full()));
                 }
@@ -595,8 +714,8 @@ mod tests {
         let par_buf = GpuBuffer::<u32>::new(BLOCKS * 32, 0);
         let par_hist = GpuBuffer::<u32>::new(8, 0);
         let f = kernel(&par_buf, &par_hist);
-        let per_block = par_gpu.run_blocks_parallel(BLOCKS, 4, false, &f);
-        let cycles: Vec<f64> = per_block.iter().map(|(c, _, _)| *c).collect();
+        let per_block = par_gpu.run_blocks_parallel(BLOCKS, 4, false, false, &f);
+        let cycles: Vec<f64> = per_block.iter().map(|(c, _, _, _)| *c).collect();
         assert_eq!(seq.block_cycles, cycles, "per-block cycles");
         assert_eq!(seq_buf.to_vec(), par_buf.to_vec(), "row buffer");
         assert_eq!(seq_hist.to_vec(), par_hist.to_vec(), "histogram");

@@ -22,6 +22,12 @@
 //!   `DYNBC_RACECHECK=1`) record per-cell shadow state and report data
 //!   races, sharing-contract violations, barrier divergence, and
 //!   out-of-bounds indexing with kernel/buffer/lane context;
+//! * `dynbc-prof` integration — profiled launches
+//!   ([`Gpu::launch_profiled`], `DYNBC_PROFILE=1`) collect
+//!   hardware-counter-style per-kernel/per-stage [`ProfileReport`]s
+//!   (futile vs useful edge work, divergence, occupancy, coalescing,
+//!   atomic contention, queue/dedup ops) with the same bit-determinism
+//!   and no-op-when-off guarantees as the checker;
 //! * [`OpCounter`] / [`CpuConfig`] — the matching cost model for the
 //!   sequential CPU baseline, so every reported ratio compares modelled
 //!   seconds to modelled seconds.
@@ -46,6 +52,7 @@ pub mod cpu_model;
 pub mod device;
 pub mod grid;
 pub mod mem;
+mod profile;
 pub mod stats;
 
 pub use block::{BlockCtx, Lane};
@@ -53,7 +60,12 @@ pub use checker::{AccessKind, AtomicKind, CheckReport, DiagClass, Diagnostic, Se
 pub use cpu_model::OpCounter;
 pub use device::{CpuConfig, DeviceConfig};
 pub use grid::{
-    host_threads_from_env, racecheck_from_env, Gpu, LaunchReport, HOST_THREADS_ENV, RACECHECK_ENV,
+    host_threads_from_env, profile_from_env, racecheck_from_env, Gpu, LaunchReport,
+    HOST_THREADS_ENV, PROFILE_ENV, RACECHECK_ENV,
 };
 pub use mem::{DeviceValue, GpuBuffer};
 pub use stats::KernelStats;
+
+// The profile data model lives in the dependency-free `dynbc-prof` crate;
+// re-exported here so engines and harnesses need only one dependency.
+pub use dynbc_prof::{BlockSpan, Counters, LaunchProfile, ProfileReport, StageProfile};

@@ -17,7 +17,7 @@
 //! | `smallworld` | [`ws`] | Watts–Strogatz logarithmic diameter |
 //!
 //! Every generator is deterministic given its [`rand::Rng`], returns a
-//! canonical [`EdgeList`], and never emits self loops or duplicates.
+//! canonical [`EdgeList`](crate::EdgeList), and never emits self loops or duplicates.
 
 mod ba;
 mod caida;

@@ -1,0 +1,544 @@
+//! Hardware-counter-style kernel profiles for the SIMT simulator.
+//!
+//! The simulator (`dynbc-gpusim`) interprets every lane of every warp, so
+//! it can expose the counters a hardware profiler (nvprof / Nsight
+//! Compute) samples — exactly, not statistically. This crate holds the
+//! *data model* for those counters and their sinks; it is dependency-free
+//! so the simulator can depend on it without cycles:
+//!
+//! * [`Counters`] — one bucket of per-warp/per-access tallies (futile vs
+//!   useful edge work, divergence, occupancy, coalescing, atomic
+//!   contention, queue/dedup pipeline ops);
+//! * [`LaunchProfile`] — one kernel launch: per-stage (kernel-phase
+//!   label) counter buckets plus the launch's simulated timing and
+//!   per-block SM placement;
+//! * [`ProfileReport`] — an engine run's accumulated launches, with
+//!   deterministic aggregation ([`ProfileReport::kernel_totals`],
+//!   [`ProfileReport::stage_totals`]), a hand-rolled JSON serialization
+//!   (the workspace vendors no serde), and a Chrome-trace exporter
+//!   ([`ProfileReport::chrome_trace_json`]) that renders launches, stages
+//!   and blocks on a `chrome://tracing` / Perfetto timeline.
+//!
+//! Collection happens in `dynbc-gpusim` (see its `profile` module); the
+//! contract that makes reports bit-identical for any `DYNBC_HOST_THREADS`
+//! value lives there: per-block buckets are merged **in block-index
+//! order**, exactly like the engines' `bc_delta` slabs.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// One bucket of profile counters (a kernel stage within a block or a
+/// launch, or an aggregate of those).
+///
+/// All counters are exact event counts, not samples. Merging buckets adds
+/// every field except [`Counters::max_contention_depth`], which takes the
+/// maximum (it is a peak, not a volume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Warps executed (including one-lane scalar-access warps).
+    pub warp_execs: u64,
+    /// Lanes that actually ran, summed over warps.
+    pub active_lanes: u64,
+    /// Lane slots those warps occupied (`warp_execs × warp_size`): the
+    /// denominator of [`Counters::occupancy`].
+    pub lane_slots: u64,
+    /// Warps whose lanes retired different event counts — the lockstep
+    /// penalty ("severe workload imbalance among threads") made visible.
+    pub divergent_warps: u64,
+    /// Idle lane-event slots lost to lockstep: for each warp,
+    /// `busiest lane's events × active lanes − Σ lane events`.
+    pub divergence_stalls: u64,
+    /// Distinct 32-byte memory transactions issued
+    /// (= `coalesced_transactions + uncoalesced_transactions`).
+    pub mem_transactions: u64,
+    /// Transactions that serviced two or more lane accesses.
+    pub coalesced_transactions: u64,
+    /// Transactions that serviced exactly one lane access.
+    pub uncoalesced_transactions: u64,
+    /// Atomic operations issued.
+    pub atomic_ops: u64,
+    /// Same-address serialization conflicts among a warp's atomics.
+    pub atomic_conflicts: u64,
+    /// Deepest same-address atomic pile-up seen in any single warp.
+    pub max_contention_depth: u64,
+    /// Block-wide barriers (plus lane-barrier phases) executed.
+    pub barriers: u64,
+    /// Edges a kernel examined (kernel-annotated; see `Lane::prof_edges_scanned`).
+    pub edges_scanned: u64,
+    /// Edges that passed the frontier test and produced useful work.
+    pub edges_passed: u64,
+    /// Frontier-queue pushes (node-parallel pipeline).
+    pub queue_pushes: u64,
+    /// Dedup pipeline operations (bitonic-sort compare/scan/scatter steps).
+    pub dedup_ops: u64,
+}
+
+impl Counters {
+    /// Folds `other` into `self` (adds volumes, maxes peaks).
+    pub fn merge(&mut self, other: &Counters) {
+        self.warp_execs += other.warp_execs;
+        self.active_lanes += other.active_lanes;
+        self.lane_slots += other.lane_slots;
+        self.divergent_warps += other.divergent_warps;
+        self.divergence_stalls += other.divergence_stalls;
+        self.mem_transactions += other.mem_transactions;
+        self.coalesced_transactions += other.coalesced_transactions;
+        self.uncoalesced_transactions += other.uncoalesced_transactions;
+        self.atomic_ops += other.atomic_ops;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.max_contention_depth = self.max_contention_depth.max(other.max_contention_depth);
+        self.barriers += other.barriers;
+        self.edges_scanned += other.edges_scanned;
+        self.edges_passed += other.edges_passed;
+        self.queue_pushes += other.queue_pushes;
+        self.dedup_ops += other.dedup_ops;
+    }
+
+    /// Fraction of scanned edges that did **not** pass the frontier test —
+    /// the paper's futile-work ratio. `0.0` when nothing was scanned.
+    pub fn futile_edge_ratio(&self) -> f64 {
+        if self.edges_scanned == 0 {
+            0.0
+        } else {
+            (self.edges_scanned - self.edges_passed.min(self.edges_scanned)) as f64
+                / self.edges_scanned as f64
+        }
+    }
+
+    /// Active-lane occupancy: lanes that ran over lane slots occupied.
+    /// `0.0` when no warps executed.
+    pub fn occupancy(&self) -> f64 {
+        if self.lane_slots == 0 {
+            0.0
+        } else {
+            self.active_lanes as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// Fraction of memory transactions that were coalesced (serviced more
+    /// than one lane access). `0.0` when no transactions were issued.
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.mem_transactions == 0 {
+            0.0
+        } else {
+            self.coalesced_transactions as f64 / self.mem_transactions as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"warp_execs\": {}, \"active_lanes\": {}, \"lane_slots\": {}, \
+             \"divergent_warps\": {}, \"divergence_stalls\": {}, \
+             \"mem_transactions\": {}, \"coalesced_transactions\": {}, \
+             \"uncoalesced_transactions\": {}, \"atomic_ops\": {}, \
+             \"atomic_conflicts\": {}, \"max_contention_depth\": {}, \
+             \"barriers\": {}, \"edges_scanned\": {}, \"edges_passed\": {}, \
+             \"queue_pushes\": {}, \"dedup_ops\": {}}}",
+            self.warp_execs,
+            self.active_lanes,
+            self.lane_slots,
+            self.divergent_warps,
+            self.divergence_stalls,
+            self.mem_transactions,
+            self.coalesced_transactions,
+            self.uncoalesced_transactions,
+            self.atomic_ops,
+            self.atomic_conflicts,
+            self.max_contention_depth,
+            self.barriers,
+            self.edges_scanned,
+            self.edges_passed,
+            self.queue_pushes,
+            self.dedup_ops,
+        )
+    }
+}
+
+/// One kernel stage (phase label) within a launch, with its counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// The kernel-phase label (`BlockCtx::label`), e.g. `"case2_node::sp"`;
+    /// `""` for accesses before the kernel's first label.
+    pub label: String,
+    /// Counters accumulated while that label was active.
+    pub counters: Counters,
+}
+
+/// Simulated placement of one block on an SM (for timeline rendering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockSpan {
+    /// Block id within the launch grid.
+    pub block: u32,
+    /// SM the greedy block scheduler placed it on.
+    pub sm: u32,
+    /// Simulated start time, seconds since the engine's clock zero.
+    pub start_s: f64,
+    /// Simulated duration in seconds.
+    pub dur_s: f64,
+}
+
+/// Profile of a single kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchProfile {
+    /// Kernel name as passed to `Gpu::launch_named`/`launch_profiled`.
+    pub kernel: String,
+    /// Ordinal of this launch on its `Gpu` (0-based).
+    pub index: u64,
+    /// Grid size in blocks.
+    pub num_blocks: usize,
+    /// Simulated clock when the launch started (seconds).
+    pub start_s: f64,
+    /// Simulated duration (makespan + launch overhead, seconds).
+    pub seconds: f64,
+    /// Per-stage counter buckets, in deterministic first-touch order
+    /// (block 0's label order, then labels first seen in later blocks).
+    pub stages: Vec<StageProfile>,
+    /// All stages merged.
+    pub total: Counters,
+    /// Per-block SM placement from the greedy scheduler (block-id order).
+    pub blocks: Vec<BlockSpan>,
+}
+
+impl LaunchProfile {
+    fn json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"kernel\": {}, \"index\": {}, \"num_blocks\": {}, \
+             \"start_s\": {}, \"seconds\": {}, \"total\": {}, \"stages\": [",
+            json_string(&self.kernel),
+            self.index,
+            self.num_blocks,
+            json_number(self.start_s),
+            json_number(self.seconds),
+            self.total.json(),
+        );
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"label\": {}, \"counters\": {}}}",
+                json_string(&st.label),
+                st.counters.json()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Accumulated profile of an engine run: every profiled launch, in launch
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Profiled launches in the order they ran.
+    pub launches: Vec<LaunchProfile>,
+}
+
+impl ProfileReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends another report's launches (multi-GPU merge: callers pass
+    /// devices in device-index order, keeping the result deterministic).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        self.launches.extend(other.launches.iter().cloned());
+    }
+
+    /// Total counters over all launches.
+    pub fn total(&self) -> Counters {
+        let mut t = Counters::default();
+        for l in &self.launches {
+            t.merge(&l.total);
+        }
+        t
+    }
+
+    /// Aggregates counters by kernel name, in first-appearance order.
+    pub fn kernel_totals(&self) -> Vec<(String, Counters)> {
+        let mut out: Vec<(String, Counters)> = Vec::new();
+        for l in &self.launches {
+            match out.iter_mut().find(|(k, _)| *k == l.kernel) {
+                Some((_, c)) => c.merge(&l.total),
+                None => out.push((l.kernel.clone(), l.total)),
+            }
+        }
+        out
+    }
+
+    /// Aggregates counters by stage label across all launches, in
+    /// first-appearance order.
+    pub fn stage_totals(&self) -> Vec<(String, Counters)> {
+        let mut out: Vec<(String, Counters)> = Vec::new();
+        for l in &self.launches {
+            for st in &l.stages {
+                match out.iter_mut().find(|(k, _)| *k == st.label) {
+                    Some((_, c)) => c.merge(&st.counters),
+                    None => out.push((st.label.clone(), st.counters)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the full report as a JSON object:
+    /// `{"total": {...}, "kernels": [...], "stages": [...], "launches": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"total\": {}, \"kernels\": [", self.total().json());
+        for (i, (k, c)) in self.kernel_totals().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"kernel\": {}, \"counters\": {}}}",
+                json_string(k),
+                c.json()
+            );
+        }
+        out.push_str("], \"stages\": [");
+        for (i, (k, c)) in self.stage_totals().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"label\": {}, \"counters\": {}}}",
+                json_string(k),
+                c.json()
+            );
+        }
+        out.push_str("], \"launches\": [");
+        for (i, l) in self.launches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&l.json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Exports the report in the Chrome trace-event format (the JSON
+    /// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load).
+    ///
+    /// The timeline runs on the *simulated* clock (microseconds). Three
+    /// track families are emitted:
+    ///
+    /// * pid 0 "launches" — one complete (`"X"`) event per kernel launch;
+    /// * pid 1 "SM &lt;n&gt;" — one event per block, on the SM the greedy
+    ///   scheduler placed it on (tid = SM id);
+    /// * counter (`"C"`) events on pid 0 tracking cumulative futile vs
+    ///   useful edges after each launch.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+        };
+        let mut futile = 0u64;
+        let mut useful = 0u64;
+        for l in &self.launches {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"cat\": \"launch\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \
+                 \"ts\": {}, \"dur\": {}, \"args\": {{\"index\": {}, \"num_blocks\": {}, \
+                 \"edges_scanned\": {}, \"edges_passed\": {}, \"occupancy\": {}}}}}",
+                json_string(&l.kernel),
+                json_number(l.start_s * 1e6),
+                json_number(l.seconds * 1e6),
+                l.index,
+                l.num_blocks,
+                l.total.edges_scanned,
+                l.total.edges_passed,
+                json_number(l.total.occupancy()),
+            );
+            for b in &l.blocks {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\": {}, \"cat\": \"block\", \"ph\": \"X\", \"pid\": 1, \
+                     \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+                     \"args\": {{\"block\": {}}}}}",
+                    json_string(&format!("{}#b{}", l.kernel, b.block)),
+                    b.sm,
+                    json_number(b.start_s * 1e6),
+                    json_number(b.dur_s * 1e6),
+                    b.block,
+                );
+            }
+            useful += l.total.edges_passed;
+            futile += l.total.edges_scanned - l.total.edges_passed.min(l.total.edges_scanned);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\": \"edge work\", \"ph\": \"C\", \"pid\": 0, \"ts\": {}, \
+                 \"args\": {{\"futile\": {}, \"useful\": {}}}}}",
+                json_number((l.start_s + l.seconds) * 1e6),
+                futile,
+                useful,
+            );
+        }
+        out.push_str("\n],\n\"displayTimeUnit\": \"ms\",\n");
+        let _ = writeln!(
+            out,
+            "\"metadata\": {{\"clock\": \"simulated\", \"launches\": {}}}}}",
+            self.launches.len()
+        );
+        out
+    }
+}
+
+/// JSON string literal with the escapes kernel/stage names can contain.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (JSON has no NaN/Inf; clamp to null).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(scanned: u64, passed: u64, depth: u64) -> Counters {
+        Counters {
+            warp_execs: 2,
+            active_lanes: 6,
+            lane_slots: 8,
+            edges_scanned: scanned,
+            edges_passed: passed,
+            max_contention_depth: depth,
+            ..Counters::default()
+        }
+    }
+
+    fn launch(kernel: &str, index: u64, c: Counters) -> LaunchProfile {
+        LaunchProfile {
+            kernel: kernel.to_string(),
+            index,
+            num_blocks: 2,
+            start_s: index as f64 * 0.5,
+            seconds: 0.25,
+            stages: vec![StageProfile {
+                label: format!("{kernel}::stage"),
+                counters: c,
+            }],
+            total: c,
+            blocks: vec![BlockSpan {
+                block: 0,
+                sm: 0,
+                start_s: index as f64 * 0.5,
+                dur_s: 0.2,
+            }],
+        }
+    }
+
+    #[test]
+    fn merge_adds_volumes_and_maxes_peaks() {
+        let mut a = bucket(100, 40, 3);
+        a.merge(&bucket(50, 10, 7));
+        assert_eq!(a.edges_scanned, 150);
+        assert_eq!(a.edges_passed, 50);
+        assert_eq!(a.max_contention_depth, 7);
+        assert_eq!(a.warp_execs, 4);
+        assert_eq!(a.lane_slots, 16);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let c = bucket(100, 40, 0);
+        assert!((c.futile_edge_ratio() - 0.6).abs() < 1e-12);
+        assert!((c.occupancy() - 0.75).abs() < 1e-12);
+        assert_eq!(Counters::default().futile_edge_ratio(), 0.0);
+        assert_eq!(Counters::default().occupancy(), 0.0);
+        assert_eq!(Counters::default().coalesced_fraction(), 0.0);
+    }
+
+    #[test]
+    fn kernel_totals_aggregate_in_first_appearance_order() {
+        let mut r = ProfileReport::new();
+        r.launches.push(launch("sp", 0, bucket(10, 5, 1)));
+        r.launches.push(launch("dep", 1, bucket(20, 2, 4)));
+        r.launches.push(launch("sp", 2, bucket(30, 15, 2)));
+        let totals = r.kernel_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, "sp");
+        assert_eq!(totals[0].1.edges_scanned, 40);
+        assert_eq!(totals[0].1.max_contention_depth, 2);
+        assert_eq!(totals[1].0, "dep");
+        assert_eq!(r.total().edges_scanned, 60);
+    }
+
+    #[test]
+    fn json_round_trip_markers() {
+        let mut r = ProfileReport::new();
+        r.launches.push(launch("case2_node", 0, bucket(10, 5, 1)));
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"kernel\": \"case2_node\""), "{json}");
+        assert!(json.contains("\"edges_scanned\": 10"), "{json}");
+        assert!(json.contains("\"stages\": ["), "{json}");
+        // Balanced braces (cheap well-formedness check without a parser).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn chrome_trace_has_launch_block_and_counter_events() {
+        let mut r = ProfileReport::new();
+        r.launches.push(launch("sp", 0, bucket(10, 5, 1)));
+        let trace = r.chrome_trace_json();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+        assert!(trace.contains("\"ph\": \"C\""), "{trace}");
+        assert!(trace.contains("\"cat\": \"block\""), "{trace}");
+        assert!(trace.contains("\"displayTimeUnit\""), "{trace}");
+    }
+
+    #[test]
+    fn merge_concatenates_reports() {
+        let mut a = ProfileReport::new();
+        a.launches.push(launch("sp", 0, bucket(1, 1, 0)));
+        let mut b = ProfileReport::new();
+        b.launches.push(launch("dep", 0, bucket(2, 0, 0)));
+        a.merge(&b);
+        assert_eq!(a.launches.len(), 2);
+        assert_eq!(a.total().edges_scanned, 3);
+    }
+}

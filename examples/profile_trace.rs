@@ -1,0 +1,102 @@
+//! Profile a dynamic-BC update stream and export a Chrome trace.
+//!
+//! Runs a short mixed insert/delete stream through the node-parallel GPU
+//! engine with the hardware-counter profiler enabled, prints the nvprof
+//! style per-kernel summary, and writes two artifacts:
+//!
+//! * `profile_trace.json` — Chrome trace-event file; open it at
+//!   <https://ui.perfetto.dev> (or `chrome://tracing`) to see every
+//!   kernel launch and per-SM block placement on the simulated timeline;
+//! * `profile_report.json` — the full structured `ProfileReport`
+//!   (per-launch, per-stage counters) for scripted analysis.
+//!
+//! ```sh
+//! cargo run --release --example profile_trace [-- OUT_DIR]
+//! ```
+//!
+//! (`scripts/profile_trace.sh` wraps this.)
+
+use dynbc::gpusim::DeviceConfig;
+use dynbc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let n = 2_000;
+    let mut rng = StdRng::seed_from_u64(2014);
+    let graph = dynbc::graph::gen::ba(&mut rng, n, 4);
+    let sources = sample_sources(&mut rng, n, 24);
+    let device = DeviceConfig::tesla_c2075();
+    let mut engine = GpuDynamicBc::new(&graph, &sources, device, Parallelism::Node);
+    engine.set_profiling(true);
+
+    println!(
+        "profiling {} mixed edge ops on n={n} m={} (k={}, {}; node-parallel)\n",
+        16,
+        graph.edge_count(),
+        sources.len(),
+        device.name
+    );
+    let mut done = 0;
+    while done < 16 {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        if engine.graph().has_edge(a, b) {
+            engine.remove_edge(a, b);
+        } else {
+            engine.insert_edge(a, b);
+        }
+        done += 1;
+    }
+
+    let report = engine.take_profile_report();
+    let total = report.total();
+    println!(
+        "{} launches; {} edges scanned, {} passed (futile ratio {:.4})",
+        report.launches.len(),
+        total.edges_scanned,
+        total.edges_passed,
+        total.futile_edge_ratio()
+    );
+    println!(
+        "occupancy {:.3}, coalesced fraction {:.3}, atomic conflicts {}, \
+         peak contention depth {}\n",
+        total.occupancy(),
+        total.coalesced_fraction(),
+        total.atomic_conflicts,
+        total.max_contention_depth
+    );
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>8} {:>8}",
+        "kernel stage", "scanned", "passed", "futile", "occup."
+    );
+    for (label, c) in report.stage_totals() {
+        println!(
+            "{label:<28} {:>12} {:>12} {:>8.4} {:>8.3}",
+            c.edges_scanned,
+            c.edges_passed,
+            c.futile_edge_ratio(),
+            c.occupancy()
+        );
+    }
+
+    let trace_path = out_dir.join("profile_trace.json");
+    let report_path = out_dir.join("profile_report.json");
+    std::fs::write(&trace_path, report.chrome_trace_json()).expect("write trace");
+    std::fs::write(&report_path, report.to_json()).expect("write report");
+    println!(
+        "\nwrote {} — load it at https://ui.perfetto.dev or chrome://tracing",
+        trace_path.display()
+    );
+    println!("wrote {} (structured counters)", report_path.display());
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Profile a dynamic-BC update stream and export a Chrome trace.
+#
+# Usage: scripts/profile_trace.sh [OUT_DIR]
+#
+# Writes OUT_DIR/profile_trace.json (Chrome trace-event format — open at
+# https://ui.perfetto.dev or chrome://tracing) and
+# OUT_DIR/profile_report.json (the structured per-kernel/per-stage
+# counter report). OUT_DIR defaults to the current directory.
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT_DIR="${1:-.}"
+mkdir -p "$OUT_DIR"
+cargo run --release --example profile_trace -- "$OUT_DIR"

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Repo verification gate: tier-1 build+tests, the host-thread determinism
-# regression at 1 and 4 threads, the racecheck tier, a clippy-clean and
-# warnings-clean workspace, and the gpu-sim unsafe/SAFETY lint.
+# regression at 1 and 4 threads, the racecheck tier, a profiler smoke
+# test, a clippy-clean / warnings-clean / rustdoc-warning-clean
+# workspace, and the gpu-sim unsafe/SAFETY lint.
 # Run from anywhere inside the repo; exits non-zero on the first failure.
 set -eu
 
@@ -9,7 +10,8 @@ cd "$(dirname "$0")/.."
 
 echo "== formatting gate (first-party crates; vendor/ is exempt) =="
 cargo fmt --check \
-    -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph -p dynbc-gpusim
+    -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
+    -p dynbc-gpusim -p dynbc-prof
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -29,11 +31,32 @@ DYNBC_HOST_THREADS=4 cargo test -q --test determinism_host_threads
 echo "== racecheck tier: checked execution of every BC kernel =="
 DYNBC_RACECHECK=1 cargo test -q racecheck
 
+echo "== profiler smoke test: DYNBC_PROFILE=1 end-to-end =="
+# Profile one short update stream through the engine and validate both
+# sinks carry the expected markers (per-kernel counters + trace events).
+PROF_DIR="$(mktemp -d)"
+DYNBC_PROFILE=1 cargo run --release --example profile_trace -- "$PROF_DIR" \
+    > /dev/null
+for marker in '"edges_scanned"' '"kernels"' '"batch::fused::node#0"'; do
+    grep -q "$marker" "$PROF_DIR/profile_report.json" || {
+        echo "profile_report.json missing $marker"; exit 1; }
+done
+for marker in '"traceEvents"' '"displayTimeUnit"' '"cat": "block"'; do
+    grep -q "$marker" "$PROF_DIR/profile_trace.json" || {
+        echo "profile_trace.json missing $marker"; exit 1; }
+done
+rm -rf "$PROF_DIR"
+
 echo "== warnings-clean workspace build =="
 RUSTFLAGS="-D warnings" cargo build --workspace --all-targets
 
 echo "== clippy-clean workspace =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc-warning-clean first-party crates =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
+    -p dynbc-gpusim -p dynbc-prof
 
 echo "== gpu-sim unsafe audit: every unsafe needs a SAFETY comment =="
 # The simulator denies unsafe_code outright; this lint keeps the carved
