@@ -292,21 +292,30 @@ fn bench_racecheck_overhead(c: &mut Criterion) {
 
     let mut report = HarnessReport::new("racecheck_overhead");
     let mut wall_unchecked = f64::NAN;
+    let mut min_unchecked = f64::NAN;
     let mut overhead = f64::NAN;
     for (engine, racecheck) in [("unchecked", false), ("checked", true)] {
         let iters = 8;
-        let t0 = Instant::now();
+        black_box(scaling_launch_mode(1, racecheck)); // warm-up, untimed
+        let mut walls = Vec::with_capacity(iters);
         for _ in 0..iters {
+            let t0 = Instant::now();
             black_box(scaling_launch_mode(1, racecheck));
+            walls.push(t0.elapsed().as_secs_f64());
         }
-        let wall = t0.elapsed().as_secs_f64() / iters as f64;
+        let wall = walls.iter().sum::<f64>() / iters as f64;
+        let wall_min = walls.iter().copied().fold(f64::INFINITY, f64::min);
         if !racecheck {
             wall_unchecked = wall;
+            min_unchecked = wall_min;
         } else {
-            overhead = wall / wall_unchecked;
+            // Noise-robust ratio: minimum over iterations on both sides
+            // (the means can swing a few x on a loaded host).
+            overhead = wall_min / min_unchecked;
         }
         report.push_row("blocks56", engine, unchecked.0, wall);
         report.annotate("overhead_vs_unchecked", wall / wall_unchecked);
+        report.annotate("min_overhead_vs_unchecked", wall_min / min_unchecked);
 
         c.bench_function(&format!("racecheck_overhead_56blocks_{engine}"), |b| {
             b.iter(|| black_box(scaling_launch_mode(1, racecheck)))
