@@ -28,11 +28,13 @@
 use crate::brandes::brandes_state;
 use crate::cases::InsertionCase;
 use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};
+use crate::obs::batch_observation;
 use crate::plan;
 use crate::state::BcState;
 use dynbc_ds::MultiLevelQueue;
-use dynbc_gpusim::{CpuConfig, OpCounter};
+use dynbc_gpusim::{telemetry_from_env, CpuConfig, OpCounter};
 use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
+use dynbc_telemetry::{Span, Telemetry};
 use std::collections::VecDeque;
 
 pub(super) const T_UNTOUCHED: u8 = 0;
@@ -124,6 +126,10 @@ pub struct CpuDynamicBc {
     pub(super) cpu: CpuConfig,
     pub(super) scratch: Scratch,
     pub(super) total_ops: OpCounter,
+    /// Cumulative modeled seconds across all updates — the CPU analogue of
+    /// the GPU engines' device clock, giving telemetry spans a timeline.
+    model_clock_s: f64,
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl CpuDynamicBc {
@@ -141,7 +147,46 @@ impl CpuDynamicBc {
             cpu: CpuConfig::i7_2600k(),
             scratch: Scratch::new(n),
             total_ops: OpCounter::new(),
+            model_clock_s: 0.0,
+            telemetry: telemetry_from_env().then(|| Box::new(Telemetry::new())),
         }
+    }
+
+    /// Enables/disables telemetry for every batch this engine applies
+    /// (builder form). Overrides `DYNBC_TELEMETRY`. When on, `apply_batch`
+    /// records update metrics (latency, touched fractions, case tallies)
+    /// and lifecycle spans into [`telemetry_report`](Self::telemetry_report);
+    /// results are unaffected.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.set_telemetry(on);
+        self
+    }
+
+    /// Enables/disables telemetry for every batch this engine applies.
+    pub fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(Box::new(Telemetry::new()));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    /// True when batches record telemetry.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry accumulated by batches applied with telemetry on.
+    pub fn telemetry_report(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Drains the accumulated telemetry, leaving a fresh collector behind
+    /// (scrape-and-continue, like a Prometheus endpoint would).
+    pub fn take_telemetry_report(&mut self) -> Option<Telemetry> {
+        self.telemetry.as_mut().map(|t| std::mem::take(&mut **t))
     }
 
     /// Overrides the machine model used for modeled seconds.
@@ -196,11 +241,25 @@ impl CpuDynamicBc {
     /// loop, a duplicate insertion, or a removal of an absent edge.
     pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
         let wall_start = std::time::Instant::now();
+        let tel_on = self.telemetry.is_some();
         plan::validate_batch(&mut self.graph, batch);
+        let validate_wall = if tel_on {
+            wall_start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
+        let clock_before = self.model_clock_s;
 
-        let mut ops = OpCounter::new();
+        // Counters accumulate per op (`op_ops`) and fold into the batch
+        // total; the counter sums — and therefore the modeled seconds —
+        // are exactly what one shared accumulator produced, while the
+        // per-op subtotals give telemetry spans their durations.
+        let mut batch_ops = OpCounter::new();
+        let mut op_spans: Vec<Span> = Vec::new();
         let mut per_op = Vec::with_capacity(batch.len());
-        for &op in batch {
+        for (op_idx, &op) in batch.iter().enumerate() {
+            let op_t = tel_on.then(std::time::Instant::now);
+            let mut ops = OpCounter::new();
             let planned = plan::plan_op(&mut self.graph, &self.state.d, op);
             // Classification charge: one two-load compare per source,
             // plus the surviving-predecessor scans for removals.
@@ -269,12 +328,52 @@ impl CpuDynamicBc {
                 cases: planned.cases,
                 per_source,
             });
+            if tel_on {
+                let op_model = self.cpu.model_seconds(&ops);
+                let op_wall = op_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+                op_spans.push(
+                    Span::new(
+                        format!("op#{op_idx}"),
+                        1,
+                        clock_before + self.cpu.model_seconds(&batch_ops),
+                        op_model,
+                    )
+                    .wall(op_wall)
+                    .arg("sources", per_op[op_idx].per_source.len() as f64),
+                );
+            }
+            batch_ops.add(&ops);
         }
-        self.total_ops.add(&ops);
+        self.total_ops.add(&batch_ops);
+        let model_seconds = self.cpu.model_seconds(&batch_ops);
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        self.model_clock_s += model_seconds;
+
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.push_span(
+                Span::new("update", 0, clock_before, model_seconds)
+                    .wall(wall_seconds)
+                    .arg("ops", batch.len() as f64),
+            );
+            tel.push_span(Span::instant("validate", 1, clock_before, validate_wall));
+            for s in op_spans {
+                tel.push_span(s);
+            }
+            let n = self.state.bc.len();
+            tel.record_update(&batch_observation(
+                &per_op,
+                n,
+                model_seconds,
+                wall_seconds,
+                batch_ops.queue_ops,
+                0,
+            ));
+        }
+
         BatchResult {
             per_op,
-            model_seconds: self.cpu.model_seconds(&ops),
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            model_seconds,
+            wall_seconds,
         }
     }
 }

@@ -38,10 +38,12 @@ use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers};
 use super::exec::{self, ExecConfig};
 use crate::brandes::brandes_state;
 use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};
+use crate::obs::batch_observation;
 use crate::plan::{self, PlannedOp};
 use crate::state::BcState;
-use dynbc_gpusim::{DeviceConfig, Gpu, GpuBuffer, KernelStats, ProfileReport};
+use dynbc_gpusim::{telemetry_from_env, DeviceConfig, Gpu, GpuBuffer, KernelStats, ProfileReport};
 use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
+use dynbc_telemetry::{Span, Telemetry};
 
 /// Fine-grained work decomposition: one thread per arc, or one thread per
 /// frontier vertex.
@@ -88,6 +90,7 @@ pub struct GpuDynamicBc {
     num_blocks: usize,
     dedup: DedupStrategy,
     force_general: bool,
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl GpuDynamicBc {
@@ -117,6 +120,7 @@ impl GpuDynamicBc {
             num_blocks,
             dedup: DedupStrategy::default(),
             force_general: false,
+            telemetry: telemetry_from_env().then(|| Box::new(Telemetry::new())),
         }
     }
 
@@ -203,6 +207,45 @@ impl GpuDynamicBc {
         self.gpu.take_profile_report()
     }
 
+    /// Enables/disables telemetry for every batch this engine applies
+    /// (builder form). Overrides `DYNBC_TELEMETRY`. When on, `apply_batch`
+    /// records update metrics (latency, touched fractions, case tallies)
+    /// and lifecycle spans into [`telemetry_report`](Self::telemetry_report);
+    /// results are unaffected and the model-clock metrics are bit-identical
+    /// for any host-thread count.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.set_telemetry(on);
+        self
+    }
+
+    /// Enables/disables telemetry for every batch this engine applies.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.gpu.set_span_log(on);
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(Box::new(Telemetry::new()));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    /// True when batches record telemetry.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry accumulated by batches applied with telemetry on.
+    pub fn telemetry_report(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Drains the accumulated telemetry, leaving a fresh collector behind
+    /// (scrape-and-continue, like a Prometheus endpoint would).
+    pub fn take_telemetry_report(&mut self) -> Option<Telemetry> {
+        self.telemetry.as_mut().map(|t| std::mem::take(&mut **t))
+    }
+
     /// The number of host threads launches fan blocks over.
     pub fn host_threads(&self) -> usize {
         self.gpu.host_threads()
@@ -273,8 +316,21 @@ impl GpuDynamicBc {
     /// loop, a duplicate insertion, or a removal of an absent edge.
     pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
         let wall_start = std::time::Instant::now();
+        let tel_on = self.telemetry.is_some();
         plan::validate_batch(&mut self.graph, batch);
+        let validate_wall = if tel_on {
+            wall_start.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
         let clock_before = self.gpu.elapsed_seconds();
+        let prof_launches_before = self.gpu.profile_report().launches.len();
+        let mut stage_spans: Vec<Span> = Vec::new();
+        if tel_on {
+            // Launches before this batch (e.g. the initial upload path)
+            // belong to no lifecycle span; drop them.
+            self.gpu.take_launch_spans();
+        }
 
         let mut per_op: Vec<OpOutcome> = Vec::with_capacity(batch.len());
         let mut next = 0;
@@ -286,6 +342,7 @@ impl GpuDynamicBc {
             // change any distance. Each op gets its own CSR snapshot so
             // the fused launch reads exactly the adjacency the sequential
             // path would.
+            let plan_t = tel_on.then(std::time::Instant::now);
             let d_rows = self.download_d_rows();
             let stage_base = next;
             let mut stage: Vec<PlannedOp> = Vec::new();
@@ -303,6 +360,10 @@ impl GpuDynamicBc {
 
             // Scratch sized by batch width: queue rows for the widest
             // snapshot, one BC-delta slab row per (op, block) pair.
+            let plan_wall = plan_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            let stage_clock0 = self.gpu.elapsed_seconds();
+            let exec_t = tel_on.then(std::time::Instant::now);
+
             let max_arcs = gbufs.iter().map(|g| g.num_arcs).max().unwrap_or(0);
             self.scr.ensure_arc_capacity(max_arcs + 4096);
             self.scr.ensure_bc_rows(stage.len() * self.num_blocks);
@@ -330,7 +391,9 @@ impl GpuDynamicBc {
                 &gbufs,
                 stage_idx,
             );
-            stage_idx += 1;
+            let stage_clock1 = self.gpu.elapsed_seconds();
+            let exec_wall = exec_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            let commit_t = tel_on.then(std::time::Instant::now);
 
             for planned in &stage {
                 per_op.push(OpOutcome {
@@ -349,12 +412,72 @@ impl GpuDynamicBc {
             for (op_slot, row, t) in touched {
                 per_op[stage_base + op_slot].per_source[row].touched = t;
             }
+
+            if tel_on {
+                let launches = self.gpu.take_launch_spans();
+                let commit_wall = commit_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+                stage_spans.push(
+                    Span::new(
+                        format!("stage#{stage_idx}"),
+                        1,
+                        stage_clock0,
+                        stage_clock1 - stage_clock0,
+                    )
+                    .wall(exec_wall)
+                    .arg("ops", stage.len() as f64),
+                );
+                stage_spans.push(
+                    Span::instant("plan", 2, stage_clock0, plan_wall)
+                        .arg("stage", stage_idx as f64),
+                );
+                for ls in launches {
+                    stage_spans.push(
+                        Span::new(ls.kernel, 2, ls.start_s, ls.dur_s)
+                            .wall(ls.wall_s)
+                            .arg("num_blocks", ls.num_blocks as f64),
+                    );
+                }
+                stage_spans.push(
+                    Span::instant("commit", 2, stage_clock1, commit_wall)
+                        .arg("stage", stage_idx as f64),
+                );
+            }
+            stage_idx += 1;
+        }
+
+        let model_seconds = self.gpu.elapsed_seconds() - clock_before;
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.push_span(
+                Span::new("update", 0, clock_before, model_seconds)
+                    .wall(wall_seconds)
+                    .arg("ops", batch.len() as f64),
+            );
+            tel.push_span(Span::instant("validate", 1, clock_before, validate_wall));
+            for s in stage_spans {
+                tel.push_span(s);
+            }
+            // Queue/dedup volume comes from the profiler's kernel-annotated
+            // counters: attributed to this batch via the launches it added.
+            let (queue_ops, dedup_ops) = self.gpu.profile_report().launches[prof_launches_before..]
+                .iter()
+                .fold((0, 0), |(q, d), l| {
+                    (q + l.total.queue_pushes, d + l.total.dedup_ops)
+                });
+            tel.record_update(&batch_observation(
+                &per_op,
+                self.st.n,
+                model_seconds,
+                wall_seconds,
+                queue_ops,
+                dedup_ops,
+            ));
         }
 
         BatchResult {
             per_op,
-            model_seconds: self.gpu.elapsed_seconds() - clock_before,
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            model_seconds,
+            wall_seconds,
         }
     }
 

@@ -15,13 +15,16 @@
 
 use super::engine::{GpuDynamicBc, Parallelism};
 use crate::dynamic::result::{BatchResult, UpdateResult};
-use dynbc_gpusim::{DeviceConfig, ProfileReport};
+use crate::obs::batch_observation;
+use dynbc_gpusim::{telemetry_from_env, DeviceConfig, ProfileReport};
 use dynbc_graph::{DynGraph, EdgeList, EdgeOp, VertexId};
+use dynbc_telemetry::{Span, Telemetry};
 
 /// Dynamic BC across several (simulated) GPUs.
 #[derive(Debug)]
 pub struct MultiGpuDynamicBc {
     devices: Vec<GpuDynamicBc>,
+    telemetry: Option<Box<Telemetry>>,
 }
 
 /// Generates the simulator-knob plumbing shared with the single-GPU
@@ -87,10 +90,56 @@ impl MultiGpuDynamicBc {
                     .skip(d)
                     .step_by(num_devices)
                     .collect();
-                GpuDynamicBc::new(el, &mine, device, par)
+                // Telemetry stays at the multi-engine level: per-device
+                // collectors would double-count every update (see
+                // `set_telemetry`).
+                GpuDynamicBc::new(el, &mine, device, par).with_telemetry(false)
             })
             .collect();
-        Self { devices }
+        Self {
+            devices,
+            telemetry: telemetry_from_env().then(|| Box::new(Telemetry::new())),
+        }
+    }
+
+    /// Enables/disables engine-level telemetry (builder form). Overrides
+    /// `DYNBC_TELEMETRY`.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.set_telemetry(on);
+        self
+    }
+
+    /// Enables/disables engine-level telemetry.
+    ///
+    /// Deliberately *not* forwarded to the per-device engines: the batch
+    /// is one logical update, so the multi engine records it once —
+    /// makespan latency, summed case tallies, per-device utilization
+    /// gauges, and one `device[d]` span per device, merged in
+    /// device-index order so everything model-clocked stays bit-identical
+    /// for any `DYNBC_HOST_THREADS`.
+    pub fn set_telemetry(&mut self, on: bool) {
+        if on {
+            if self.telemetry.is_none() {
+                self.telemetry = Some(Box::new(Telemetry::new()));
+            }
+        } else {
+            self.telemetry = None;
+        }
+    }
+
+    /// True when batches record telemetry.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The telemetry accumulated by batches applied with telemetry on.
+    pub fn telemetry_report(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Drains the accumulated telemetry, leaving a fresh collector behind.
+    pub fn take_telemetry_report(&mut self) -> Option<Telemetry> {
+        self.telemetry.as_mut().map(|t| std::mem::take(&mut **t))
     }
 
     /// Number of participating devices.
@@ -136,11 +185,25 @@ impl MultiGpuDynamicBc {
     /// loop, a duplicate insertion, or a removal of an absent edge.
     pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
         let wall_start = std::time::Instant::now();
+        let tel_on = self.telemetry.is_some();
+        let clock_before = self.elapsed_seconds();
+        let prof_before: Vec<usize> = if tel_on {
+            self.devices
+                .iter()
+                .map(|d| d.profile_report().launches.len())
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut per_op = Vec::new();
         let mut makespan = 0.0f64;
+        let mut dev_times: Vec<(f64, f64)> = Vec::new();
         for dev in &mut self.devices {
             let r = dev.apply_batch(batch);
             makespan = makespan.max(r.model_seconds);
+            if tel_on {
+                dev_times.push((r.model_seconds, r.wall_seconds));
+            }
             if per_op.is_empty() {
                 per_op = r.per_op;
             } else {
@@ -151,10 +214,55 @@ impl MultiGpuDynamicBc {
                 }
             }
         }
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        if tel_on {
+            // Queue/dedup volume: kernel-annotated profiler counters from
+            // the launches this batch added, summed in device-index order.
+            let (queue_ops, dedup_ops) =
+                self.devices
+                    .iter()
+                    .zip(&prof_before)
+                    .fold((0, 0), |(q, d), (dev, &before)| {
+                        dev.profile_report().launches[before..]
+                            .iter()
+                            .fold((q, d), |(q, d), l| {
+                                (q + l.total.queue_pushes, d + l.total.dedup_ops)
+                            })
+                    });
+            let n = self.devices[0].graph().vertex_count();
+            let tel = self.telemetry.as_deref_mut().expect("tel_on");
+            tel.push_span(
+                Span::new("update", 0, clock_before, makespan)
+                    .wall(wall_seconds)
+                    .arg("ops", batch.len() as f64)
+                    .arg("devices", dev_times.len() as f64),
+            );
+            for (d, &(model_s, wall_s)) in dev_times.iter().enumerate() {
+                tel.push_span(
+                    Span::new(format!("device[{d}]"), 1, clock_before, model_s)
+                        .wall(wall_s)
+                        .on_track(d as u32 + 1),
+                );
+                let util = if makespan > 0.0 {
+                    model_s / makespan
+                } else {
+                    0.0
+                };
+                tel.set_device_utilization(d, util);
+            }
+            tel.record_update(&batch_observation(
+                &per_op,
+                n,
+                makespan,
+                wall_seconds,
+                queue_ops,
+                dedup_ops,
+            ));
+        }
         BatchResult {
             per_op,
             model_seconds: makespan,
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            wall_seconds,
         }
     }
 

@@ -28,6 +28,7 @@ pub mod brandes;
 pub mod cases;
 pub mod dynamic;
 pub mod gpu;
+pub(crate) mod obs;
 pub mod plan;
 pub mod reference;
 pub mod state;

@@ -1,0 +1,47 @@
+//! Shared telemetry-observation assembly: every engine derives the same
+//! [`UpdateObservation`] from data it already reduced deterministically.
+
+use crate::cases::InsertionCase;
+use crate::dynamic::result::OpOutcome;
+use dynbc_telemetry::UpdateObservation;
+
+/// Builds the metrics contribution of one batch from its per-op outcomes.
+///
+/// The touched-fraction histogram gets one sample per *work-requiring
+/// (Case 2) source scenario*: `touched / n` for every `(op, source)` pair
+/// whose source actually rebuilt part of its DAG. This is the same
+/// population the `fig4_touched` harness quantiles — the paper's "typical
+/// scenarios touch a tiny fraction of the graph" observation — so the
+/// histogram's median is the median scenario, not the median insertion
+/// (whose worst source would dominate).
+pub(crate) fn batch_observation(
+    per_op: &[OpOutcome],
+    n: usize,
+    model_seconds: f64,
+    wall_seconds: f64,
+    queue_ops: u64,
+    dedup_ops: u64,
+) -> UpdateObservation {
+    let n = n.max(1) as f64;
+    let mut obs = UpdateObservation {
+        ops: per_op.len() as u64,
+        model_seconds,
+        wall_seconds,
+        queue_ops,
+        dedup_ops,
+        touched_fractions: Vec::with_capacity(per_op.len()),
+        ..UpdateObservation::default()
+    };
+    for op in per_op {
+        obs.case_same += op.cases.same;
+        obs.case_adjacent += op.cases.adjacent;
+        obs.case_distant += op.cases.distant;
+        obs.touched_fractions.extend(
+            op.per_source
+                .iter()
+                .filter(|s| s.case == InsertionCase::Adjacent)
+                .map(|s| s.touched as f64 / n),
+        );
+    }
+    obs
+}

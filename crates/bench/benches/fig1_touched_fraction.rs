@@ -1,0 +1,185 @@
+//! Figure 1 of the paper via telemetry: per-insertion touched-vertex
+//! fraction and update-latency distributions.
+//!
+//! The paper's core premise is that a streaming edge insertion perturbs
+//! only a small neighbourhood of the shortest-path DAG, so recomputing
+//! from scratch wastes almost all of its work. This harness measures that
+//! directly from the [`dynbc_telemetry`] histograms: it runs the
+//! Section-IV insertion stream through the telemetry-enabled CPU engine
+//! and the node-parallel GPU engine on every suite graph and reports:
+//!
+//! * `fig1_touched_fraction` — one row per (graph, engine) with the
+//!   median/p90/p99/max touched-vertex fraction over all work-requiring
+//!   (Case 2) source scenarios of the stream (the `fig4_touched`
+//!   population, here read back from the telemetry histogram);
+//! * `update_latency` — one row per (graph, engine) with p50/p90/p99
+//!   model-clock and host-wall update latency.
+//!
+//! Shape check: the **median** touched fraction stays below 10% of the
+//! vertex set on every suite graph, for both engines. Quantiles come from
+//! the log-linear histogram, so they are bit-identical for any
+//! `DYNBC_HOST_THREADS` (the telemetry determinism contract).
+
+use dynbc_bc::dynamic::CpuDynamicBc;
+use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
+use dynbc_bench::table::Table;
+use dynbc_bench::{build_setup, Config, HarnessReport, Setup};
+use dynbc_gpusim::DeviceConfig;
+use dynbc_graph::suite::TABLE_I;
+use dynbc_telemetry::{Telemetry, TOUCHED_FRACTION, UPDATE_LATENCY_MODEL, UPDATE_LATENCY_WALL};
+
+/// Median touched fraction must stay below this share of |V| (Figure 1's
+/// "updates touch a tiny fraction of the graph" claim).
+const MEDIAN_TOUCHED_BUDGET: f64 = 0.10;
+
+/// One engine's pass over the insertion stream with telemetry enabled.
+struct TelemetryRun {
+    label: String,
+    telemetry: Telemetry,
+    model_seconds: f64,
+    wall_seconds: f64,
+}
+
+/// Runs the insertion stream through the telemetry-enabled CPU engine.
+fn run_cpu_telemetry(setup: &Setup) -> TelemetryRun {
+    let mut engine = CpuDynamicBc::new(&setup.start, &setup.sources).with_telemetry(true);
+    let (mut model, mut wall) = (0.0, 0.0);
+    for &(u, v) in &setup.insertions {
+        let r = engine.insert_edge(u, v);
+        model += r.model_seconds;
+        wall += r.wall_seconds;
+    }
+    TelemetryRun {
+        label: "CPU (i7-2600K model)".to_string(),
+        telemetry: engine.take_telemetry_report().expect("telemetry enabled"),
+        model_seconds: model,
+        wall_seconds: wall,
+    }
+}
+
+/// Runs the insertion stream through the telemetry-enabled node-parallel
+/// GPU engine (the paper's winning decomposition).
+fn run_gpu_telemetry(setup: &Setup, device: DeviceConfig) -> TelemetryRun {
+    let mut engine = GpuDynamicBc::new(&setup.start, &setup.sources, device, Parallelism::Node)
+        .with_telemetry(true);
+    let (mut model, mut wall) = (0.0, 0.0);
+    for &(u, v) in &setup.insertions {
+        let r = engine.insert_edge(u, v);
+        model += r.model_seconds;
+        wall += r.wall_seconds;
+    }
+    TelemetryRun {
+        label: format!("GPU node ({})", device.name),
+        telemetry: engine.take_telemetry_report().expect("telemetry enabled"),
+        model_seconds: model,
+        wall_seconds: wall,
+    }
+}
+
+fn main() {
+    // Same defaults as `fig4_touched`: the two harnesses quantile the same
+    // scenario population, one from raw outcomes, one from the telemetry
+    // histogram.
+    let cfg = Config::from_env(0.5, 32, 40);
+    let device = DeviceConfig::tesla_c2075();
+    println!(
+        "== Figure 1: per-insertion touched-vertex fraction via telemetry \
+         ({}; device = {}) ==\n",
+        cfg.describe(),
+        device.name
+    );
+
+    let mut table = Table::new(vec![
+        "Graph",
+        "Engine",
+        "Touched p50",
+        "Touched p90",
+        "Touched p99",
+        "Touched max",
+        "Latency p50 (model s)",
+    ]);
+    let mut fig = HarnessReport::new("fig1_touched_fraction");
+    let mut lat = HarnessReport::new("update_latency");
+    let mut median_below_budget_everywhere = true;
+    for entry in &TABLE_I {
+        let setup = build_setup(entry, &cfg);
+        eprintln!(
+            "[fig1] {}: n={} m={} ... ",
+            entry.short,
+            setup.n(),
+            setup.m()
+        );
+        for run in [run_cpu_telemetry(&setup), run_gpu_telemetry(&setup, device)] {
+            let touched = run
+                .telemetry
+                .histogram(TOUCHED_FRACTION)
+                .expect("touched-fraction histogram populated");
+            let model = run
+                .telemetry
+                .histogram(UPDATE_LATENCY_MODEL)
+                .expect("model-latency histogram populated");
+            let wall = run
+                .telemetry
+                .histogram(UPDATE_LATENCY_WALL)
+                .expect("wall-latency histogram populated");
+            fig.push_row_with(
+                entry.short,
+                &run.label,
+                run.model_seconds,
+                run.wall_seconds,
+                &[
+                    ("touched_fraction_p50", touched.p50()),
+                    ("touched_fraction_p90", touched.p90()),
+                    ("touched_fraction_p99", touched.p99()),
+                    ("touched_fraction_max", touched.max()),
+                    ("case2_scenarios", touched.count() as f64),
+                    ("updates", setup.insertions.len() as f64),
+                ],
+            );
+            lat.push_row_with(
+                entry.short,
+                &run.label,
+                run.model_seconds,
+                run.wall_seconds,
+                &[
+                    ("latency_model_p50", model.p50()),
+                    ("latency_model_p90", model.p90()),
+                    ("latency_model_p99", model.p99()),
+                    ("latency_wall_p50", wall.p50()),
+                    ("latency_wall_p90", wall.p90()),
+                    ("latency_wall_p99", wall.p99()),
+                ],
+            );
+            median_below_budget_everywhere &= touched.p50() < MEDIAN_TOUCHED_BUDGET;
+            table.row(vec![
+                entry.short.to_string(),
+                run.label.clone(),
+                format!("{:.4}", touched.p50()),
+                format!("{:.4}", touched.p90()),
+                format!("{:.4}", touched.p99()),
+                format!("{:.4}", touched.max()),
+                format!("{:.3e}", model.p50()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if let Some(path) = fig.write_default() {
+        println!("machine-readable rows appended to {}", path.display());
+    }
+    lat.write_default();
+
+    println!(
+        "\npaper-shape check: median touched fraction < {MEDIAN_TOUCHED_BUDGET} \
+         on all graphs = {median_below_budget_everywhere} => {}",
+        if median_below_budget_everywhere {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    assert!(
+        median_below_budget_everywhere,
+        "median per-insertion touched fraction must stay below \
+         {MEDIAN_TOUCHED_BUDGET} of the vertex set on every suite graph"
+    );
+}

@@ -86,7 +86,7 @@ fn main() {
                     &format!("{}/{kernel}", entry.short),
                     &format!("GPU {par}"),
                     kernel_seconds(&profile, &kernel),
-                    0.0,
+                    profile.kernel_wall_seconds(&kernel),
                 );
                 kernels.annotate("edges_scanned", kc.edges_scanned as f64);
                 kernels.annotate("edges_passed", kc.edges_passed as f64);

@@ -123,11 +123,34 @@ fn scaling_launch(threads: usize) -> (f64, Vec<u32>, Vec<u32>) {
 /// [`scaling_launch`] with the racecheck analysis toggled explicitly —
 /// the checked/unchecked pair the `racecheck_overhead` harness compares.
 fn scaling_launch_mode(threads: usize, racecheck: bool) -> (f64, Vec<u32>, Vec<u32>) {
+    scaling_launch_on(
+        Gpu::new(DeviceConfig::tesla_c2075())
+            .with_host_threads(threads)
+            .with_racecheck(racecheck),
+    )
+    .0
+}
+
+/// [`scaling_launch`] with the telemetry span log toggled explicitly —
+/// the disabled/enabled pair the `telemetry_overhead` harness compares.
+/// Sanity-checks that the span log captured exactly the one launch when
+/// enabled and nothing when disabled.
+fn scaling_launch_telemetry(span_log: bool) -> (f64, Vec<u32>, Vec<u32>) {
+    let (r, g) = scaling_launch_on(
+        Gpu::new(DeviceConfig::tesla_c2075())
+            .with_host_threads(1)
+            .with_span_log(span_log),
+    );
+    assert_eq!(g.launch_spans().len(), usize::from(span_log));
+    r
+}
+
+/// Runs the fixed 56-block launch on a pre-configured simulator, returning
+/// the produced results plus the simulator itself (so callers can inspect
+/// its telemetry span log or profile report).
+fn scaling_launch_on(mut g: Gpu) -> ((f64, Vec<u32>, Vec<u32>), Gpu) {
     const BLOCKS: usize = 56;
     const ROW: usize = 512;
-    let mut g = Gpu::new(DeviceConfig::tesla_c2075())
-        .with_host_threads(threads)
-        .with_racecheck(racecheck);
     let rows = GpuBuffer::<u32>::new(BLOCKS * ROW, 1);
     let hist = GpuBuffer::<u32>::new(64, 0);
     let r = g.launch(BLOCKS, |block, b| {
@@ -146,7 +169,7 @@ fn scaling_launch_mode(threads: usize, racecheck: bool) -> (f64, Vec<u32>, Vec<u
             lane.atomic_add_u32(&hist, (v as usize) % 64, 1);
         });
     });
-    (r.seconds, rows.to_vec(), hist.to_vec())
+    ((r.seconds, rows.to_vec(), hist.to_vec()), g)
 }
 
 fn bench_launch_scaling(c: &mut Criterion) {
@@ -331,10 +354,81 @@ fn bench_racecheck_overhead(c: &mut Criterion) {
     report.write_default();
 }
 
+/// Wall-clock cost of the telemetry span log on the same fixed launch.
+/// Three modes share one interleaved timing loop (so load spikes hit all
+/// of them equally): `baseline` is the plain launch with no telemetry
+/// knob touched, `disabled` sets the knob off explicitly (the
+/// one-predictable-branch path every production run takes), `enabled`
+/// records a span per launch. Telemetry never changes what the simulator
+/// computes, so the modes are first compared bit-for-bit and then timed.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let baseline = scaling_launch_mode(1, false);
+    for span_log in [false, true] {
+        let got = scaling_launch_telemetry(span_log);
+        assert_eq!(
+            got.0.to_bits(),
+            baseline.0.to_bits(),
+            "span_log={span_log}: seconds"
+        );
+        assert_eq!(got.1, baseline.1, "span_log={span_log}: rows");
+        assert_eq!(got.2, baseline.2, "span_log={span_log}: histogram");
+    }
+
+    type Mode = (&'static str, fn() -> (f64, Vec<u32>, Vec<u32>));
+    let modes: [Mode; 3] = [
+        ("baseline", || scaling_launch_mode(1, false)),
+        ("disabled", || scaling_launch_telemetry(false)),
+        ("enabled", || scaling_launch_telemetry(true)),
+    ];
+    let iters = 12;
+    let mut walls = [const { Vec::new() }; 3];
+    for (_, run) in &modes {
+        black_box(run()); // warm-up, untimed
+    }
+    for _ in 0..iters {
+        for (m, (_, run)) in modes.iter().enumerate() {
+            let t0 = Instant::now();
+            black_box(run());
+            walls[m].push(t0.elapsed().as_secs_f64());
+        }
+    }
+    let mean = |w: &[f64]| w.iter().sum::<f64>() / w.len() as f64;
+    let min = |w: &[f64]| w.iter().copied().fold(f64::INFINITY, f64::min);
+    let (base_mean, base_min) = (mean(&walls[0]), min(&walls[0]));
+
+    let mut report = HarnessReport::new("telemetry_overhead");
+    let mut min_ratios = [f64::NAN; 3];
+    for (m, (engine, run)) in modes.iter().enumerate() {
+        min_ratios[m] = min(&walls[m]) / base_min;
+        report.push_row("blocks56", engine, baseline.0, mean(&walls[m]));
+        report.annotate("overhead_vs_baseline", mean(&walls[m]) / base_mean);
+        report.annotate("min_overhead_vs_baseline", min_ratios[m]);
+        c.bench_function(&format!("telemetry_overhead_56blocks_{engine}"), |b| {
+            b.iter(|| black_box(run()))
+        });
+    }
+    // Budgets (noise-robust minimum-over-iterations ratios, as in
+    // `bench_racecheck_overhead`): the disabled path adds only one
+    // predictable branch per launch, the enabled path two clock reads and
+    // one Vec push.
+    assert!(
+        min_ratios[1] <= 1.10,
+        "disabled-telemetry overhead {:.3}x exceeds the 1.10x budget",
+        min_ratios[1]
+    );
+    assert!(
+        min_ratios[2] <= 3.0,
+        "enabled-telemetry overhead {:.3}x exceeds the 3x budget",
+        min_ratios[2]
+    );
+    report.write_default();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_sorting, bench_dedup, bench_mlq, bench_graph, bench_dynamic_update,
-        bench_launch_scaling, bench_batch_throughput, bench_racecheck_overhead
+        bench_launch_scaling, bench_batch_throughput, bench_racecheck_overhead,
+        bench_telemetry_overhead
 }
 criterion_main!(benches);

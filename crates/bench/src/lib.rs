@@ -12,6 +12,7 @@
 //! | `fig4_touched` | Figure 4 | updates touch a tiny fraction of the graph |
 //! | `ablation` | (ours) | design choices: dedup strategy, incremental-vs-pull Case 2 |
 //! | `fig_futile_work` | (ours) | profiler counters: node-parallel futile-edge ratio < edge-parallel on every graph |
+//! | `fig1_touched_fraction` | Figure 1 (ours, via telemetry) | median per-insertion touched fraction < 10% of |V| on every graph |
 //! | `micro` | (ours) | Criterion microbenches of the substrate |
 //!
 //! Scale defaults are reduced so the suite finishes on one CPU core;

@@ -18,6 +18,12 @@ use std::path::{Path, PathBuf};
 /// Default output file name, at the workspace root.
 pub const BENCH_JSON: &str = "BENCH_dynbc.json";
 
+/// Version of the `BENCH_dynbc.json` layout, stamped as a top-level
+/// `schema_version` entry on every write. Bump when the shape of harness
+/// entries changes incompatibly (rows gained `schema_version` handling and
+/// the telemetry sections at 2).
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// One measured row of a harness (a graph × engine cell, or a
 /// micro-bench configuration).
 #[derive(Debug, Clone)]
@@ -32,6 +38,28 @@ pub struct Row {
     pub wall_seconds: f64,
     /// Extra named scalars (speedups, counts, thread sweeps, …).
     pub extra: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// The shared row-emission helper: every section serializes its rows
+    /// through this one method, so escaping and number formatting live in
+    /// exactly one place.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"name\": {}, \"engine\": {}, \"model_seconds\": {}, \"wall_seconds\": {}",
+            json_string(&self.name),
+            json_string(&self.engine),
+            json_number(self.model_seconds),
+            json_number(self.wall_seconds)
+        );
+        for (k, v) in &self.extra {
+            let _ = write!(out, ", {}: {}", json_string(k), json_number(*v));
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// One harness's report: metadata plus measured rows.
@@ -76,6 +104,22 @@ impl HarnessReport {
         row.extra.push((key.to_string(), value));
     }
 
+    /// Adds a row with its extra scalars in one call — the common shape of
+    /// a harness section (`push_row` + n× `annotate`).
+    pub fn push_row_with(
+        &mut self,
+        name: &str,
+        engine: &str,
+        model_seconds: f64,
+        wall_seconds: f64,
+        extras: &[(&str, f64)],
+    ) {
+        self.push_row(name, engine, model_seconds, wall_seconds);
+        for &(k, v) in extras {
+            self.annotate(k, v);
+        }
+    }
+
     /// Serializes this harness's entry (the value under its name).
     fn value_json(&self) -> String {
         let mut out = String::from("{");
@@ -89,18 +133,7 @@ impl HarnessReport {
             if i > 0 {
                 out.push_str(", ");
             }
-            let _ = write!(
-                out,
-                "{{\"name\": {}, \"engine\": {}, \"model_seconds\": {}, \"wall_seconds\": {}",
-                json_string(&row.name),
-                json_string(&row.engine),
-                json_number(row.model_seconds),
-                json_number(row.wall_seconds)
-            );
-            for (k, v) in &row.extra {
-                let _ = write!(out, ", {}: {}", json_string(k), json_number(*v));
-            }
-            out.push('}');
+            out.push_str(&row.json());
         }
         out.push_str("]}");
         out
@@ -112,8 +145,12 @@ impl HarnessReport {
     pub fn write(&self, path: &Path) -> Option<PathBuf> {
         let existing = std::fs::read_to_string(path).unwrap_or_default();
         let mut entries = split_top_level(&existing);
-        entries.retain(|(k, _)| k != &self.harness);
+        entries.retain(|(k, _)| k != &self.harness && k != "schema_version");
         entries.push((self.harness.clone(), self.value_json()));
+        entries.insert(
+            0,
+            ("schema_version".to_string(), SCHEMA_VERSION.to_string()),
+        );
         let mut out = String::from("{\n");
         for (i, (k, v)) in entries.iter().enumerate() {
             let _ = write!(out, "  {}: {}", json_string(k), v);
@@ -340,10 +377,22 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let entries = split_top_level(&text);
         let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(keys, ["schema_version", "b", "a"]);
+        assert_eq!(entries[0].1, SCHEMA_VERSION.to_string());
         assert!(text.contains("\"model_seconds\": 3"), "{text}");
         assert!(!text.contains("\"model_seconds\": 1,"), "{text}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn push_row_with_matches_push_plus_annotate() {
+        let mut a = HarnessReport::new("x");
+        a.push_row("g", "e", 1.0, 0.5);
+        a.annotate("p50", 2.0);
+        a.annotate("p99", 3.0);
+        let mut b = HarnessReport::new("x");
+        b.push_row_with("g", "e", 1.0, 0.5, &[("p50", 2.0), ("p99", 3.0)]);
+        assert_eq!(a.rows[0].json(), b.rows[0].json());
     }
 
     #[test]

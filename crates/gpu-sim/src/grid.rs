@@ -51,6 +51,26 @@ pub struct LaunchReport {
     pub stats: KernelStats,
 }
 
+/// Lightweight record of one kernel launch for telemetry span logs: just
+/// the timeline placement, no counters. Collected when
+/// [`Gpu::set_span_log`] is on (far cheaper than full profiling) and
+/// drained by the engines into their lifecycle traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSpan {
+    /// Kernel name as passed to `launch_named`/`launch_profiled`.
+    pub kernel: String,
+    /// Ordinal of this launch on its `Gpu` (0-based).
+    pub index: u64,
+    /// Grid size in blocks.
+    pub num_blocks: usize,
+    /// Simulated clock when the launch started (seconds).
+    pub start_s: f64,
+    /// Simulated duration (makespan + launch overhead, seconds).
+    pub dur_s: f64,
+    /// Host wall-clock duration of the launch, seconds (nondeterministic).
+    pub wall_s: f64,
+}
+
 /// What one finished block hands back to the launch reducer: cycles,
 /// work counters, and the optional checked-mode / profiling shadow logs.
 type BlockOut = (
@@ -101,6 +121,20 @@ pub fn profile_from_env() -> bool {
     })
 }
 
+/// Environment variable enabling telemetry for every engine (and the
+/// launch span log of every [`Gpu`]) created afterwards. `1`/`true` (any
+/// case) enables; unset, empty, `0`, or `false` disables.
+pub const TELEMETRY_ENV: &str = "DYNBC_TELEMETRY";
+
+/// Resolves the telemetry default from [`TELEMETRY_ENV`] (what [`Gpu::new`]
+/// and the engines use; public so harnesses can report the setting).
+pub fn telemetry_from_env() -> bool {
+    std::env::var(TELEMETRY_ENV).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
+
 /// Resolves the effective host-thread count from [`HOST_THREADS_ENV`]
 /// (what [`Gpu::new`] uses; public so harnesses can report the setting).
 pub fn host_threads_from_env() -> usize {
@@ -129,6 +163,8 @@ pub struct Gpu {
     checked_launches: u64,
     profiling: bool,
     profile: ProfileReport,
+    span_log: bool,
+    launch_spans: Vec<LaunchSpan>,
 }
 
 impl Gpu {
@@ -148,6 +184,8 @@ impl Gpu {
             checked_launches: 0,
             profiling: profile_from_env(),
             profile: ProfileReport::new(),
+            span_log: telemetry_from_env(),
+            launch_spans: Vec::new(),
         }
     }
 
@@ -219,6 +257,41 @@ impl Gpu {
     /// (harnesses profile one phase, take the report, and continue).
     pub fn take_profile_report(&mut self) -> ProfileReport {
         std::mem::take(&mut self.profile)
+    }
+
+    /// Builder-style override of the launch span log (see
+    /// [`Gpu::set_span_log`]). Prefer this over mutating the environment
+    /// in tests: process-global env writes race between test threads.
+    pub fn with_span_log(mut self, on: bool) -> Self {
+        self.set_span_log(on);
+        self
+    }
+
+    /// Enables/disables the telemetry span log for subsequent launches.
+    /// When on, every launch appends a [`LaunchSpan`] (timeline placement
+    /// plus wall time — no counters, far cheaper than full profiling) for
+    /// the engines to drain into their lifecycle traces. Results are
+    /// unaffected; when off the hook is one predictable branch, no
+    /// allocation.
+    pub fn set_span_log(&mut self, on: bool) {
+        self.span_log = on;
+    }
+
+    /// True when launches append to the span log.
+    pub fn span_log(&self) -> bool {
+        self.span_log
+    }
+
+    /// Launch spans accumulated since the last drain (empty unless
+    /// [`Gpu::set_span_log`] is on).
+    pub fn launch_spans(&self) -> &[LaunchSpan] {
+        &self.launch_spans
+    }
+
+    /// Drains the accumulated launch spans (engines drain once per
+    /// pipeline stage to nest them under the stage's span).
+    pub fn take_launch_spans(&mut self) -> Vec<LaunchSpan> {
+        std::mem::take(&mut self.launch_spans)
     }
 
     /// Builder-style override of the host-thread count (clamped to ≥ 1).
@@ -351,6 +424,10 @@ impl Gpu {
             .host_threads
             .min(self.host_cores)
             .min(num_blocks.max(1));
+        // Wall timing only when something records it (profiling or the
+        // telemetry span log): the disabled path stays branch-predictable
+        // with no clock syscalls.
+        let wall_t = (profiled || self.span_log).then(std::time::Instant::now);
         let per_block: Vec<BlockOut> = if threads <= 1 || num_blocks < PARALLEL_MIN_BLOCKS {
             // Legacy sequential path: also the fallback that documents the
             // reduction order the parallel path must reproduce.
@@ -381,6 +458,17 @@ impl Gpu {
         }
         let makespan_cycles = schedule_makespan(&block_cycles, self.dev.num_sms);
         let seconds = self.dev.cycles_to_seconds(makespan_cycles) + self.dev.launch_overhead_s;
+        let wall_s = wall_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        if self.span_log {
+            self.launch_spans.push(LaunchSpan {
+                kernel: name.to_string(),
+                index: self.launches,
+                num_blocks,
+                start_s: self.elapsed_s,
+                dur_s: seconds,
+                wall_s,
+            });
+        }
         if profiled {
             // Per-block buckets arrive (and merge) in block-index order —
             // the same contract that makes `bc_delta` reduction exact —
@@ -401,6 +489,7 @@ impl Gpu {
                 stages,
                 total,
                 blocks,
+                wall_s,
             });
         }
         self.elapsed_s += seconds;

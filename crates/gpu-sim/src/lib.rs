@@ -60,8 +60,8 @@ pub use checker::{AccessKind, AtomicKind, CheckReport, DiagClass, Diagnostic, Se
 pub use cpu_model::OpCounter;
 pub use device::{CpuConfig, DeviceConfig};
 pub use grid::{
-    host_threads_from_env, profile_from_env, racecheck_from_env, Gpu, LaunchReport,
-    HOST_THREADS_ENV, PROFILE_ENV, RACECHECK_ENV,
+    host_threads_from_env, profile_from_env, racecheck_from_env, telemetry_from_env, Gpu,
+    LaunchReport, LaunchSpan, HOST_THREADS_ENV, PROFILE_ENV, RACECHECK_ENV, TELEMETRY_ENV,
 };
 pub use mem::{DeviceValue, GpuBuffer};
 pub use stats::KernelStats;

@@ -180,7 +180,13 @@ pub struct BlockSpan {
 }
 
 /// Profile of a single kernel launch.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `PartialEq` compares every field except [`wall_s`](Self::wall_s): wall
+/// time is a host measurement that varies run to run, while the rest of
+/// the profile is bit-deterministic, so reports stay comparable across
+/// runs and host-thread counts. For the same reason `wall_s` is excluded
+/// from [`ProfileReport::to_json`].
+#[derive(Debug, Clone)]
 pub struct LaunchProfile {
     /// Kernel name as passed to `Gpu::launch_named`/`launch_profiled`.
     pub kernel: String,
@@ -199,6 +205,23 @@ pub struct LaunchProfile {
     pub total: Counters,
     /// Per-block SM placement from the greedy scheduler (block-id order).
     pub blocks: Vec<BlockSpan>,
+    /// Host wall-clock duration of the launch, seconds. Measurement noise:
+    /// excluded from `PartialEq` and from the JSON report.
+    pub wall_s: f64,
+}
+
+impl PartialEq for LaunchProfile {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except wall_s, which is nondeterministic host timing.
+        self.kernel == other.kernel
+            && self.index == other.index
+            && self.num_blocks == other.num_blocks
+            && self.start_s == other.start_s
+            && self.seconds == other.seconds
+            && self.stages == other.stages
+            && self.total == other.total
+            && self.blocks == other.blocks
+    }
 }
 
 impl LaunchProfile {
@@ -258,6 +281,21 @@ impl ProfileReport {
             t.merge(&l.total);
         }
         t
+    }
+
+    /// Total host wall-clock seconds over all launches (nondeterministic;
+    /// not part of the JSON report).
+    pub fn wall_seconds(&self) -> f64 {
+        self.launches.iter().map(|l| l.wall_s).sum()
+    }
+
+    /// Total host wall-clock seconds over launches of one kernel.
+    pub fn kernel_wall_seconds(&self, kernel: &str) -> f64 {
+        self.launches
+            .iter()
+            .filter(|l| l.kernel == kernel)
+            .map(|l| l.wall_s)
+            .sum()
     }
 
     /// Aggregates counters by kernel name, in first-appearance order.
@@ -462,7 +500,26 @@ mod tests {
                 start_s: index as f64 * 0.5,
                 dur_s: 0.2,
             }],
+            wall_s: 0.0,
         }
+    }
+
+    #[test]
+    fn wall_time_is_excluded_from_equality_but_summed() {
+        let a = launch("k", 0, bucket(10, 5, 1));
+        let mut b = a.clone();
+        b.wall_s = 1.5;
+        assert_eq!(a, b, "wall_s must not affect profile equality");
+        let r = ProfileReport {
+            launches: vec![a, b],
+        };
+        assert_eq!(r.wall_seconds(), 1.5);
+        assert_eq!(r.kernel_wall_seconds("k"), 1.5);
+        assert_eq!(r.kernel_wall_seconds("other"), 0.0);
+        assert!(
+            !r.to_json().contains("wall_s"),
+            "wall time must stay out of the deterministic JSON report"
+        );
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Log-linear histogram with deterministic quantile queries.
+//!
+//! Buckets are derived from the IEEE-754 bit pattern of the sample: the
+//! exponent selects an octave and the top [`SUB_BITS`] mantissa bits select
+//! a linear sub-bucket inside it, so bucketing involves no floating-point
+//! arithmetic and two runs observing the same multiset of samples produce
+//! bit-identical histograms (and therefore bit-identical quantiles)
+//! regardless of host-thread count or observation interleaving.
+
+use std::fmt::Write as _;
+
+/// Mantissa bits used for linear sub-buckets: 2^3 = 8 sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per power-of-two octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Smallest tracked exponent: samples below `2^MIN_EXP` (~9.1e-13) land in
+/// the underflow bucket. Model-seconds for a single edge op sit far above.
+const MIN_EXP: i32 = -40;
+/// One past the largest tracked exponent: samples at or above `2^MAX_EXP`
+/// (~1.7e7) land in the overflow bucket.
+const MAX_EXP: i32 = 24;
+/// Total log-linear buckets.
+const BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUB;
+
+/// Where a finite sample landed.
+enum Slot {
+    /// Exactly zero or negative (clamped).
+    Zero,
+    /// Positive but below `2^MIN_EXP`.
+    Underflow,
+    /// Regular log-linear bucket.
+    Bucket(usize),
+    /// At or above `2^MAX_EXP`.
+    Overflow,
+}
+
+/// A fixed-shape log-linear histogram.
+///
+/// All histograms share the same bucket boundaries, so merging is a
+/// position-wise add and exposition output is comparable across runs.
+/// Quantiles return the *upper bound* of the bucket containing the ranked
+/// sample (conservative: never under-reports a latency percentile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Samples that were `<= 0.0` (zero bucket; upper bound 0).
+    zero: u64,
+    /// Positive samples below the first tracked octave.
+    underflow: u64,
+    /// Log-linear bucket counts, ascending by upper bound.
+    buckets: Vec<u64>,
+    /// Samples at or above the last tracked octave.
+    overflow: u64,
+    /// Total samples observed (including zero/underflow/overflow).
+    count: u64,
+    /// Sum of all observed sample values.
+    sum: f64,
+    /// Smallest observed sample (`+inf` when empty).
+    min: f64,
+    /// Largest observed sample (`-inf` when empty).
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            zero: 0,
+            underflow: 0,
+            buckets: vec![0; BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Classify a finite sample. Caller has excluded NaN.
+    fn slot(v: f64) -> Slot {
+        if v <= 0.0 {
+            return Slot::Zero;
+        }
+        if v.is_infinite() {
+            return Slot::Overflow;
+        }
+        let bits = v.to_bits();
+        let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+        if raw_exp == 0 {
+            // Subnormal: far below MIN_EXP.
+            return Slot::Underflow;
+        }
+        let e = raw_exp - 1023;
+        if e < MIN_EXP {
+            return Slot::Underflow;
+        }
+        if e >= MAX_EXP {
+            return Slot::Overflow;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        Slot::Bucket((e - MIN_EXP) as usize * SUB + sub)
+    }
+
+    /// Upper bound of log-linear bucket `idx`.
+    fn upper(idx: usize) -> f64 {
+        let e = MIN_EXP + (idx / SUB) as i32;
+        let sub = (idx % SUB) as f64;
+        f64::exp2(e as f64) * (1.0 + (sub + 1.0) / SUB as f64)
+    }
+
+    /// Record one sample. NaN samples are ignored; negative samples count
+    /// into the zero bucket (latencies and fractions are never negative).
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        match Self::slot(v) {
+            Slot::Zero => self.zero += 1,
+            Slot::Underflow => self.underflow += 1,
+            Slot::Bucket(i) => self.buckets[i] += 1,
+            Slot::Overflow => self.overflow += 1,
+        }
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Add another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.zero += other.zero;
+        self.underflow += other.underflow;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observed sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Deterministic quantile: the upper bound of the bucket holding the
+    /// sample of rank `ceil(q * count)` (1-based). Returns 0 when empty.
+    /// `q` is clamped to `[0, 1]`; `quantile(1.0)` returns the recorded
+    /// maximum rather than a bucket bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max();
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = self.zero;
+        if rank <= cum {
+            return 0.0;
+        }
+        cum += self.underflow;
+        if rank <= cum {
+            // Everything below the tracked range reports the range floor.
+            return f64::exp2(MIN_EXP as f64);
+        }
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if rank <= cum {
+                return Self::upper(idx);
+            }
+        }
+        self.max()
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Append Prometheus `_bucket`/`_sum`/`_count` sample lines for this
+    /// histogram under metric family `name`. Only non-empty buckets emit a
+    /// line (cumulative counts stay correct because `le` is cumulative);
+    /// the `+Inf` bucket is always present.
+    pub fn prometheus_lines(&self, name: &str, out: &mut String) {
+        let mut cum = 0u64;
+        if self.zero > 0 {
+            cum += self.zero;
+            let _ = writeln!(out, "{name}_bucket{{le=\"0\"}} {cum}");
+        }
+        if self.underflow > 0 {
+            cum += self.underflow;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cum}",
+                f64::exp2(MIN_EXP as f64)
+            );
+        }
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", Self::upper(idx));
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_cover_it() {
+        let mut h = Histogram::new();
+        h.observe(0.125);
+        assert_eq!(h.count(), 1);
+        // Every quantile of a one-sample histogram is that sample's bucket
+        // (p100 is the exact max).
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= 0.125, "upper bound covers the sample: {p50}");
+        assert!(p50 <= 0.125 * (1.0 + 1.0 / 8.0), "within one sub-bucket");
+        assert_eq!(h.quantile(1.0), 0.125);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_log_linear() {
+        // 1.0 has exponent 0, mantissa 0 → first sub-bucket of its octave:
+        // upper bound 1 + 1/8.
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        assert_eq!(h.quantile(0.5), 1.0 + 1.0 / 8.0);
+        // 1.5 = 1 + 4/8 → sub-bucket 4, upper bound 1 + 5/8.
+        let mut h = Histogram::new();
+        h.observe(1.5);
+        assert_eq!(h.quantile(0.5), 1.0 + 5.0 / 8.0);
+        // A value just under an octave boundary stays in the top sub-bucket.
+        let mut h = Histogram::new();
+        h.observe(1.999);
+        assert_eq!(h.quantile(0.5), 2.0);
+        // The octave boundary itself starts the next octave.
+        let mut h = Histogram::new();
+        h.observe(2.0);
+        assert_eq!(h.quantile(0.5), 2.0 * (1.0 + 1.0 / 8.0));
+    }
+
+    #[test]
+    fn exact_percentiles_on_known_population() {
+        // 100 samples: 1.0 × 50, 2.0 × 40, 4.0 × 10. Ranks: p50 → rank 50
+        // (in the 1.0 bucket), p90 → rank 90 (2.0 bucket), p99 → rank 99
+        // (4.0 bucket).
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.observe(1.0);
+        }
+        for _ in 0..40 {
+            h.observe(2.0);
+        }
+        for _ in 0..10 {
+            h.observe(4.0);
+        }
+        assert_eq!(h.p50(), 1.0 + 1.0 / 8.0);
+        assert_eq!(h.p90(), 2.0 * (1.0 + 1.0 / 8.0));
+        assert_eq!(h.p99(), 4.0 * (1.0 + 1.0 / 8.0));
+        assert_eq!(h.quantile(0.0), 1.0 + 1.0 / 8.0); // rank clamps to 1
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 50.0 + 80.0 + 40.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn zero_underflow_overflow_are_tracked() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-3.0); // clamped into the zero bucket
+        h.observe(1e-300); // far below 2^MIN_EXP
+        h.observe(1e30); // far above 2^MAX_EXP
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.25), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.75), f64::exp2(MIN_EXP as f64));
+        assert_eq!(h.quantile(1.0), 1e30);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let samples_a = [0.001, 0.5, 3.0, 7.5];
+        let samples_b = [0.002, 0.5, 100.0];
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut both = Histogram::new();
+        for &s in &samples_a {
+            ha.observe(s);
+            both.observe(s);
+        }
+        for &s in &samples_b {
+            hb.observe(s);
+            both.observe(s);
+        }
+        ha.merge(&hb);
+        assert_eq!(ha, both);
+    }
+
+    #[test]
+    fn prometheus_lines_are_cumulative_and_end_with_inf() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        h.observe(1.0);
+        h.observe(2.0);
+        let mut out = String::new();
+        h.prometheus_lines("m", &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "m_bucket{le=\"1.125\"} 2");
+        assert_eq!(lines[1], "m_bucket{le=\"2.25\"} 3");
+        assert_eq!(lines[2], "m_bucket{le=\"+Inf\"} 3");
+        assert_eq!(lines[3], "m_sum 4");
+        assert_eq!(lines[4], "m_count 3");
+    }
+}

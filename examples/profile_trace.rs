@@ -8,7 +8,14 @@
 //!   <https://ui.perfetto.dev> (or `chrome://tracing`) to see every
 //!   kernel launch and per-SM block placement on the simulated timeline;
 //! * `profile_report.json` — the full structured `ProfileReport`
-//!   (per-launch, per-stage counters) for scripted analysis.
+//!   (per-launch, per-stage counters) for scripted analysis;
+//! * `unified_trace.json` — the merged telemetry + profiler Perfetto
+//!   trace: one process for the host update pipeline
+//!   (`update → validate → plan → stage → launch → commit` spans) and one
+//!   per device (kernel launches and per-SM block placement);
+//! * `metrics.prom` — Prometheus text exposition of the update-lifecycle
+//!   metrics registry;
+//! * `events.jsonl` — the JSON Lines per-update event log.
 //!
 //! ```sh
 //! cargo run --release --example profile_trace [-- OUT_DIR]
@@ -35,6 +42,7 @@ fn main() {
     let device = DeviceConfig::tesla_c2075();
     let mut engine = GpuDynamicBc::new(&graph, &sources, device, Parallelism::Node);
     engine.set_profiling(true);
+    engine.set_telemetry(true);
 
     println!(
         "profiling {} mixed edge ops on n={n} m={} (k={}, {}; node-parallel)\n",
@@ -90,13 +98,42 @@ fn main() {
         );
     }
 
+    let telemetry = engine
+        .take_telemetry_report()
+        .expect("telemetry was enabled");
+    let latency = telemetry
+        .histogram(dynbc::telemetry::UPDATE_LATENCY_MODEL)
+        .expect("latency histogram populated");
+    println!(
+        "update latency (model clock): p50 {:.3e}s, p90 {:.3e}s, p99 {:.3e}s",
+        latency.p50(),
+        latency.p90(),
+        latency.p99()
+    );
+
     let trace_path = out_dir.join("profile_trace.json");
     let report_path = out_dir.join("profile_report.json");
+    let unified_path = out_dir.join("unified_trace.json");
+    let metrics_path = out_dir.join("metrics.prom");
+    let events_path = out_dir.join("events.jsonl");
     std::fs::write(&trace_path, report.chrome_trace_json()).expect("write trace");
     std::fs::write(&report_path, report.to_json()).expect("write report");
+    std::fs::write(
+        &unified_path,
+        telemetry.chrome_trace_json(&[(format!("GPU 0 ({})", device.name), &report)]),
+    )
+    .expect("write unified trace");
+    std::fs::write(&metrics_path, telemetry.prometheus()).expect("write metrics");
+    std::fs::write(&events_path, telemetry.events_jsonl()).expect("write events");
     println!(
         "\nwrote {} — load it at https://ui.perfetto.dev or chrome://tracing",
         trace_path.display()
     );
     println!("wrote {} (structured counters)", report_path.display());
+    println!(
+        "wrote {} (host pipeline + device launches, one Perfetto process each)",
+        unified_path.display()
+    );
+    println!("wrote {} (Prometheus exposition)", metrics_path.display());
+    println!("wrote {} (per-update event log)", events_path.display());
 }

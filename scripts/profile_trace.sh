@@ -4,9 +4,13 @@
 # Usage: scripts/profile_trace.sh [OUT_DIR]
 #
 # Writes OUT_DIR/profile_trace.json (Chrome trace-event format — open at
-# https://ui.perfetto.dev or chrome://tracing) and
+# https://ui.perfetto.dev or chrome://tracing),
 # OUT_DIR/profile_report.json (the structured per-kernel/per-stage
-# counter report). OUT_DIR defaults to the current directory.
+# counter report), OUT_DIR/unified_trace.json (the merged telemetry +
+# profiler trace: one Perfetto process for the host update pipeline, one
+# per device), OUT_DIR/metrics.prom (Prometheus text exposition), and
+# OUT_DIR/events.jsonl (per-update event log). OUT_DIR defaults to the
+# current directory.
 set -eu
 
 cd "$(dirname "$0")/.."

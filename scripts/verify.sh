@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 echo "== formatting gate (first-party crates; vendor/ is exempt) =="
 cargo fmt --check \
     -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
-    -p dynbc-gpusim -p dynbc-prof
+    -p dynbc-gpusim -p dynbc-prof -p dynbc-telemetry
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -31,12 +31,13 @@ DYNBC_HOST_THREADS=4 cargo test -q --test determinism_host_threads
 echo "== racecheck tier: checked execution of every BC kernel =="
 DYNBC_RACECHECK=1 cargo test -q racecheck
 
-echo "== profiler smoke test: DYNBC_PROFILE=1 end-to-end =="
-# Profile one short update stream through the engine and validate both
-# sinks carry the expected markers (per-kernel counters + trace events).
+echo "== profiler + telemetry smoke test: DYNBC_PROFILE=1 DYNBC_TELEMETRY=1 end-to-end =="
+# Profile one short update stream through the engine and validate every
+# sink carries the expected markers (per-kernel counters, trace events,
+# Prometheus exposition, unified trace, per-update event log).
 PROF_DIR="$(mktemp -d)"
-DYNBC_PROFILE=1 cargo run --release --example profile_trace -- "$PROF_DIR" \
-    > /dev/null
+DYNBC_PROFILE=1 DYNBC_TELEMETRY=1 \
+    cargo run --release --example profile_trace -- "$PROF_DIR" > /dev/null
 for marker in '"edges_scanned"' '"kernels"' '"batch::fused::node#0"'; do
     grep -q "$marker" "$PROF_DIR/profile_report.json" || {
         echo "profile_report.json missing $marker"; exit 1; }
@@ -45,6 +46,28 @@ for marker in '"traceEvents"' '"displayTimeUnit"' '"cat": "block"'; do
     grep -q "$marker" "$PROF_DIR/profile_trace.json" || {
         echo "profile_trace.json missing $marker"; exit 1; }
 done
+# Prometheus exposition parses: every required family present with HELP
+# and TYPE lines, histograms terminated by the +Inf bucket, and no
+# family declared twice.
+for family in dynbc_batches_total dynbc_ops_total dynbc_cases_total \
+    dynbc_update_latency_model_seconds dynbc_update_latency_wall_seconds \
+    dynbc_batch_size_ops dynbc_touched_fraction; do
+    grep -q "^# HELP $family " "$PROF_DIR/metrics.prom" || {
+        echo "metrics.prom missing HELP for $family"; exit 1; }
+    grep -q "^# TYPE $family " "$PROF_DIR/metrics.prom" || {
+        echo "metrics.prom missing TYPE for $family"; exit 1; }
+done
+grep -q 'le="+Inf"' "$PROF_DIR/metrics.prom" || {
+    echo "metrics.prom missing +Inf histogram bucket"; exit 1; }
+DUP_FAMILIES="$(grep '^# TYPE' "$PROF_DIR/metrics.prom" | sort | uniq -d)"
+[ -z "$DUP_FAMILIES" ] || {
+    echo "metrics.prom declares families twice:"; echo "$DUP_FAMILIES"; exit 1; }
+for marker in '"host pipeline"' '"cat": "pipeline"' '"cat": "block"'; do
+    grep -q "$marker" "$PROF_DIR/unified_trace.json" || {
+        echo "unified_trace.json missing $marker"; exit 1; }
+done
+grep -q '"event": "update"' "$PROF_DIR/events.jsonl" || {
+    echo "events.jsonl missing update events"; exit 1; }
 rm -rf "$PROF_DIR"
 
 echo "== warnings-clean workspace build =="
@@ -56,7 +79,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustdoc-warning-clean first-party crates =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
-    -p dynbc-gpusim -p dynbc-prof
+    -p dynbc-gpusim -p dynbc-prof -p dynbc-telemetry
 
 echo "== gpu-sim unsafe audit: every unsafe needs a SAFETY comment =="
 # The simulator denies unsafe_code outright; this lint keeps the carved

@@ -47,6 +47,7 @@
 //! | [`gpusim`] | `dynbc-gpusim` | the SIMT execution/cost model (warps, coalescing, atomics, SM scheduling) |
 //! | [`bc`] | `dynbc-bc` | Brandes, the Case 1/2/3 taxonomy, dynamic CPU engine, GPU kernels and engines |
 //! | [`ds`] | `dynbc-ds` | bitonic sort, prefix scans, duplicate removal, multi-level queues |
+//! | [`telemetry`] | `dynbc-telemetry` | update-lifecycle metrics registry, span tracing, Prometheus/JSONL/Perfetto exporters |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +56,7 @@ pub use dynbc_bc as bc;
 pub use dynbc_ds as ds;
 pub use dynbc_gpusim as gpusim;
 pub use dynbc_graph as graph;
+pub use dynbc_telemetry as telemetry;
 
 /// The one-import surface for applications.
 pub mod prelude {
@@ -70,4 +72,5 @@ pub mod prelude {
     pub use dynbc_bc::state::BcState;
     pub use dynbc_gpusim::{CpuConfig, DeviceConfig};
     pub use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
+    pub use dynbc_telemetry::{Telemetry, UpdateObservation};
 }
