@@ -63,22 +63,37 @@ pub struct GraphBuffers {
 impl GraphBuffers {
     /// Uploads a CSR snapshot.
     pub fn from_csr(csr: &Csr) -> Self {
-        let n = csr.vertex_count();
-        let offsets: Vec<u32> = csr.offsets().iter().map(|&o| o as u32).collect();
-        let adj: Vec<u32> = csr.adjacency().to_vec();
+        let mut buffers = Self::from_csr_node(csr);
+        let adj = csr.adjacency();
         let mut tails = Vec::with_capacity(adj.len());
         let mut heads = Vec::with_capacity(adj.len());
         for (v, w) in csr.arcs() {
             tails.push(v);
             heads.push(w);
         }
+        buffers.arc_tails = GpuBuffer::from_vec(tails).named("arc_tails");
+        buffers.arc_heads = GpuBuffer::from_vec(heads).named("arc_heads");
+        buffers
+    }
+
+    /// Uploads a CSR snapshot without materialising the flat arc list.
+    ///
+    /// Only the edge-parallel kernels index `arc_tails` / `arc_heads`
+    /// (one thread per arc); everything node-parallel reads the `R`/`C`
+    /// pair alone. The engines snapshot the graph once per committed op,
+    /// so a node-parallel update stream saves the `2m`-element arc
+    /// staging on every op.
+    pub fn from_csr_node(csr: &Csr) -> Self {
+        let n = csr.vertex_count();
+        let offsets: Vec<u32> = csr.offsets().iter().map(|&o| o as u32).collect();
+        let adj: Vec<u32> = csr.adjacency().to_vec();
         Self {
             n,
             num_arcs: adj.len(),
             row_offsets: GpuBuffer::from_vec(offsets).named("row_offsets"),
             adj: GpuBuffer::from_vec(adj).named("adj"),
-            arc_tails: GpuBuffer::from_vec(tails).named("arc_tails"),
-            arc_heads: GpuBuffer::from_vec(heads).named("arc_heads"),
+            arc_tails: GpuBuffer::from_vec(Vec::new()).named("arc_tails"),
+            arc_heads: GpuBuffer::from_vec(Vec::new()).named("arc_heads"),
         }
     }
 }
@@ -348,6 +363,19 @@ mod tests {
         for (t, h) in tails.iter().zip(&heads) {
             assert!(csr.has_edge(*t, *h));
         }
+    }
+
+    #[test]
+    fn node_snapshot_matches_full_snapshot_minus_arcs() {
+        let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let csr = Csr::from_edge_list(&el);
+        let full = GraphBuffers::from_csr(&csr);
+        let node = GraphBuffers::from_csr_node(&csr);
+        assert_eq!(node.n, full.n);
+        assert_eq!(node.num_arcs, full.num_arcs);
+        assert_eq!(node.row_offsets.to_vec(), full.row_offsets.to_vec());
+        assert_eq!(node.adj.to_vec(), full.adj.to_vec());
+        assert!(node.arc_tails.is_empty() && node.arc_heads.is_empty());
     }
 
     #[test]

@@ -35,8 +35,9 @@
 //! and every `f64` of state are bit-identical for any thread count.
 
 use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers};
-use super::exec::{self, ExecConfig};
+use super::exec::{self, Backend, ExecConfig};
 use crate::brandes::brandes_state;
+use crate::cases::InsertionCase;
 use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult};
 use crate::obs::batch_observation;
 use crate::plan::{self, PlannedOp};
@@ -78,6 +79,56 @@ pub enum DedupStrategy {
     AtomicCas,
 }
 
+/// The hybrid router's online touched-set estimator: an EWMA of observed
+/// touched counts keyed on `(is_insert, case, ⌊log₂ d[u_high]⌋)` — the
+/// case taxonomy plus the root distance bucket, the two stage-start
+/// facts that best predict an update's footprint (the paper's Figure 1
+/// observation: the median Case 2 scenario touches <10% of |V|).
+///
+/// Purely model state — predictions and observations happen in
+/// deterministic stage order on deterministic inputs, so hybrid routing
+/// is reproducible for any host-thread count.
+#[derive(Debug, Default)]
+struct TouchedEstimator {
+    est: std::collections::HashMap<(bool, u8, u8), f64>,
+}
+
+impl TouchedEstimator {
+    /// Estimator key for one work item, from stage-start distances.
+    fn key(item: &exec::WorkItem, d_rows: &[&[u32]]) -> (bool, u8, u8) {
+        let case = match item.case {
+            InsertionCase::Same => 0u8,
+            InsertionCase::Adjacent => 1,
+            InsertionCase::Distant => 2,
+        };
+        let d = d_rows[item.row][item.u_high as usize];
+        let bucket = if d == u32::MAX {
+            33
+        } else {
+            (32 - d.leading_zeros()) as u8
+        };
+        (item.is_insert, case, bucket)
+    }
+
+    /// Predicted touched count for `key`; unseen keys fall back to the
+    /// Figure-1 prior (a tenth of the graph) except Distant items, whose
+    /// relocation/fallback machinery is assumed to touch everything.
+    fn predict(&self, key: (bool, u8, u8), n: usize) -> f64 {
+        self.est
+            .get(&key)
+            .copied()
+            .unwrap_or(if key.1 == 2 { n as f64 } else { 0.1 * n as f64 })
+    }
+
+    /// Folds an observed touched count into the estimate (EWMA, α = ½).
+    fn observe(&mut self, key: (bool, u8, u8), touched: usize) {
+        self.est
+            .entry(key)
+            .and_modify(|e| *e = 0.5 * *e + 0.5 * touched as f64)
+            .or_insert(touched as f64);
+    }
+}
+
 /// Dynamic betweenness centrality on the simulated GPU.
 #[derive(Debug)]
 pub struct GpuDynamicBc {
@@ -90,6 +141,24 @@ pub struct GpuDynamicBc {
     num_blocks: usize,
     dedup: DedupStrategy,
     force_general: bool,
+    backend: Backend,
+    router: TouchedEstimator,
+    router_cpu_stages: u64,
+    router_native_stages: u64,
+    /// True when a simulator-executed stage may have left non-untouched
+    /// `t` flags behind. The native kernels run *sparsely* — they assume
+    /// every `t` row is all-[`T_UNTOUCHED`] on entry and restore that
+    /// invariant on exit — while the simulator's full-row init kernel
+    /// neither needs nor maintains it, so switching backends mid-stream
+    /// requires one clearing pass.
+    ///
+    /// [`T_UNTOUCHED`]: crate::gpu::buffers::T_UNTOUCHED
+    scratch_t_dirty: bool,
+    /// CSR mirror of `graph`, kept current by splicing each committed op
+    /// in place ([`Csr::insert_edge`] / [`Csr::remove_edge`]) — the same
+    /// bytes `graph.to_csr()` would produce, without paying a full
+    /// degree/scatter/sort rebuild on every op's snapshot.
+    csr_cache: Csr,
     telemetry: Option<Box<Telemetry>>,
 }
 
@@ -120,8 +189,54 @@ impl GpuDynamicBc {
             num_blocks,
             dedup: DedupStrategy::default(),
             force_general: false,
+            // Only the node-parallel kernels have native translations;
+            // edge-parallel engines ignore the knob and stay on the
+            // simulator.
+            backend: if par == Parallelism::Node {
+                exec::backend_from_env()
+            } else {
+                Backend::Simulator
+            },
+            router: TouchedEstimator::default(),
+            router_cpu_stages: 0,
+            router_native_stages: 0,
+            scratch_t_dirty: false,
+            csr_cache: csr,
             telemetry: telemetry_from_env().then(|| Box::new(Telemetry::new())),
         }
+    }
+
+    /// Selects the execution backend (builder form). Overrides
+    /// `DYNBC_BACKEND`. Edge-parallel engines have no native kernels and
+    /// silently keep the simulator. All backends produce bit-identical
+    /// results; they trade the cost model and profiler (simulator) for
+    /// wall-clock speed (native/hybrid).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.set_backend(backend);
+        self
+    }
+
+    /// Selects the execution backend. Edge-parallel engines keep the
+    /// simulator regardless.
+    pub fn set_backend(&mut self, backend: Backend) {
+        if self.par == Parallelism::Node {
+            self.backend = backend;
+        }
+    }
+
+    /// The execution backend batches run on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Stages the hybrid router sent down the sequential CPU path.
+    pub fn router_cpu_stages(&self) -> u64 {
+        self.router_cpu_stages
+    }
+
+    /// Stages the hybrid router sent to the parallel native backend.
+    pub fn router_native_stages(&self) -> u64 {
+        self.router_native_stages
     }
 
     /// Selects the frontier duplicate-removal strategy (ablation knob).
@@ -343,13 +458,40 @@ impl GpuDynamicBc {
             // the fused launch reads exactly the adjacency the sequential
             // path would.
             let plan_t = tel_on.then(std::time::Instant::now);
-            let d_rows = self.download_d_rows();
+            // Stage-start distance rows, borrowed straight from the
+            // device buffer (classification only reads; nothing writes
+            // `d` until the stage executes). The borrow is a field-level
+            // split from `self.graph` / `self.scr`, so no k×n copy.
+            let d_flat = self.st.d.host();
+            let n = self.st.n;
+            let d_rows: Vec<&[u32]> = (0..self.st.k)
+                .map(|i| &d_flat[i * n..(i + 1) * n])
+                .collect();
             let stage_base = next;
             let mut stage: Vec<PlannedOp> = Vec::new();
-            let mut gbufs: Vec<GraphBuffers> = Vec::new();
+            let mut gbufs: Vec<Option<GraphBuffers>> = Vec::new();
             while next < batch.len() {
                 let planned = plan::plan_op(&mut self.graph, &d_rows, batch[next]);
-                gbufs.push(GraphBuffers::from_csr(&self.graph.to_csr()));
+                // Mirror the committed op into the CSR cache: a memcpy
+                // splice instead of the O(V + E) rebuild a from-scratch
+                // snapshot would cost on every op.
+                match planned.op {
+                    EdgeOp::Insert(u, v) => self.csr_cache.insert_edge(u, v),
+                    EdgeOp::Remove(u, v) => self.csr_cache.remove_edge(u, v),
+                }
+                // Case-1-only ops launch nothing and no later item of the
+                // stage reads their snapshot (each item reads its *own*
+                // op's adjacency): skip staging a snapshot entirely.
+                // Node-parallel kernels never index the flat arc list, so
+                // their snapshots skip the 2m-element arc staging too.
+                let has_items = planned.items().next().is_some();
+                gbufs.push(has_items.then(|| {
+                    if self.par == Parallelism::Node {
+                        GraphBuffers::from_csr_node(&self.csr_cache)
+                    } else {
+                        GraphBuffers::from_csr(&self.csr_cache)
+                    }
+                }));
                 next += 1;
                 let cut = planned.cuts_stage();
                 stage.push(planned);
@@ -364,33 +506,104 @@ impl GpuDynamicBc {
             let stage_clock0 = self.gpu.elapsed_seconds();
             let exec_t = tel_on.then(std::time::Instant::now);
 
-            let max_arcs = gbufs.iter().map(|g| g.num_arcs).max().unwrap_or(0);
+            let max_arcs = gbufs
+                .iter()
+                .flatten()
+                .map(|g| g.num_arcs)
+                .max()
+                .unwrap_or(0);
             self.scr.ensure_arc_capacity(max_arcs + 4096);
             self.scr.ensure_bc_rows(stage.len() * self.num_blocks);
 
-            exec::charge_classification(
-                &mut self.gpu,
-                &self.st,
-                &self.case_buf,
-                &stage,
-                &gbufs,
-                stage_idx,
-            );
             let cfg = ExecConfig {
                 par: self.par,
                 dedup: self.dedup,
                 force_general: self.force_general,
                 num_blocks: self.num_blocks,
             };
-            let touched = exec::run_stage(
-                &mut self.gpu,
-                cfg,
-                &self.st,
-                &self.scr,
-                &stage,
-                &gbufs,
-                stage_idx,
-            );
+            // Backend dispatch. The simulator charges the cost model and
+            // feeds the profiler; the native paths trade both for wall
+            // clock. `routed` is Some(cpu) when the hybrid router made a
+            // decision for this stage.
+            //
+            // The native kernels run sparsely: they rely on every `t` row
+            // being all-untouched on entry (and restore that on exit).
+            // The simulator's full-row init doesn't maintain it, so one
+            // clearing pass is owed after any simulator-executed stage.
+            if self.backend != Backend::Simulator && self.scratch_t_dirty {
+                self.scr.t.fill(crate::gpu::buffers::T_UNTOUCHED);
+                self.scratch_t_dirty = false;
+            }
+            let route_t = std::time::Instant::now();
+            let (touched, routed) = match self.backend {
+                Backend::Simulator => {
+                    exec::charge_classification(
+                        &mut self.gpu,
+                        &self.st,
+                        &self.case_buf,
+                        &stage,
+                        &gbufs,
+                        stage_idx,
+                    );
+                    let touched = exec::run_stage(
+                        &mut self.gpu,
+                        cfg,
+                        &self.st,
+                        &self.scr,
+                        &stage,
+                        &gbufs,
+                        stage_idx,
+                    );
+                    self.scratch_t_dirty = true;
+                    (touched, None)
+                }
+                Backend::Native => {
+                    let workers = self.gpu.host_threads();
+                    let touched =
+                        crate::native::run_stage(cfg, &self.st, &self.scr, &stage, &gbufs, workers);
+                    (touched, None)
+                }
+                Backend::Hybrid => {
+                    let items = exec::stage_items(&stage);
+                    if items.is_empty() {
+                        (Vec::new(), None)
+                    } else {
+                        // Predict and key on *stage-start* distances —
+                        // both must happen before execution updates `d`
+                        // (and before the `d_rows` borrow goes stale).
+                        let keys: std::collections::HashMap<(usize, usize), (bool, u8, u8)> = items
+                            .iter()
+                            .map(|it| ((it.op_slot, it.row), TouchedEstimator::key(it, &d_rows)))
+                            .collect();
+                        let predicted: f64 = items
+                            .iter()
+                            .map(|it| self.router.predict(keys[&(it.op_slot, it.row)], self.st.n))
+                            .sum();
+                        let threshold = (self.st.n as f64 / 4.0).max(1024.0);
+                        let cpu = predicted <= threshold;
+                        let workers = if cpu { 1 } else { self.gpu.host_threads() };
+                        let touched = crate::native::run_stage(
+                            cfg, &self.st, &self.scr, &stage, &gbufs, workers,
+                        );
+                        // Feed the observed footprints back into the
+                        // estimator, in deterministic item order.
+                        for &(op_slot, row, t) in &touched {
+                            self.router.observe(keys[&(op_slot, row)], t);
+                        }
+                        if cpu {
+                            self.router_cpu_stages += 1;
+                        } else {
+                            self.router_native_stages += 1;
+                        }
+                        (touched, Some(cpu))
+                    }
+                }
+            };
+            if tel_on {
+                if let (Some(cpu), Some(tel)) = (routed, self.telemetry.as_deref_mut()) {
+                    tel.record_router_stage(cpu, route_t.elapsed().as_secs_f64());
+                }
+            }
             let stage_clock1 = self.gpu.elapsed_seconds();
             let exec_wall = exec_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
             let commit_t = tel_on.then(std::time::Instant::now);
@@ -479,15 +692,6 @@ impl GpuDynamicBc {
             model_seconds,
             wall_seconds,
         }
-    }
-
-    /// Stages the device's per-source distance rows back to the host for
-    /// plan-layer classification (untimed staging, like every download).
-    fn download_d_rows(&self) -> Vec<Vec<u32>> {
-        let flat = self.st.d.host();
-        (0..self.st.k)
-            .map(|i| flat[i * self.st.n..(i + 1) * self.st.n].to_vec())
-            .collect()
     }
 }
 
@@ -640,7 +844,8 @@ mod tests {
     #[test]
     fn simulated_clock_advances_per_update() {
         let el = EdgeList::from_pairs(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let mut eng = engine(&el, &[0], Parallelism::Node);
+        // Only the simulator charges the model clock.
+        let mut eng = engine(&el, &[0], Parallelism::Node).with_backend(Backend::Simulator);
         let r = eng.insert_edge(0, 3);
         assert!(r.model_seconds > 0.0);
         assert!(eng.elapsed_seconds() >= r.model_seconds);
@@ -828,9 +1033,12 @@ mod tests {
         }
         assert!(ops.len() >= 4, "graph too sparse in same-level pairs");
         let device = DeviceConfig::tesla_c2075();
-        let mut batched = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node);
+        // Amortization is a model-clock claim: pin the simulator backend.
+        let mut batched = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node)
+            .with_backend(Backend::Simulator);
         let br = batched.apply_batch(&ops);
-        let mut sequential = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node);
+        let mut sequential = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node)
+            .with_backend(Backend::Simulator);
         let mut seq_seconds = 0.0;
         for &op in &ops {
             seq_seconds += sequential.apply_batch(&[op]).model_seconds;

@@ -34,9 +34,73 @@ use crate::plan::PlannedOp;
 use dynbc_gpusim::{BlockCtx, Gpu, GpuBuffer};
 use std::sync::Mutex;
 
+/// Which engine executes a stage's fused work items.
+///
+/// The SIMT interpreter is the measurement instrument: it charges the
+/// cost model, feeds the profiler, and serves as the bit-exactness
+/// oracle. The native backend (the crate-private `native` module) runs the same
+/// node-parallel kernels as plain Rust loops over the same buffers —
+/// no lockstep interpretation, no cost-model bookkeeping — for serving
+/// update streams at host speed. `Hybrid` routes each stage between a
+/// sequential CPU pass and the parallel native backend based on an
+/// online touched-set estimate.
+///
+/// All three backends produce bit-identical BC scores, case tallies,
+/// and commit order for any `DYNBC_HOST_THREADS`: cross-block writes
+/// are disjoint by construction and the BC delta slab is drained in the
+/// same sequential commit order everywhere. Only the node-parallel
+/// decomposition has native kernels; edge-parallel engines always run
+/// on the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The SIMT interpreter — cost model, profiler, oracle (default).
+    #[default]
+    Simulator,
+    /// Direct execution: scoped host threads over blocks, plain loops.
+    Native,
+    /// Per-stage adaptive routing between a sequential CPU pass and the
+    /// parallel native backend.
+    Hybrid,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Simulator => "sim",
+            Backend::Native => "native",
+            Backend::Hybrid => "hybrid",
+        })
+    }
+}
+
+/// Environment variable selecting the execution backend
+/// (`sim|native|hybrid`, read at engine construction).
+pub const BACKEND_ENV: &str = "DYNBC_BACKEND";
+
+/// Reads [`BACKEND_ENV`]: unset or empty selects the simulator; any
+/// other value must be one of `sim`, `simulator`, `native`, `hybrid`
+/// (case-insensitive).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a misspelled backend silently
+/// falling back to the 100–400× slower interpreter would be a far worse
+/// failure mode.
+pub fn backend_from_env() -> Backend {
+    match std::env::var(BACKEND_ENV) {
+        Err(_) => Backend::Simulator,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "sim" | "simulator" => Backend::Simulator,
+            "native" => Backend::Native,
+            "hybrid" => Backend::Hybrid,
+            other => panic!("{BACKEND_ENV}={other}: expected sim, native, or hybrid"),
+        },
+    }
+}
+
 /// Fixed per-engine dispatch knobs the stage launches need.
 #[derive(Debug, Clone, Copy)]
-pub(super) struct ExecConfig {
+pub(crate) struct ExecConfig {
     /// Fine-grained decomposition.
     pub par: Parallelism,
     /// Frontier duplicate-removal strategy (node-parallel only).
@@ -48,13 +112,33 @@ pub(super) struct ExecConfig {
 }
 
 /// One non-trivial `(source, op)` pair of a stage.
-struct WorkItem {
-    op_slot: usize,
-    row: usize,
-    case: InsertionCase,
-    is_insert: bool,
-    u_high: u32,
-    u_low: u32,
+pub(crate) struct WorkItem {
+    pub(crate) op_slot: usize,
+    pub(crate) row: usize,
+    pub(crate) case: InsertionCase,
+    pub(crate) is_insert: bool,
+    pub(crate) u_high: u32,
+    pub(crate) u_low: u32,
+}
+
+/// Flattens a stage into its non-trivial work items in op-major /
+/// row-minor order — the submission order every backend must preserve
+/// per source row.
+pub(crate) fn stage_items(stage: &[PlannedOp]) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    for (op_slot, planned) in stage.iter().enumerate() {
+        for (row, cls) in planned.items() {
+            items.push(WorkItem {
+                op_slot,
+                row,
+                case: cls.case,
+                is_insert: planned.op.is_insert(),
+                u_high: cls.u_high,
+                u_low: cls.u_low,
+            });
+        }
+    }
+    items
 }
 
 /// Charges the device cost of classifying every `(source, op)` pair of
@@ -72,7 +156,7 @@ pub(super) fn charge_classification(
     st: &StateBuffers,
     case_buf: &GpuBuffer<u32>,
     stage: &[PlannedOp],
-    gbufs: &[GraphBuffers],
+    gbufs: &[Option<GraphBuffers>],
     stage_idx: usize,
 ) {
     let n = st.n;
@@ -83,7 +167,6 @@ pub(super) fn charge_classification(
         block.label("batch::classify");
         for (slot, planned) in stage.iter().enumerate() {
             let (u, v) = planned.op.endpoints();
-            let g = &gbufs[slot];
             let is_insert = planned.op.is_insert();
             block.parallel_for(k, |lane, i| {
                 let du = lane.read(&st.d, i * n + u as usize);
@@ -92,7 +175,12 @@ pub(super) fn charge_classification(
                     // An existing edge spans adjacent levels, so both
                     // endpoints are reachable here: scan u_low's
                     // post-removal adjacency for a surviving
-                    // predecessor, stopping at the first hit.
+                    // predecessor, stopping at the first hit. A removal
+                    // source with `du != dv` is never Case 1, so this
+                    // op has work items and therefore a CSR snapshot.
+                    let g = gbufs[slot]
+                        .as_ref()
+                        .expect("non-trivial removal source implies a CSR snapshot");
                     let u_low = if du < dv { v } else { u };
                     let d_low = du.max(dv);
                     let start = lane.read(&g.row_offsets, u_low as usize) as usize;
@@ -122,22 +210,10 @@ pub(super) fn run_stage(
     st: &StateBuffers,
     scr: &ScratchBuffers,
     stage: &[PlannedOp],
-    gbufs: &[GraphBuffers],
+    gbufs: &[Option<GraphBuffers>],
     stage_idx: usize,
 ) -> Vec<(usize, usize, usize)> {
-    let mut items = Vec::new();
-    for (op_slot, planned) in stage.iter().enumerate() {
-        for (row, cls) in planned.items() {
-            items.push(WorkItem {
-                op_slot,
-                row,
-                case: cls.case,
-                is_insert: planned.op.is_insert(),
-                u_high: cls.u_high,
-                u_low: cls.u_low,
-            });
-        }
-    }
+    let items = stage_items(stage);
     if items.is_empty() {
         return Vec::new();
     }
@@ -161,7 +237,9 @@ pub(super) fn run_stage(
         // submission order by the row's owning block.
         for item in items_ref.iter().filter(|it| it.row % num_blocks == b) {
             let ctx = Ctx {
-                g: &gbufs[item.op_slot],
+                g: gbufs[item.op_slot]
+                    .as_ref()
+                    .expect("work item implies a CSR snapshot for its op"),
                 st,
                 scr,
                 block_slot: b,

@@ -3,7 +3,8 @@
 //! * [`engine`] — the dynamic-BC batch orchestration ([`GpuDynamicBc`]),
 //!   in both [`Parallelism`] decompositions;
 //! * `exec` (private) — the batch-aware dispatcher: one fused grid per stage of
-//!   the update plan;
+//!   the update plan, behind the [`Backend`] seam (simulator, native
+//!   direct execution, or adaptive hybrid routing);
 //! * [`kernels`] — Algorithms 3–8 plus the Case 3 generalization;
 //! * [`static_bc`] — from-scratch GPU BC (the Fig. 1 workload and the
 //!   Table III recomputation baseline);
@@ -19,5 +20,6 @@ pub mod multi;
 pub mod static_bc;
 
 pub use engine::{DedupStrategy, GpuDynamicBc, Parallelism};
+pub use exec::{backend_from_env, Backend, BACKEND_ENV};
 pub use multi::MultiGpuDynamicBc;
 pub use static_bc::{static_bc_gpu, static_bc_gpu_checked, static_bc_gpu_on, StaticBcReport};

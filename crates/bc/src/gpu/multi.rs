@@ -14,6 +14,7 @@
 //! workloads are skewed (one device drawing the heavy Case 3 sources).
 
 use super::engine::{GpuDynamicBc, Parallelism};
+use super::exec::Backend;
 use crate::dynamic::result::{BatchResult, UpdateResult};
 use crate::obs::batch_observation;
 use dynbc_gpusim::{telemetry_from_env, DeviceConfig, ProfileReport};
@@ -63,6 +64,16 @@ forward_device_knobs! {
     set set_profiling(bool),
         #[doc = " Enables/disables profiled execution on every device (see \
                   [`GpuDynamicBc::set_profiling`])."];
+    set set_backend(Backend),
+        #[doc = " Selects the execution backend on every device (see \
+                  [`GpuDynamicBc::set_backend`]); results are bit-identical \
+                  across backends."];
+    sum router_cpu_stages() -> u64,
+        #[doc = " Stages the hybrid router sent down the sequential CPU path, \
+                  summed over all devices."];
+    sum router_native_stages() -> u64,
+        #[doc = " Stages the hybrid router sent to the parallel native \
+                  backend, summed over all devices."];
     sum racecheck_warnings() -> u64,
         #[doc = " Warning-severity racecheck diagnostics summed over all devices."];
     sum checked_launches() -> u64,
@@ -384,6 +395,8 @@ mod tests {
                 Parallelism::Node,
                 d,
             );
+            // Strong scaling is a model-clock claim: pin the simulator.
+            eng.set_backend(Backend::Simulator);
             let mut rng = StdRng::seed_from_u64(5);
             let mut total = 0.0;
             let mut done = 0;

@@ -18,6 +18,9 @@
 //! * [`gpu`] — the paper's GPU kernels (Algorithms 3–8) in edge-parallel
 //!   and node-parallel form, executed on the `dynbc-gpusim` machine model,
 //!   plus the static-recomputation baselines;
+//! * `native` (private) — direct host execution of the node-parallel
+//!   kernels: the serving backend behind [`gpu::Backend`], bit-identical
+//!   to the simulator;
 //! * [`accuracy`] — comparison utilities (error norms, rank correlation).
 
 #![forbid(unsafe_code)]
@@ -28,6 +31,7 @@ pub mod brandes;
 pub mod cases;
 pub mod dynamic;
 pub mod gpu;
+pub(crate) mod native;
 pub(crate) mod obs;
 pub mod plan;
 pub mod reference;

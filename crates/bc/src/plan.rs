@@ -170,7 +170,7 @@ impl PlannedOp {
 /// Panics if the op is a no-op (self loop, duplicate insert, absent
 /// removal); callers are expected to have validated the batch via
 /// [`validate_batch`] first.
-pub fn plan_op(g: &mut DynGraph, d: &[Vec<u32>], op: EdgeOp) -> PlannedOp {
+pub fn plan_op<R: AsRef<[u32]>>(g: &mut DynGraph, d: &[R], op: EdgeOp) -> PlannedOp {
     let applied = g.apply_op(op);
     assert!(
         applied,
@@ -178,8 +178,11 @@ pub fn plan_op(g: &mut DynGraph, d: &[Vec<u32>], op: EdgeOp) -> PlannedOp {
     );
     let (u, v) = op.endpoints();
     let sources: Vec<Classified> = match op {
-        EdgeOp::Insert(..) => d.iter().map(|row| classify(row, u, v)).collect(),
-        EdgeOp::Remove(..) => d.iter().map(|row| classify_removal(row, u, v, g)).collect(),
+        EdgeOp::Insert(..) => d.iter().map(|row| classify(row.as_ref(), u, v)).collect(),
+        EdgeOp::Remove(..) => d
+            .iter()
+            .map(|row| classify_removal(row.as_ref(), u, v, g))
+            .collect(),
     };
     let mut cases = CaseCounts::default();
     let mut scan_edges = 0u64;

@@ -14,7 +14,7 @@
 use crate::config::Config;
 use dynbc_bc::brandes::{brandes_state, sample_sources};
 use dynbc_bc::dynamic::{CpuDynamicBc, UpdateResult};
-use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
+use dynbc_bc::gpu::{Backend, GpuDynamicBc, Parallelism};
 use dynbc_gpusim::{DeviceConfig, ProfileReport};
 use dynbc_graph::suite::SuiteEntry;
 use dynbc_graph::{Csr, EdgeList, VertexId};
@@ -183,6 +183,37 @@ pub fn run_gpu(setup: &Setup, device: DeviceConfig, par: Parallelism) -> DynRun 
     let snapshot = engine.state_snapshot();
     verify_final_state(setup, &snapshot.bc, &format!("gpu-{par}"));
     DynRun::from_results(format!("GPU {par} ({})", device.name), results)
+}
+
+/// Runs the insertion stream through a GPU engine pinned to one
+/// execution backend (`DYNBC_BACKEND` notwithstanding), returning the
+/// run and the final BC scores — backend benches compare those scores
+/// *bitwise*, which the tolerance check in [`run_gpu`] cannot express.
+///
+/// `threads = 0` keeps the engine's default host-thread count.
+pub fn run_gpu_backend(
+    setup: &Setup,
+    device: DeviceConfig,
+    par: Parallelism,
+    backend: Backend,
+    threads: usize,
+) -> (DynRun, Vec<f64>) {
+    let mut engine =
+        GpuDynamicBc::new(&setup.start, &setup.sources, device, par).with_backend(backend);
+    if threads > 0 {
+        engine.set_host_threads(threads);
+    }
+    let results: Vec<UpdateResult> = setup
+        .insertions
+        .iter()
+        .map(|&(u, v)| engine.insert_edge(u, v))
+        .collect();
+    let snapshot = engine.state_snapshot();
+    verify_final_state(setup, &snapshot.bc, &format!("gpu-{par}-{backend}"));
+    (
+        DynRun::from_results(format!("GPU {par} {backend} ({})", device.name), results),
+        snapshot.bc,
+    )
 }
 
 /// Runs the insertion stream through a simulated-GPU engine with the

@@ -28,5 +28,8 @@ pub mod report;
 pub mod table;
 
 pub use config::Config;
-pub use driver::{build_setup, emit_bench_json, run_cpu, run_gpu, run_gpu_profiled, DynRun, Setup};
+pub use driver::{
+    build_setup, emit_bench_json, run_cpu, run_gpu, run_gpu_backend, run_gpu_profiled, DynRun,
+    Setup,
+};
 pub use report::HarnessReport;

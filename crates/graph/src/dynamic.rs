@@ -370,8 +370,31 @@ impl DynGraph {
     }
 
     /// Snapshots the current graph as an immutable CSR.
+    ///
+    /// Built directly from the adjacency arena — degrees to offsets, one
+    /// scatter pass, then a per-row sort — rather than round-tripping
+    /// through a canonical [`EdgeList`] (which sorts all `m` pairs). The
+    /// per-update engines snapshot once per committed op, so this is on
+    /// the serving path's critical wall-clock; the result is identical to
+    /// `Csr::from_edge_list(&self.to_edge_list())`.
     pub fn to_csr(&self) -> Csr {
-        Csr::from_edge_list(&self.to_edge_list())
+        let n = self.heads.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &self.deg {
+            acc += d as usize;
+            offsets.push(acc);
+        }
+        let mut adj = vec![0 as VertexId; acc];
+        for v in 0..n {
+            let row = &mut adj[offsets[v]..offsets[v + 1]];
+            for (slot, w) in row.iter_mut().zip(self.neighbors(v as VertexId)) {
+                *slot = w;
+            }
+            row.sort_unstable();
+        }
+        Csr::from_sorted_parts(offsets, adj)
     }
 
     /// Collects the current edges canonically.
@@ -499,6 +522,30 @@ mod tests {
         assert_eq!(csr.to_edge_list(), el);
         let g2 = DynGraph::from_csr(&csr);
         assert_eq!(g2.to_edge_list(), el);
+    }
+
+    #[test]
+    fn direct_csr_build_matches_edge_list_path() {
+        // `to_csr` bypasses the canonical edge-list round trip; the two
+        // constructions must agree exactly (offsets and adjacency), also
+        // after removals have shuffled the arena's insertion order.
+        let mut g = DynGraph::new(12);
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (0, 5),
+            (1, 4),
+            (2, 3),
+            (3, 7),
+            (5, 9),
+            (8, 9),
+            (4, 11),
+        ] {
+            g.insert_edge(u, v);
+        }
+        g.remove_edge(0, 2);
+        g.insert_edge(2, 9);
+        assert_eq!(g.to_csr(), Csr::from_edge_list(&g.to_edge_list()));
     }
 
     #[test]

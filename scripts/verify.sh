@@ -28,6 +28,13 @@ DYNBC_HOST_THREADS=1 cargo test -q --test determinism_host_threads
 echo "== determinism regression: DYNBC_HOST_THREADS=4 =="
 DYNBC_HOST_THREADS=4 cargo test -q --test determinism_host_threads
 
+echo "== native backend determinism: DYNBC_BACKEND=native, 1 and 4 threads =="
+DYNBC_BACKEND=native DYNBC_HOST_THREADS=1 cargo test -q --test determinism_host_threads
+DYNBC_BACKEND=native DYNBC_HOST_THREADS=4 cargo test -q --test determinism_host_threads
+
+echo "== backend equivalence: native/hybrid bit-identical to the simulator =="
+cargo test -q -p dynbc-bc --test native_equivalence
+
 echo "== racecheck tier: checked execution of every BC kernel =="
 DYNBC_RACECHECK=1 cargo test -q racecheck
 
@@ -51,7 +58,9 @@ done
 # family declared twice.
 for family in dynbc_batches_total dynbc_ops_total dynbc_cases_total \
     dynbc_update_latency_model_seconds dynbc_update_latency_wall_seconds \
-    dynbc_batch_size_ops dynbc_touched_fraction; do
+    dynbc_batch_size_ops dynbc_touched_fraction \
+    dynbc_router_decisions_total dynbc_router_cpu_latency_wall_seconds \
+    dynbc_router_native_latency_wall_seconds; do
     grep -q "^# HELP $family " "$PROF_DIR/metrics.prom" || {
         echo "metrics.prom missing HELP for $family"; exit 1; }
     grep -q "^# TYPE $family " "$PROF_DIR/metrics.prom" || {
@@ -69,6 +78,16 @@ done
 grep -q '"event": "update"' "$PROF_DIR/events.jsonl" || {
     echo "events.jsonl missing update events"; exit 1; }
 rm -rf "$PROF_DIR"
+
+echo "== hybrid routing smoke test: DYNBC_BACKEND=hybrid router counters =="
+# The same trace under the hybrid backend must record router decisions
+# (the per-stage CPU-vs-native choice) in the Prometheus exposition.
+HYB_DIR="$(mktemp -d)"
+DYNBC_BACKEND=hybrid DYNBC_TELEMETRY=1 \
+    cargo run --release --example profile_trace -- "$HYB_DIR" > /dev/null
+grep -q '^dynbc_router_decisions_total{path="' "$HYB_DIR/metrics.prom" || {
+    echo "metrics.prom missing router decision series under hybrid backend"; exit 1; }
+rm -rf "$HYB_DIR"
 
 echo "== warnings-clean workspace build =="
 RUSTFLAGS="-D warnings" cargo build --workspace --all-targets

@@ -114,7 +114,7 @@ proptest! {
         assert_state_matches(
             &snapshot,
             engine.graph(),
-            &format!("gpu-{par} family={family} seed={seed}"),
+            &format!("gpu-{par} family={family} n={n} seed={seed}"),
         );
     }
 
