@@ -240,6 +240,7 @@ impl CpuDynamicBc {
     /// Panics (before touching any engine state) if any op is a self
     /// loop, a duplicate insertion, or a removal of an absent edge.
     pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
+        // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
         let wall_start = std::time::Instant::now();
         let tel_on = self.telemetry.is_some();
         plan::validate_batch(&mut self.graph, batch);
@@ -258,6 +259,7 @@ impl CpuDynamicBc {
         let mut op_spans: Vec<Span> = Vec::new();
         let mut per_op = Vec::with_capacity(batch.len());
         for (op_idx, &op) in batch.iter().enumerate() {
+            // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
             let op_t = tel_on.then(std::time::Instant::now);
             let mut ops = OpCounter::new();
             let planned = plan::plan_op(&mut self.graph, &self.state.d, op);

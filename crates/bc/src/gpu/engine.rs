@@ -185,7 +185,7 @@ impl GpuDynamicBc {
             graph: DynGraph::from_edge_list(el),
             st: StateBuffers::upload(&state),
             scr,
-            case_buf: GpuBuffer::new(sources.len(), 0),
+            case_buf: GpuBuffer::new(sources.len(), 0).named("case"),
             num_blocks,
             dedup: DedupStrategy::default(),
             force_general: false,
@@ -430,6 +430,7 @@ impl GpuDynamicBc {
     /// Panics (before touching any engine state) if any op is a self
     /// loop, a duplicate insertion, or a removal of an absent edge.
     pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
+        // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
         let wall_start = std::time::Instant::now();
         let tel_on = self.telemetry.is_some();
         plan::validate_batch(&mut self.graph, batch);
@@ -457,6 +458,7 @@ impl GpuDynamicBc {
             // change any distance. Each op gets its own CSR snapshot so
             // the fused launch reads exactly the adjacency the sequential
             // path would.
+            // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
             let plan_t = tel_on.then(std::time::Instant::now);
             // Stage-start distance rows, borrowed straight from the
             // device buffer (classification only reads; nothing writes
@@ -504,6 +506,7 @@ impl GpuDynamicBc {
             // snapshot, one BC-delta slab row per (op, block) pair.
             let plan_wall = plan_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
             let stage_clock0 = self.gpu.elapsed_seconds();
+            // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
             let exec_t = tel_on.then(std::time::Instant::now);
 
             let max_arcs = gbufs
@@ -534,6 +537,7 @@ impl GpuDynamicBc {
                 self.scr.t.fill(crate::gpu::buffers::T_UNTOUCHED);
                 self.scratch_t_dirty = false;
             }
+            // dynbc-lint: allow(no-wall-clock) — router wall latency is an observability metric; routing decisions key on the touched-set estimate, not this clock
             let route_t = std::time::Instant::now();
             let (touched, routed) = match self.backend {
                 Backend::Simulator => {
@@ -606,6 +610,7 @@ impl GpuDynamicBc {
             }
             let stage_clock1 = self.gpu.elapsed_seconds();
             let exec_wall = exec_t.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
             let commit_t = tel_on.then(std::time::Instant::now);
 
             for planned in &stage {

@@ -73,9 +73,7 @@ impl std::fmt::Display for Backend {
     }
 }
 
-/// Environment variable selecting the execution backend
-/// (`sim|native|hybrid`, read at engine construction).
-pub const BACKEND_ENV: &str = "DYNBC_BACKEND";
+pub use dynbc_gpusim::knob::BACKEND_ENV;
 
 /// Reads [`BACKEND_ENV`]: unset or empty selects the simulator; any
 /// other value must be one of `sim`, `simulator`, `native`, `hybrid`

@@ -88,11 +88,13 @@ pub fn dep_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
             lane.prof_edges_passed(1);
             let mut dsv = 0.0;
             if lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(v), T_UNTOUCHED, T_UP) == T_UNTOUCHED {
+                // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                 dsv += lane.read(&ctx.st.delta, ctx.kn(v));
             }
             lane.compute(2);
             let sig_hat_w = lane.read(&ctx.scr.sigma_hat, ctx.sn(w));
             let del_hat_w = lane.read(&ctx.scr.delta_hat, ctx.sn(w));
+            // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
             dsv += lane.read(&ctx.scr.sigma_hat, ctx.sn(v)) / sig_hat_w * (1.0 + del_hat_w);
             if lane.read(&ctx.scr.t, ctx.sn(v)) == T_UP && !(v == u_high && w == u_low) {
                 lane.compute(2);

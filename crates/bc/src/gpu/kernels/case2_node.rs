@@ -120,6 +120,7 @@ pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
                 // First toucher seeds δ̂[v] with the old dependency and
                 // publishes v for shallower iterations.
                 if lane.atomic_cas_u8(&ctx.scr.t, ctx.sn(v), T_UNTOUCHED, T_UP) == T_UNTOUCHED {
+                    // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                     dsv += lane.read(&ctx.st.delta, ctx.kn(v));
                     let i = lane.atomic_add_u32(&ctx.scr.lens, ctx.li(SLOT_Q2LEN), 1);
                     assert!(qq_len + (i as usize) < ctx.scr.qw, "QQ overflow");
@@ -127,6 +128,7 @@ pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
                     lane.prof_queue_push(1);
                 }
                 lane.compute(2); // the divide + multiply-add below
+                                 // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                 dsv += lane.read(&ctx.scr.sigma_hat, ctx.sn(v)) / sig_hat_w * (1.0 + del_hat_w);
                 if lane.read(&ctx.scr.t, ctx.sn(v)) == T_UP && !(v == u_high && w == u_low) {
                     lane.compute(2);

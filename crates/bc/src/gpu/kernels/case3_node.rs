@@ -60,6 +60,7 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
                     lane.prof_edges_passed(1);
                     // Untouched x: σ̂ = σ from init. Touched x: final, its
                     // level is fully drained.
+                    // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                     sig += lane.read(&ctx.scr.sigma_hat, ctx.sn(x));
                 }
             }
@@ -209,6 +210,7 @@ pub fn phase2_node(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
                 } else {
                     lane.read(&ctx.st.delta, ctx.kn(x))
                 };
+                // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                 acc += sig_hat_w / sig_x * (1.0 + del_x);
             }
             lane.write(&ctx.scr.delta_hat, ctx.sn(w), acc);

@@ -195,6 +195,7 @@ impl MultiGpuDynamicBc {
     /// Panics (before touching any device state) if any op is a self
     /// loop, a duplicate insertion, or a removal of an absent edge.
     pub fn apply_batch(&mut self, batch: &[EdgeOp]) -> BatchResult {
+        // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
         let wall_start = std::time::Instant::now();
         let tel_on = self.telemetry.is_some();
         let clock_before = self.elapsed_seconds();

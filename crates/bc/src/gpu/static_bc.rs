@@ -96,7 +96,7 @@ fn static_bc_core(
     // CAS-gated discovery never duplicates queue entries, so queue rows of
     // width ~n suffice (ScratchBuffers rounds up internally).
     let scr = ScratchBuffers::new(num_blocks, n, 0);
-    let bc = GpuBuffer::new(n, 0.0f64);
+    let bc = GpuBuffer::new(n, 0.0f64).named("bc");
     let body = |block: &mut BlockCtx, b: usize| {
         for (si, &s) in sources.iter().enumerate() {
             if si % num_blocks != b {

@@ -330,6 +330,7 @@ pub(crate) fn dep_node(ctx: &Ctx<'_>, deepest: u32) {
                 let mut dsv = 0.0;
                 if ctx.scr.t.host_get(ctx.sn(v)) == T_UNTOUCHED {
                     touch(ctx, v, T_UP, false);
+                    // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                     dsv += ctx.st.delta.host_get(ctx.kn(v));
                     let i = ctx.scr.lens.host_get(ctx.li(SLOT_Q2LEN));
                     ctx.scr.lens.host_set(ctx.li(SLOT_Q2LEN), i + 1);
@@ -338,6 +339,7 @@ pub(crate) fn dep_node(ctx: &Ctx<'_>, deepest: u32) {
                     // `v` sits one level up; queue it for the next pass.
                     buckets[depth as usize - 1].push(v);
                 }
+                // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                 dsv += ctx.scr.sigma_hat.host_get(ctx.sn(v)) / sig_hat_w * (1.0 + del_hat_w);
                 if ctx.scr.t.host_get(ctx.sn(v)) == T_UP && !(v == u_high && w == u_low) {
                     dsv -= ctx.st.sigma.host_get(ctx.kn(v)) / sig_w * (1.0 + del_w);
@@ -383,6 +385,7 @@ pub(crate) fn phase1_node(ctx: &Ctx<'_>) -> u32 {
             for e in start_e..end_e {
                 let x = ctx.g.adj.host_get(e);
                 if dhat(ctx, x) == level - 1 {
+                    // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                     sig += shat(ctx, x);
                 }
             }
@@ -527,6 +530,7 @@ pub(crate) fn phase2_node(ctx: &Ctx<'_>, max_depth: u32) {
                 } else {
                     ctx.st.delta.host_get(ctx.kn(x))
                 };
+                // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                 acc += sig_hat_w / sig_x * (1.0 + del_x);
             }
             ctx.scr.delta_hat.host_set(ctx.sn(w), acc);

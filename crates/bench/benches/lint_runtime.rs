@@ -1,0 +1,73 @@
+//! `lint_runtime` — times a full-workspace `dynbc-lint` scan.
+//!
+//! The lint runs as a `verify.sh` gate ahead of every expensive build, so
+//! its cost is part of the edit-verify loop. This harness measures a full
+//! scan of the tree, asserts the tree is clean, and asserts the scan stays
+//! interactive (well under a few seconds), recording the numbers as the
+//! `lint_runtime` entry of `BENCH_dynbc.json`.
+
+use std::time::Instant;
+
+use dynbc_bench::report::HarnessReport;
+
+/// Hard ceiling on a full-workspace scan, in seconds. The gate exists to
+/// catch an accidentally quadratic rule, not to police machine speed, so
+/// it is deliberately loose next to the observed runtime (tens of ms).
+const MAX_SCAN_SECONDS: f64 = 5.0;
+
+fn main() {
+    let root = dynbc_lint::find_workspace_root(&std::env::current_dir().expect("current dir"))
+        .expect("workspace root");
+
+    // Warm the page cache so the measured runs time the analysis, not
+    // first-touch disk reads.
+    let warm = dynbc_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        warm.is_clean(),
+        "lint_runtime requires a clean tree:\n{}",
+        warm.human()
+    );
+
+    const RUNS: usize = 5;
+    let mut secs = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let rep = dynbc_lint::lint_workspace(&root).expect("workspace scan");
+        secs.push(t0.elapsed().as_secs_f64());
+        assert!(rep.is_clean(), "tree went dirty mid-bench");
+    }
+    let best = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst = secs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        worst < MAX_SCAN_SECONDS,
+        "full-workspace lint took {worst:.3}s (limit {MAX_SCAN_SECONDS}s)"
+    );
+
+    println!(
+        "lint_runtime: {} files, {} lines, best {:.1} ms / worst {:.1} ms over {} runs (limit {}s)",
+        warm.files_scanned,
+        warm.lines_scanned,
+        best * 1e3,
+        worst * 1e3,
+        RUNS,
+        MAX_SCAN_SECONDS
+    );
+
+    let mut report = HarnessReport::new("lint_runtime");
+    report.push_row_with(
+        "workspace",
+        "dynbc-lint",
+        0.0,
+        best,
+        &[
+            ("files_scanned", warm.files_scanned as f64),
+            ("lines_scanned", warm.lines_scanned as f64),
+            ("findings", warm.findings.len() as f64),
+            ("worst_wall_seconds", worst),
+            ("limit_seconds", MAX_SCAN_SECONDS),
+        ],
+    );
+    if let Some(path) = report.write_default() {
+        println!("lint_runtime: wrote {}", path.display());
+    }
+}

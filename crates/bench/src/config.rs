@@ -1,17 +1,26 @@
 //! Environment-driven experiment sizing.
+//!
+//! All knob names come from the central registry
+//! ([`dynbc_gpusim::knob`]) and are parsed with its shared
+//! [`parse_from_env`](dynbc_gpusim::knob::parse_from_env) helper, so a
+//! typo'd variable name cannot silently fall back to defaults — the
+//! `dynbc-lint` `knob-registry` rule rejects raw `DYNBC_*` string
+//! literals outside the registry.
+
+use dynbc_gpusim::knob::{self, INSERTIONS_ENV, SCALE_ENV, SEED_ENV, SOURCES_ENV};
 
 /// Experiment knobs, resolved from the environment with per-harness
 /// defaults.
 #[derive(Debug, Clone, Copy)]
 pub struct Config {
-    /// Multiplier on the suite's default vertex counts (`DYNBC_SCALE`).
+    /// Multiplier on the suite's default vertex counts ([`SCALE_ENV`]).
     pub scale: f64,
-    /// Number of BC sources, the paper's `k` (`DYNBC_SOURCES`; paper: 256).
+    /// Number of BC sources, the paper's `k` ([`SOURCES_ENV`]; paper: 256).
     pub sources: usize,
-    /// Number of removed-then-reinserted edges (`DYNBC_INSERTIONS`;
+    /// Number of removed-then-reinserted edges ([`INSERTIONS_ENV`];
     /// paper: 100).
     pub insertions: usize,
-    /// Master seed (`DYNBC_SEED`).
+    /// Master seed ([`SEED_ENV`]).
     pub seed: u64,
 }
 
@@ -20,10 +29,10 @@ impl Config {
     /// environment.
     pub fn from_env(default_scale: f64, default_sources: usize, default_insertions: usize) -> Self {
         Self {
-            scale: env_parse("DYNBC_SCALE", default_scale),
-            sources: env_parse("DYNBC_SOURCES", default_sources),
-            insertions: env_parse("DYNBC_INSERTIONS", default_insertions),
-            seed: env_parse("DYNBC_SEED", 20140519), // IPDPS 2014's week
+            scale: knob::parse_from_env(SCALE_ENV, default_scale),
+            sources: knob::parse_from_env(SOURCES_ENV, default_sources),
+            insertions: knob::parse_from_env(INSERTIONS_ENV, default_insertions),
+            seed: knob::parse_from_env(SEED_ENV, 20140519), // IPDPS 2014's week
         }
     }
 
@@ -36,16 +45,6 @@ impl Config {
     }
 }
 
-fn env_parse<T: std::str::FromStr + Copy>(key: &str, default: T) -> T {
-    match std::env::var(key) {
-        Ok(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("warning: could not parse {key}={v:?}; using default");
-            default
-        }),
-        Err(_) => default,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,10 +54,10 @@ mod tests {
         // (Does not set env vars: tests run in parallel and the vars are
         // process-global.)
         let c = Config::from_env(0.25, 8, 10);
-        if std::env::var("DYNBC_SCALE").is_err() {
+        if std::env::var(SCALE_ENV).is_err() {
             assert_eq!(c.scale, 0.25);
         }
-        if std::env::var("DYNBC_SOURCES").is_err() {
+        if std::env::var(SOURCES_ENV).is_err() {
             assert_eq!(c.sources, 8);
         }
         assert!(c.describe().contains("seed="));

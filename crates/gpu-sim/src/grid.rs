@@ -80,10 +80,7 @@ type BlockOut = (
     Option<BlockBuckets>,
 );
 
-/// Environment variable selecting how many host threads a launch may use.
-/// Unset, `0`, or unparsable means "all available cores"; `1` forces the
-/// legacy sequential path.
-pub const HOST_THREADS_ENV: &str = "DYNBC_HOST_THREADS";
+pub use crate::knob::HOST_THREADS_ENV;
 
 /// Grids smaller than this run inline on the calling thread even when more
 /// host threads are available: below it the work cannot amortize even one
@@ -91,57 +88,34 @@ pub const HOST_THREADS_ENV: &str = "DYNBC_HOST_THREADS";
 /// either way (the reduction order is block-index order regardless).
 pub const PARALLEL_MIN_BLOCKS: usize = 8;
 
-/// Environment variable enabling checked (racecheck) execution for every
-/// launch of every [`Gpu`] created afterwards: any error-severity
-/// diagnostic fails the launch with the full report. `1`/`true` (any
-/// case) enables; unset, empty, `0`, or `false` disables.
-pub const RACECHECK_ENV: &str = "DYNBC_RACECHECK";
+pub use crate::knob::RACECHECK_ENV;
 
 /// Resolves the checked-execution default from [`RACECHECK_ENV`] (what
 /// [`Gpu::new`] uses; public so harnesses can report the setting).
 pub fn racecheck_from_env() -> bool {
-    std::env::var(RACECHECK_ENV).is_ok_and(|v| {
-        let v = v.trim();
-        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
-    })
+    crate::knob::flag_from_env(RACECHECK_ENV)
 }
 
-/// Environment variable enabling profiled execution for every launch of
-/// every [`Gpu`] created afterwards: each launch collects a
-/// [`LaunchProfile`] into the device's accumulated [`ProfileReport`].
-/// `1`/`true` (any case) enables; unset, empty, `0`, or `false` disables.
-pub const PROFILE_ENV: &str = "DYNBC_PROFILE";
+pub use crate::knob::PROFILE_ENV;
 
 /// Resolves the profiling default from [`PROFILE_ENV`] (what [`Gpu::new`]
 /// uses; public so harnesses can report the setting).
 pub fn profile_from_env() -> bool {
-    std::env::var(PROFILE_ENV).is_ok_and(|v| {
-        let v = v.trim();
-        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
-    })
+    crate::knob::flag_from_env(PROFILE_ENV)
 }
 
-/// Environment variable enabling telemetry for every engine (and the
-/// launch span log of every [`Gpu`]) created afterwards. `1`/`true` (any
-/// case) enables; unset, empty, `0`, or `false` disables.
-pub const TELEMETRY_ENV: &str = "DYNBC_TELEMETRY";
+pub use crate::knob::TELEMETRY_ENV;
 
 /// Resolves the telemetry default from [`TELEMETRY_ENV`] (what [`Gpu::new`]
 /// and the engines use; public so harnesses can report the setting).
 pub fn telemetry_from_env() -> bool {
-    std::env::var(TELEMETRY_ENV).is_ok_and(|v| {
-        let v = v.trim();
-        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
-    })
+    crate::knob::flag_from_env(TELEMETRY_ENV)
 }
 
 /// Resolves the effective host-thread count from [`HOST_THREADS_ENV`]
 /// (what [`Gpu::new`] uses; public so harnesses can report the setting).
 pub fn host_threads_from_env() -> usize {
-    let requested = std::env::var(HOST_THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(0);
+    let requested = crate::knob::parse_from_env(HOST_THREADS_ENV, 0usize);
     if requested == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -427,6 +401,7 @@ impl Gpu {
         // Wall timing only when something records it (profiling or the
         // telemetry span log): the disabled path stays branch-predictable
         // with no clock syscalls.
+        // dynbc-lint: allow(no-wall-clock) — wall_s feeds the profile/span sinks only; simulated seconds come from the cost model
         let wall_t = (profiled || self.span_log).then(std::time::Instant::now);
         let per_block: Vec<BlockOut> = if threads <= 1 || num_blocks < PARALLEL_MIN_BLOCKS {
             // Legacy sequential path: also the fallback that documents the

@@ -51,6 +51,7 @@ pub mod checker;
 pub mod cpu_model;
 pub mod device;
 pub mod grid;
+pub mod knob;
 pub mod mem;
 mod profile;
 pub mod stats;

@@ -1,0 +1,49 @@
+//! The `dynbc-lint` binary: lints the workspace, prints the report,
+//! exits non-zero on any unsuppressed finding.
+//!
+//! ```text
+//! cargo run -p dynbc-lint            # human report
+//! cargo run -p dynbc-lint -- --json  # machine report (deterministic)
+//! cargo run -p dynbc-lint -- <root>  # explicit workspace root
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: dynbc-lint [--json] [workspace-root]");
+                return;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        dynbc_lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("dynbc-lint: could not find a workspace root (no Cargo.toml with [workspace])");
+        std::process::exit(2);
+    };
+    match dynbc_lint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.json());
+            } else {
+                print!("{}", report.human());
+            }
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("dynbc-lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

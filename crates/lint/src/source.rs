@@ -1,0 +1,364 @@
+//! A line-oriented lexical model of one Rust source file.
+//!
+//! The rules in this crate are *lexical*, not semantic: they match
+//! tokens and identifiers, not types. What makes that workable is this
+//! module's separation of every line into three channels —
+//!
+//! * **code** — the line with comments removed and the *contents* of
+//!   string/char literals blanked (delimiters kept, so brace counting
+//!   still works). `let x = "unsafe";` has no `unsafe` token in its
+//!   code channel.
+//! * **comment** — the concatenated comment text on the line (line
+//!   comments, doc comments, and any block-comment span crossing it).
+//!   `// SAFETY:` and `// dynbc-lint: allow(...)` annotations live
+//!   here.
+//! * **strings** — the literal contents of string literals *starting*
+//!   on the line, for rules that inspect literal values (the
+//!   `knob-registry` rule's `"DYNBC_*"` check).
+//!
+//! The lexer handles nested block comments, escapes, raw strings
+//! (`r"…"`, `r#"…"#`, with `b`/`c` prefixes), and the char-literal vs
+//! lifetime ambiguity. A second pass marks lines inside `#[cfg(test)]`
+//! regions by brace counting on the code channel, so rules can exempt
+//! unit-test modules.
+
+/// One source line, split into lexical channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (without the `//` / `/*` delimiters).
+    pub comment: String,
+    /// Contents of string literals that start on this line.
+    pub strings: Vec<String>,
+    /// Whether the line sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// True when the code channel holds nothing but whitespace.
+    pub fn code_is_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// True when the code channel is exactly an attribute
+    /// (`#[...]`/`#![...]`), possibly still open at end of line.
+    pub fn code_is_attr(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+/// A parsed source file: workspace-relative path plus lexed lines.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// Lines in file order (line number = index + 1).
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state that survives line breaks.
+enum Mode {
+    Code,
+    /// Inside a nested block comment (`/* */`), with nesting depth.
+    BlockComment(u32),
+    /// Inside a `"…"` string; the flag records whether the previous
+    /// char was an unconsumed backslash. `usize` is the index into
+    /// `strings` collecting the contents.
+    Str {
+        esc: bool,
+        idx: usize,
+    },
+    /// Inside a raw string; closes at `"` followed by `hashes` `#`s.
+    RawStr {
+        hashes: u32,
+        idx: usize,
+    },
+}
+
+impl SourceFile {
+    /// Lexes `text` into lines. `path` should be workspace-relative with
+    /// `/` separators — rules scope on it verbatim.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut strings: Vec<String> = Vec::new();
+        let mut cur = Line::default();
+        let mut cur_strings: Vec<usize> = Vec::new();
+        let mut mode = Mode::Code;
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0usize;
+        macro_rules! flush_line {
+            () => {{
+                cur.strings = cur_strings
+                    .drain(..)
+                    .map(|si| strings[si].clone())
+                    .collect();
+                lines.push(std::mem::take(&mut cur));
+            }};
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                // A backslash-newline continuation consumes the escape;
+                // the string stays open either way.
+                if let Mode::Str { idx, .. } = mode {
+                    mode = Mode::Str { esc: false, idx };
+                }
+                flush_line!();
+                i += 1;
+                continue;
+            }
+            match mode {
+                Mode::Code => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        // Line comment (incl. /// and //!): rest of line.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\n' {
+                            cur.comment.push(chars[j]);
+                            j += 1;
+                        }
+                        i = j;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        // String start; check for a raw/byte prefix just
+                        // lexed into `code` and count `#`s backwards.
+                        let mut hashes = 0u32;
+                        let mut k = cur.code.len();
+                        let bytes = cur.code.as_bytes();
+                        while k > 0 && bytes[k - 1] == b'#' {
+                            hashes += 1;
+                            k -= 1;
+                        }
+                        let raw = k > 0 && bytes[k - 1] == b'r';
+                        strings.push(String::new());
+                        cur_strings.push(strings.len() - 1);
+                        cur.code.push('"');
+                        mode = if raw {
+                            Mode::RawStr {
+                                hashes,
+                                idx: strings.len() - 1,
+                            }
+                        } else {
+                            Mode::Str {
+                                esc: false,
+                                idx: strings.len() - 1,
+                            }
+                        };
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime/label. `'\…'` and
+                        // `'x'` are literals; otherwise a lifetime.
+                        if next == Some('\\') {
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                                j += 1;
+                            }
+                            cur.code.push_str("''");
+                            i = (j + 1).min(chars.len());
+                            continue;
+                        }
+                        if next.is_some() && chars.get(i + 2).copied() == Some('\'') {
+                            cur.code.push_str("''");
+                            i += 3;
+                            continue;
+                        }
+                        cur.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    cur.code.push(c);
+                    i += 1;
+                }
+                Mode::BlockComment(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                    cur.comment.push(c);
+                    i += 1;
+                }
+                Mode::Str { esc, idx } => {
+                    if esc {
+                        strings[idx].push(c);
+                        mode = Mode::Str { esc: false, idx };
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\\' {
+                        mode = Mode::Str { esc: true, idx };
+                        i += 1;
+                        continue;
+                    }
+                    if c == '"' {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                        continue;
+                    }
+                    strings[idx].push(c);
+                    i += 1;
+                }
+                Mode::RawStr { hashes, idx } => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if chars.get(i + 1 + h as usize).copied() != Some('#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            cur.code.push('"');
+                            for _ in 0..hashes {
+                                cur.code.push('#');
+                            }
+                            mode = Mode::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    strings[idx].push(c);
+                    i += 1;
+                }
+            }
+        }
+        if !cur.code.is_empty() || !cur.comment.is_empty() || !cur_strings.is_empty() {
+            flush_line!();
+        }
+        let mut file = SourceFile {
+            path: path.to_string(),
+            lines,
+        };
+        file.mark_test_regions();
+        file
+    }
+
+    /// Marks lines inside `#[cfg(test)]` regions by brace counting on
+    /// the code channel (string contents are blanked, so literal braces
+    /// cannot skew the depth).
+    fn mark_test_regions(&mut self) {
+        let mut depth: i64 = 0;
+        // Depth at which the current test region closes, if any.
+        let mut test_exit: Option<i64> = None;
+        // A #[cfg(test)] was seen; the next `{` opens its region.
+        let mut armed = false;
+        for line in &mut self.lines {
+            if test_exit.is_some() {
+                line.in_test = true;
+            }
+            if test_exit.is_none() && line.code.contains("#[cfg(test)]") {
+                armed = true;
+            }
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if armed {
+                            test_exit = Some(depth - 1);
+                            armed = false;
+                            line.in_test = true;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if test_exit == Some(depth) {
+                            test_exit = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// True when `code` contains `needle` as a standalone token: the chars
+/// on both sides (if any) are not identifier chars. `unsafe_code` does
+/// not contain the token `unsafe`.
+pub fn has_token(code: &str, needle: &str) -> bool {
+    find_token(code, needle).is_some()
+}
+
+/// Byte offset of the first standalone-token occurrence of `needle`.
+pub fn find_token(code: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !code[..at].chars().next_back().is_some_and(is_ident);
+        let after = code[at + needle.len()..].chars().next();
+        let after_ok = !after.is_some_and(is_ident);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_split() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"DYNBC_X {\"; // trailing note\n/* block\nstill */ code();\n",
+        );
+        assert_eq!(f.lines[0].strings, vec!["DYNBC_X {".to_string()]);
+        assert!(f.lines[0].code.contains("let s = \"\";"));
+        assert!(f.lines[0].comment.contains("trailing note"));
+        assert!(f.lines[1].comment.contains("block"));
+        assert!(f.lines[2].code.contains("code();"));
+        assert!(f.lines[2].comment.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let r = r#\"quote \" inside\"#;\nfn f<'a>(x: &'a str) -> char { 'y' }\n",
+        );
+        assert_eq!(f.lines[0].strings, vec!["quote \" inside".to_string()]);
+        assert!(f.lines[1].code.contains("fn f<'a>"));
+        assert!(!f.lines[1].code.contains('y'));
+    }
+
+    #[test]
+    fn cfg_test_regions() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test && f.lines[3].in_test && f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn tokens_respect_boundaries() {
+        assert!(has_token("unsafe impl Sync for X {}", "unsafe"));
+        assert!(!has_token("#![deny(unsafe_code)]", "unsafe"));
+        assert!(!has_token("let s = \"\";", "unsafe"));
+    }
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
-# Repo verification gate: tier-1 build+tests, the host-thread determinism
-# regression at 1 and 4 threads, the racecheck tier, a profiler smoke
-# test, a clippy-clean / warnings-clean / rustdoc-warning-clean
-# workspace, and the gpu-sim unsafe/SAFETY lint.
+# Repo verification gate: the dynbc-lint static analysis, tier-1
+# build+tests, the host-thread determinism regression at 1 and 4 threads,
+# the racecheck tier, a profiler smoke test, and a clippy-clean /
+# warnings-clean / rustdoc-warning-clean workspace.
 # Run from anywhere inside the repo; exits non-zero on the first failure.
 set -eu
 
@@ -11,7 +11,15 @@ cd "$(dirname "$0")/.."
 echo "== formatting gate (first-party crates; vendor/ is exempt) =="
 cargo fmt --check \
     -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
-    -p dynbc-gpusim -p dynbc-prof -p dynbc-telemetry
+    -p dynbc-gpusim -p dynbc-lint -p dynbc-prof -p dynbc-telemetry
+
+echo "== static analysis gate: dynbc-lint =="
+# Cheap (tens of ms once built) and run before the expensive builds so
+# contract violations fail fast. Covers ordered iteration in commit
+# paths, wall-clock use in model code, raw DYNBC_* env literals, unsafe
+# without SAFETY comments, un-slabbed float accumulation in kernels, and
+# anonymous launches/buffers. See crates/lint and DESIGN.md §4i.
+cargo run -q -p dynbc-lint
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -98,27 +106,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustdoc-warning-clean first-party crates =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
-    -p dynbc-gpusim -p dynbc-prof -p dynbc-telemetry
-
-echo "== gpu-sim unsafe audit: every unsafe needs a SAFETY comment =="
-# The simulator denies unsafe_code outright; this lint keeps the carved
-# out exceptions honest: any line mentioning `unsafe` (other than
-# comments and the lint-control attributes themselves) must be
-# preceded by a comment block opening with `// SAFETY:` (lint attributes
-# like `#[allow(unsafe_code)]` may sit between the comment and the item).
-awk '
-    /^[[:space:]]*\/\// { if ($0 ~ /\/\/ SAFETY:/) safety = 1; next }
-    /unsafe_code|unsafe_op_in_unsafe_fn/ { next }
-    /unsafe/ {
-        if (!safety) {
-            printf "%s:%d: unsafe without adjacent // SAFETY: comment\n", FILENAME, FNR
-            bad = 1
-        }
-        safety = 0
-        next
-    }
-    { safety = 0 }
-    END { exit bad }
-' crates/gpu-sim/src/*.rs
+    -p dynbc-gpusim -p dynbc-lint -p dynbc-prof -p dynbc-telemetry
 
 echo "verify.sh: all gates passed"

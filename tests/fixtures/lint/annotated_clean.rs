@@ -1,0 +1,12 @@
+// Lint fixture: the same float reduction as float_accumulation.rs, made
+// clean by a reasoned allow annotation. Linted under the virtual path
+// crates/bc/src/gpu/kernels/fixture.rs by tests/lint.rs.
+pub fn reduce(vals: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in vals {
+        // dynbc-lint: allow(float-accumulation) — fixture accumulator is
+        // sequential over a fixed slice order
+        acc += v;
+    }
+    acc
+}

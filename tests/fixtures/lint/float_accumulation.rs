@@ -1,0 +1,10 @@
+// Lint fixture: f64 reduction outside the bc_delta slab pattern. Linted
+// under the virtual path crates/bc/src/gpu/kernels/fixture.rs by
+// tests/lint.rs.
+pub fn reduce(vals: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in vals {
+        acc += v;
+    }
+    acc
+}

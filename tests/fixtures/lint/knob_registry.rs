@@ -1,0 +1,5 @@
+// Lint fixture: raw DYNBC_* knob name in an env read. Linted under the
+// virtual path src/fixture.rs by tests/lint.rs.
+pub fn read_knob() -> Option<String> {
+    std::env::var("DYNBC_FAKE_KNOB").ok()
+}

@@ -1,0 +1,6 @@
+// Lint fixture: wall-clock read in a model path. Linted under the
+// virtual path crates/bc/src/dynamic/fixture.rs by tests/lint.rs.
+pub fn model_update() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+// Lint fixture: HashMap iteration in a commit path. Linted under the
+// virtual path crates/bc/src/native/fixture.rs by tests/lint.rs; the
+// fixtures directory itself is never scanned by the workspace lint.
+use std::collections::HashMap;
+
+pub fn commit(out: &mut Vec<f64>) {
+    let mut staged = HashMap::new();
+    staged.insert(1u32, 2i64);
+    for (k, v) in staged.iter() {
+        out.push(f64::from(*k) + *v as f64);
+    }
+}

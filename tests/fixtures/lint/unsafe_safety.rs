@@ -1,0 +1,6 @@
+// Lint fixture: unsafe without an adjacent SAFETY comment. Linted under
+// the virtual path crates/gpu-sim/src/fixture.rs by tests/lint.rs.
+pub fn peek(xs: &[u32]) -> u32 {
+    // a comment that is not the required one
+    unsafe { *xs.as_ptr() }
+}
