@@ -3,8 +3,14 @@
 //! Three buffer groups mirror what a CUDA implementation would keep on the
 //! board:
 //!
-//! * [`GraphBuffers`] — the CSR pair (`R`, `C`) plus the flat arc list the
-//!   edge-parallel kernels index by thread id;
+//! * [`SlackGraphBuffers`] — the device mirror of the host
+//!   [`SlackCsr`] dynamic adjacency store: per-row capacity offsets, the
+//!   packed length/dirty word, slot values, visibility epochs, and the
+//!   per-slot owning row the edge-parallel kernels index by thread id.
+//!   The mirror persists across the whole update stream; after each
+//!   batch stage [`SlackGraphBuffers::sync`] replays only the host
+//!   store's O(degree) slot deltas instead of re-uploading an O(E)
+//!   snapshot per op;
 //! * [`StateBuffers`] — the persistent O(kn) dynamic state: `BC`, and
 //!   per-source `d` / `σ` / `δ` rows;
 //! * [`ScratchBuffers`] — per-block working set: the `t` flags, hat
@@ -12,14 +18,15 @@
 //!   BC delta slab, one row per thread block (each block works on one
 //!   source at a time).
 //!
-//! Host↔device staging (`from_csr`, `upload_state`, snapshots) happens
-//! between updates and is never part of a timed kernel region, matching
-//! the paper's methodology (it cites STINGER for the structure update and
-//! excludes it from measurement).
+//! Host↔device staging (`from_slack`, `sync`, `upload_state`, snapshots)
+//! happens between updates and is never part of a timed kernel region,
+//! matching the paper's methodology (it cites STINGER for the structure
+//! update and excludes it from measurement).
 
 use crate::state::BcState;
 use dynbc_gpusim::GpuBuffer;
-use dynbc_graph::{Csr, VertexId};
+use dynbc_graph::slack::{ROW_DIRTY_BIT, ROW_LEN_MASK};
+use dynbc_graph::{SlackCsr, SlackDelta, VertexId};
 
 /// Queue-length / control slots per block in [`ScratchBuffers::lens`].
 pub const LEN_SLOTS: usize = 6;
@@ -43,57 +50,226 @@ pub const T_DOWN: u8 = 1;
 /// Vertex found during the dependency-accumulation (upward) stage.
 pub const T_UP: u8 = 2;
 
-/// CSR and arc-list device copies.
+/// Bit position of the staged-born byte packed into each device
+/// adjacency word (see `pack_adj`).
+pub const ADJ_BORN_SHIFT: u32 = 24;
+/// Mask extracting the neighbour id from a packed device adjacency word.
+/// Bounds the vertex count the device mirror can hold.
+pub const ADJ_VERTEX_MASK: u32 = (1 << ADJ_BORN_SHIFT) - 1;
+
+/// Device row-meta layout (the high word of each `row_pack` header).
+/// Richer than the host's `len | dirty` packing: the spare bits carry
+/// what a scan needs to prove, from the header alone, that no per-slot
+/// visibility work is required.
+///
+/// Occupied-length field width (bits 0..23).
+pub const DEV_LEN_MASK: u32 = (1 << 23) - 1;
+/// Bit position of the max-staged-born field (bits 23..30).
+pub const DEV_BORN_SHIFT: u32 = 23;
+/// Width mask of the max-staged-born field. A view at or above the
+/// row's max staged born sees every slot — no checks at all. Staged
+/// borns past this clamp degrade the row to the epoch path.
+pub const DEV_BORN_MASK: u32 = 0x7f;
+/// Set when the row's staged slots all fit the `staged_skips` words
+/// (at most [`SKIP_SLOTS`] of them, each at a row offset under 256):
+/// a view below the max born can skip invisible slots positionally,
+/// never reading them.
+pub const DEV_SKIPS_BIT: u32 = 1 << 30;
+/// Set for rows needing per-slot epoch checks (tombstones, staged
+/// deaths, or a staged born past [`DEV_BORN_MASK`]).
+pub const DEV_DIRTY_BIT: u32 = 1 << 31;
+/// Staged-slot entries per row in `staged_skips`: [`SKIP_WORDS`] `u64`
+/// words of four 16-bit `offset | born << 8` entries each, sorted by
+/// born *descending* and 0-terminated. A view's invisible slots are
+/// then a prefix of the list (invisible ⟺ `born > ver`), so a scan
+/// loads words only until the first visible-born entry — `⌊i/4⌋ + 1`
+/// reads to step over `i` slots, where reading them would cost `i`.
+pub const SKIP_SLOTS: usize = 64;
+/// `staged_skips` words per row (`SKIP_SLOTS / 4`).
+pub const SKIP_WORDS: usize = SKIP_SLOTS / 4;
+
+/// Device mirror of the host [`SlackCsr`] dynamic adjacency store.
+///
+/// Four named buffers, so racecheck, the profiler, and telemetry see
+/// the graph like any other device data:
+///
+/// * `row_pack` — the per-row header, one `u64` per row: the capacity
+///   start slot in the low word and the device meta (occupied length,
+///   max staged born, [`DEV_SKIPS_BIT`], [`DEV_DIRTY_BIT`]) in the
+///   high word. A row scan opens with a single aligned 8-byte load
+///   (CUDA's `uint2` vectorized-load idiom) — one instruction and one
+///   32-byte segment, where the old CSR `R` pair cost two loads and
+///   crossed a segment boundary for one row in eight;
+/// * `staged_skips` — [`SKIP_WORDS`] `u64` words per row listing its
+///   staged slots as `offset | born << 8` entries in descending-born
+///   order, read (prefix only) by views below the row's max staged
+///   born, which then step over invisible slots without touching
+///   their adjacency words;
+/// * `adj` — slot values, packed as `neighbour | born << 24` (see
+///   `pack_adj`): for a *soft* row (no tombstones, staged deaths, or
+///   overflowing borns), a slot is visible at version `ver` exactly
+///   when `adj[s] >> 24 <= ver`, so the visibility test rides on the
+///   adjacency read every scan already performs — zero extra words;
+/// * `epochs` — packed `(born << 32) | died` visibility words, read
+///   only on hard-dirty rows and by the edge-parallel full-capacity
+///   iteration;
+/// * `slot_tails` — the owning row per slot, the edge-parallel analogue
+///   of the old flat arc-tail list (gap and tombstone slots are skipped
+///   by the epoch check in one early-exit branch, the same divergence
+///   shape as a futile-edge thread).
+///
+/// The mirror persists across updates; [`SlackGraphBuffers::sync`]
+/// replays the host store's slot deltas (or rebuilds wholesale after a
+/// relayout) between launches, off the simulated clock.
 #[derive(Debug)]
-pub struct GraphBuffers {
+pub struct SlackGraphBuffers {
     /// Vertex count.
     pub n: usize,
-    /// Directed arc count (2m).
-    pub num_arcs: usize,
-    /// Row offsets, `n + 1` entries.
-    pub row_offsets: GpuBuffer<u32>,
-    /// Column indices, `2m` entries.
+    /// Total slot capacity (the edge-parallel iteration bound).
+    pub capacity: usize,
+    /// Per-row `start | meta << 32` headers, `n` entries.
+    pub row_pack: GpuBuffer<u64>,
+    /// Per-row staged-slot skip words, `SKIP_WORDS * n` entries.
+    pub staged_skips: GpuBuffer<u64>,
+    /// Packed `neighbour | born << 24` slot words, `capacity` entries.
     pub adj: GpuBuffer<u32>,
-    /// Arc tails (the `(v, w) ∈ E` the edge-parallel kernels enumerate).
-    pub arc_tails: GpuBuffer<u32>,
-    /// Arc heads.
-    pub arc_heads: GpuBuffer<u32>,
+    /// Slot visibility epochs, `capacity` entries.
+    pub epochs: GpuBuffer<u64>,
+    /// Owning row per slot, `capacity` entries.
+    pub slot_tails: GpuBuffer<u32>,
 }
 
-impl GraphBuffers {
-    /// Uploads a CSR snapshot.
-    pub fn from_csr(csr: &Csr) -> Self {
-        let mut buffers = Self::from_csr_node(csr);
-        let adj = csr.adjacency();
-        let mut tails = Vec::with_capacity(adj.len());
-        let mut heads = Vec::with_capacity(adj.len());
-        for (v, w) in csr.arcs() {
-            tails.push(v);
-            heads.push(w);
-        }
-        buffers.arc_tails = GpuBuffer::from_vec(tails).named("arc_tails");
-        buffers.arc_heads = GpuBuffer::from_vec(heads).named("arc_heads");
-        buffers
-    }
+/// Packs a slot's staged-born byte into the top byte of its adjacency
+/// word. Settled-live slots (born 0) keep their value verbatim; staged
+/// births carry their version so soft-row scans can test visibility on
+/// the word they already read. The clamp to 255 only fires on slots
+/// whose born overflowed [`dynbc_graph::slack::STAGE_BORN_MAX`] or on
+/// gap/tombstone slots — both make the row hard-dirty (or lie beyond
+/// its occupied range), so the packed byte is never consulted there.
+#[inline]
+fn pack_adj(adj: u32, epoch: u64) -> u32 {
+    adj | ((epoch >> 32) as u32).min(u32::from(u8::MAX)) << ADJ_BORN_SHIFT
+}
 
-    /// Uploads a CSR snapshot without materialising the flat arc list.
-    ///
-    /// Only the edge-parallel kernels index `arc_tails` / `arc_heads`
-    /// (one thread per arc); everything node-parallel reads the `R`/`C`
-    /// pair alone. The engines snapshot the graph once per committed op,
-    /// so a node-parallel update stream saves the `2m`-element arc
-    /// staging on every op.
-    pub fn from_csr_node(csr: &Csr) -> Self {
-        let n = csr.vertex_count();
-        let offsets: Vec<u32> = csr.offsets().iter().map(|&o| o as u32).collect();
-        let adj: Vec<u32> = csr.adjacency().to_vec();
+/// Builds row `v`'s device header word and staged-skip words from the
+/// host store.
+///
+/// One host-side pass over the row's occupied epochs (off the
+/// simulated clock, like all staging) collects every staged-birth
+/// slot. The device meta keeps the host's length and dirty bit, and
+/// adds the max staged born plus — when the staged slots fit
+/// [`SKIP_SLOTS`] entries at sub-256 offsets — [`DEV_SKIPS_BIT`] and
+/// the packed `offset | born << 8` entry list. A staged born past
+/// [`DEV_BORN_MASK`] sets [`DEV_DIRTY_BIT`]: the epoch path stays
+/// exact for stages too deep for the seven-bit field.
+fn device_row_header(host: &SlackCsr, v: VertexId) -> (u64, [u64; SKIP_WORDS]) {
+    let host_meta = host.row_meta(v);
+    let start = host.row_start()[v as usize];
+    let len = host_meta & ROW_LEN_MASK;
+    assert!(len <= DEV_LEN_MASK, "row degree overflows the device meta");
+    let mut dirty = host_meta & ROW_DIRTY_BIT != 0;
+    let mut staged: Vec<(u32, u32)> = Vec::new();
+    let mut listed = true;
+    if !dirty {
+        let row = &host.epochs()[start as usize..(start + len) as usize];
+        for (off, &e) in row.iter().enumerate() {
+            let born = (e >> 32) as u32;
+            if born == 0 {
+                continue; // settled-live (soft rows hold nothing else)
+            }
+            if born > DEV_BORN_MASK {
+                dirty = true;
+                break;
+            }
+            if off < 256 {
+                staged.push((born, off as u32));
+            } else {
+                listed = false;
+            }
+        }
+    }
+    let max_born = staged.iter().map(|&(b, _)| b).max().unwrap_or(0);
+    listed = listed && !staged.is_empty() && staged.len() <= SKIP_SLOTS;
+    let mut skips = [0u64; SKIP_WORDS];
+    if listed {
+        // Descending born: a view's invisible slots become a prefix.
+        staged.sort_unstable_by(|a, b| b.cmp(a));
+        for (i, &(born, off)) in staged.iter().enumerate() {
+            let entry = u64::from(off) | u64::from(born) << 8;
+            skips[i / 4] |= entry << (16 * (i % 4));
+        }
+    }
+    let meta = if dirty {
+        len | DEV_DIRTY_BIT
+    } else {
+        let skip_bit = if listed { DEV_SKIPS_BIT } else { 0 };
+        len | max_born << DEV_BORN_SHIFT | skip_bit
+    };
+    (u64::from(start) | u64::from(meta) << 32, skips)
+}
+
+impl SlackGraphBuffers {
+    /// Uploads the host store's current layout wholesale.
+    pub fn from_slack(host: &SlackCsr) -> Self {
+        let n = host.vertex_count();
+        assert!(
+            n <= ADJ_VERTEX_MASK as usize,
+            "vertex ids must fit under the packed born byte"
+        );
+        let mut pack = Vec::with_capacity(n);
+        let mut skips = Vec::with_capacity(SKIP_WORDS * n);
+        for v in 0..n as VertexId {
+            let (header, words) = device_row_header(host, v);
+            pack.push(header);
+            skips.extend_from_slice(&words);
+        }
+        let adj: Vec<u32> = host
+            .adj()
+            .iter()
+            .zip(host.epochs())
+            .map(|(&a, &e)| pack_adj(a, e))
+            .collect();
         Self {
             n,
-            num_arcs: adj.len(),
-            row_offsets: GpuBuffer::from_vec(offsets).named("row_offsets"),
+            capacity: host.capacity(),
+            row_pack: GpuBuffer::from_vec(pack).named("row_pack"),
+            staged_skips: GpuBuffer::from_vec(skips).named("staged_skips"),
             adj: GpuBuffer::from_vec(adj).named("adj"),
-            arc_tails: GpuBuffer::from_vec(Vec::new()).named("arc_tails"),
-            arc_heads: GpuBuffer::from_vec(Vec::new()).named("arc_heads"),
+            epochs: GpuBuffer::from_slice(host.epochs()).named("epochs"),
+            slot_tails: GpuBuffer::from_slice(host.slot_tails()).named("slot_tails"),
+        }
+    }
+
+    /// Drains the host store's delta journal into the device mirror.
+    ///
+    /// Slot deltas copy only the rewritten `adj`/`epochs` range plus the
+    /// owning row's meta word — O(degree) staging per op, the whole
+    /// point of the slack store. A relayout (row growth or compaction)
+    /// invalidates slot indices, so any journal containing one rebuilds
+    /// every buffer from the host's current layout instead.
+    pub fn sync(&mut self, host: &mut SlackCsr) {
+        let deltas = host.take_deltas();
+        if deltas.is_empty() {
+            return;
+        }
+        if deltas.iter().any(|d| matches!(d, SlackDelta::Relayout)) {
+            *self = Self::from_slack(host);
+            return;
+        }
+        let (adj, epochs) = (host.adj(), host.epochs());
+        for delta in deltas {
+            let SlackDelta::Slots { row, lo, hi } = delta else {
+                unreachable!("relayouts rebuilt above");
+            };
+            for s in lo as usize..hi as usize {
+                self.adj.host_set(s, pack_adj(adj[s], epochs[s]));
+                self.epochs.host_set(s, epochs[s]);
+            }
+            let (header, words) = device_row_header(host, row);
+            self.row_pack.host_set(row as usize, header);
+            for (i, &w) in words.iter().enumerate() {
+                self.staged_skips.host_set(SKIP_WORDS * row as usize + i, w);
+            }
         }
     }
 }
@@ -347,35 +523,89 @@ impl ScratchBuffers {
 mod tests {
     use super::*;
     use crate::brandes::brandes_state;
-    use dynbc_graph::EdgeList;
+    use dynbc_graph::{Csr, EdgeList};
 
     #[test]
-    fn graph_buffers_mirror_csr() {
+    fn slack_mirror_matches_host_store() {
         let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
-        let csr = Csr::from_edge_list(&el);
-        let gb = GraphBuffers::from_csr(&csr);
+        let slack = SlackCsr::from_csr_exact(&Csr::from_edge_list(&el));
+        let gb = SlackGraphBuffers::from_slack(&slack);
         assert_eq!(gb.n, 4);
-        assert_eq!(gb.num_arcs, 8);
-        assert_eq!(gb.row_offsets.to_vec(), [0, 2, 4, 6, 8]);
-        let tails = gb.arc_tails.to_vec();
-        let heads = gb.arc_heads.to_vec();
-        assert_eq!(tails.len(), 8);
-        for (t, h) in tails.iter().zip(&heads) {
-            assert!(csr.has_edge(*t, *h));
+        assert_eq!(gb.capacity, 8, "exact layout: capacity == arc count");
+        let pack = gb.row_pack.to_vec();
+        let starts: Vec<u32> = pack.iter().map(|&p| p as u32).collect();
+        assert_eq!(starts, [0, 2, 4, 6], "header low words are row starts");
+        // Settled-live slots have born 0, so the packed mirror is verbatim.
+        assert_eq!(gb.adj.to_vec(), slack.adj());
+        assert_eq!(gb.epochs.to_vec(), slack.epochs());
+        let tails = gb.slot_tails.to_vec();
+        for (s, &t) in tails.iter().enumerate() {
+            assert!((0..4).contains(&t));
+            assert!(slack.has_edge(t, gb.adj.host_get(s) & ADJ_VERTEX_MASK));
+        }
+        for v in 0..4u32 {
+            assert_eq!((pack[v as usize] >> 32) as u32, slack.row_meta(v));
         }
     }
 
     #[test]
-    fn node_snapshot_matches_full_snapshot_minus_arcs() {
-        let el = EdgeList::from_pairs(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
-        let csr = Csr::from_edge_list(&el);
-        let full = GraphBuffers::from_csr(&csr);
-        let node = GraphBuffers::from_csr_node(&csr);
-        assert_eq!(node.n, full.n);
-        assert_eq!(node.num_arcs, full.num_arcs);
-        assert_eq!(node.row_offsets.to_vec(), full.row_offsets.to_vec());
-        assert_eq!(node.adj.to_vec(), full.adj.to_vec());
-        assert!(node.arc_tails.is_empty() && node.arc_heads.is_empty());
+    fn sync_replays_slot_deltas_without_rebuild() {
+        let el = EdgeList::from_pairs(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        // Generous slack, compaction off: the mutations below stay
+        // in-place slot rewrites, never a relayout.
+        let mut slack = SlackCsr::from_csr(&Csr::from_edge_list(&el), 100, 100);
+        let mut gb = SlackGraphBuffers::from_slack(&slack);
+        let cap0 = gb.capacity;
+        assert!(slack.insert_edge(0, 5));
+        assert!(slack.remove_edge(2, 3));
+        gb.sync(&mut slack);
+        assert_eq!(slack.relayouts(), 0, "slack absorbed both mutations");
+        assert_eq!(gb.capacity, cap0);
+        let packed: Vec<u32> = slack
+            .adj()
+            .iter()
+            .zip(slack.epochs())
+            .map(|(&a, &e)| pack_adj(a, e))
+            .collect();
+        assert_eq!(gb.adj.to_vec(), packed);
+        assert_eq!(gb.epochs.to_vec(), slack.epochs());
+        for v in 0..6u32 {
+            assert_eq!(
+                (gb.row_pack.host_get(v as usize) >> 32) as u32,
+                slack.row_meta(v)
+            );
+        }
+        // Second sync with nothing pending is a no-op.
+        gb.sync(&mut slack);
+        assert_eq!(gb.adj.to_vec(), packed);
+    }
+
+    #[test]
+    fn sync_rebuilds_after_relayout() {
+        let el = EdgeList::from_pairs(5, [(0, 1), (1, 2)]);
+        // Zero slack leaves one spare slot per row; the second insert
+        // into row 1 overflows it and forces growth.
+        let mut slack = SlackCsr::from_csr(&Csr::from_edge_list(&el), 0, 100);
+        let mut gb = SlackGraphBuffers::from_slack(&slack);
+        assert!(slack.insert_edge(1, 3));
+        assert!(slack.insert_edge(1, 4));
+        gb.sync(&mut slack);
+        assert!(slack.relayouts() > 0, "zero-slack rows must grow");
+        assert_eq!(gb.capacity, slack.capacity());
+        for v in 0..5usize {
+            let p = gb.row_pack.host_get(v);
+            assert_eq!(p as u32, slack.row_start()[v]);
+            assert_eq!((p >> 32) as u32, slack.row_meta(v as u32));
+        }
+        let packed: Vec<u32> = slack
+            .adj()
+            .iter()
+            .zip(slack.epochs())
+            .map(|(&a, &e)| pack_adj(a, e))
+            .collect();
+        assert_eq!(gb.adj.to_vec(), packed);
+        assert_eq!(gb.epochs.to_vec(), slack.epochs());
+        assert_eq!(gb.slot_tails.to_vec(), slack.slot_tails());
     }
 
     #[test]

@@ -13,18 +13,21 @@
 //!    launch ("figuring out which case each source node has to compute
 //!    is trivial");
 //! 2. the **exec layer** (`super::exec`) fuses each stage's surviving
-//!    work items into a single grid, with per-op CSR snapshots and a
-//!    per-*(op, block)* BC delta slab so batching is bit-identical to
-//!    one-at-a-time application;
-//! 3. this module owns the device, the persistent buffers, and the
-//!    public API: [`GpuDynamicBc::apply_batch`], with
+//!    work items into a single grid over the device-resident slack store:
+//!    each op records only its O(degree) epoch delta and its items read
+//!    the store through a versioned [`GraphView`](super::kernels::GraphView),
+//!    with a per-*(op, block)* BC delta slab so batching is bit-identical
+//!    to one-at-a-time application;
+//! 3. this module owns the device, the persistent buffers — including the
+//!    [`SlackCsr`] host store and its [`SlackGraphBuffers`] device mirror
+//!    — and the public API: [`GpuDynamicBc::apply_batch`], with
 //!    [`insert_edge`](GpuDynamicBc::insert_edge) /
 //!    [`remove_edge`](GpuDynamicBc::remove_edge) as batch-of-one
 //!    wrappers.
 //!
 //! Simulated time accumulates on the engine's [`Gpu`] clock; host↔device
-//! staging (CSR re-upload after the structure update, result downloads)
-//! stays off the clock, as in the paper's methodology.
+//! staging (slack-store delta sync after the structure update, result
+//! downloads) stays off the clock, as in the paper's methodology.
 //!
 //! Blocks of the fused launch may execute on real host threads
 //! (`DYNBC_HOST_THREADS`; see `dynbc-gpusim`). Every cross-block effect is
@@ -34,7 +37,7 @@
 //! per-block slots keyed by `(op, row)` — so simulated seconds, stats,
 //! and every `f64` of state are bit-identical for any thread count.
 
-use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers};
+use super::buffers::{ScratchBuffers, SlackGraphBuffers, StateBuffers};
 use super::exec::{self, Backend, ExecConfig};
 use crate::brandes::brandes_state;
 use crate::cases::InsertionCase;
@@ -42,8 +45,9 @@ use crate::dynamic::result::{BatchResult, OpOutcome, SourceOutcome, UpdateResult
 use crate::obs::batch_observation;
 use crate::plan::{self, PlannedOp};
 use crate::state::BcState;
+use dynbc_gpusim::knob;
 use dynbc_gpusim::{telemetry_from_env, DeviceConfig, Gpu, GpuBuffer, KernelStats, ProfileReport};
-use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, VertexId};
+use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, SlackCsr, VertexId};
 use dynbc_telemetry::{Span, Telemetry};
 
 /// Fine-grained work decomposition: one thread per arc, or one thread per
@@ -154,11 +158,17 @@ pub struct GpuDynamicBc {
     ///
     /// [`T_UNTOUCHED`]: crate::gpu::buffers::T_UNTOUCHED
     scratch_t_dirty: bool,
-    /// CSR mirror of `graph`, kept current by splicing each committed op
-    /// in place ([`Csr::insert_edge`] / [`Csr::remove_edge`]) — the same
-    /// bytes `graph.to_csr()` would produce, without paying a full
-    /// degree/scatter/sort rebuild on every op's snapshot.
-    csr_cache: Csr,
+    /// Host side of the device-resident dynamic adjacency: each committed
+    /// op splices an O(degree) epoch delta into the slack rows instead of
+    /// rebuilding a CSR snapshot. Settled (and possibly compacted) after
+    /// every stage; `slack.to_csr()` canonicalizes to the exact bytes
+    /// `graph.to_csr()` produces.
+    slack: SlackCsr,
+    /// Device mirror of `slack`, kept current by replaying its delta
+    /// journal ([`SlackGraphBuffers::sync`]) — every kernel of every
+    /// backend reads adjacency through this one store, via per-op
+    /// versioned views.
+    store: SlackGraphBuffers,
     telemetry: Option<Box<Telemetry>>,
 }
 
@@ -171,17 +181,26 @@ impl GpuDynamicBc {
         device: DeviceConfig,
         par: Parallelism,
     ) -> Self {
+        // dynbc-lint: allow(hot-path-rebuild) — one-time engine construction, not the batch update path
         let csr = Csr::from_edge_list(el);
         let state = brandes_state(&csr, sources);
-        let num_arcs = csr.adjacency().len();
         let num_blocks = device.num_sms;
+        let slack = SlackCsr::from_csr(
+            &csr,
+            knob::parse_from_env(knob::SLACK_FACTOR_ENV, 25u32),
+            knob::parse_from_env(knob::SLACK_COMPACT_ENV, 25u32),
+        );
+        let store = SlackGraphBuffers::from_slack(&slack);
         // The scratch pool: allocated once, reused by every update (and
         // grown on demand — see `apply_batch`). Queue rows start with
-        // headroom for the insertion stream growing the graph.
-        let scr = ScratchBuffers::new(num_blocks, el.vertex_count(), num_arcs + 4096);
+        // headroom for the insertion stream growing the graph; sizing
+        // follows the slack store's slot capacity, since edge-parallel
+        // kernels scan every slot.
+        let scr = ScratchBuffers::new(num_blocks, el.vertex_count(), store.capacity + 4096);
         Self {
             gpu: Gpu::new(device),
             par,
+            // dynbc-lint: allow(hot-path-rebuild) — one-time engine construction, not the batch update path
             graph: DynGraph::from_edge_list(el),
             st: StateBuffers::upload(&state),
             scr,
@@ -201,7 +220,8 @@ impl GpuDynamicBc {
             router_cpu_stages: 0,
             router_native_stages: 0,
             scratch_t_dirty: false,
-            csr_cache: csr,
+            slack,
+            store,
             telemetry: telemetry_from_env().then(|| Box::new(Telemetry::new())),
         }
     }
@@ -455,9 +475,10 @@ impl GpuDynamicBc {
             // Plan one stage (host side, off the simulated clock): commit
             // each op to the graph and classify it against the stage-start
             // distances — valid because only the stage's last op may
-            // change any distance. Each op gets its own CSR snapshot so
-            // the fused launch reads exactly the adjacency the sequential
-            // path would.
+            // change any distance. Each op splices an O(degree) versioned
+            // delta into the slack store; its work items read the store at
+            // that version, so the fused launch sees exactly the adjacency
+            // the sequential path would.
             // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
             let plan_t = tel_on.then(std::time::Instant::now);
             // Stage-start distance rows, borrowed straight from the
@@ -471,29 +492,18 @@ impl GpuDynamicBc {
                 .collect();
             let stage_base = next;
             let mut stage: Vec<PlannedOp> = Vec::new();
-            let mut gbufs: Vec<Option<GraphBuffers>> = Vec::new();
             while next < batch.len() {
                 let planned = plan::plan_op(&mut self.graph, &d_rows, batch[next]);
-                // Mirror the committed op into the CSR cache: a memcpy
-                // splice instead of the O(V + E) rebuild a from-scratch
-                // snapshot would cost on every op.
+                // Mirror the committed op into the slack store at stage
+                // version `slot + 1`: an O(degree) epoch splice instead of
+                // the O(V + E) snapshot clone per op the CSR path cost.
+                // Even Case-1-only ops (which launch nothing) apply their
+                // delta — later ops of the stage read versions above them.
+                let ver = stage.len() as u32 + 1;
                 match planned.op {
-                    EdgeOp::Insert(u, v) => self.csr_cache.insert_edge(u, v),
-                    EdgeOp::Remove(u, v) => self.csr_cache.remove_edge(u, v),
+                    EdgeOp::Insert(u, v) => self.slack.insert_edge_versioned(u, v, ver),
+                    EdgeOp::Remove(u, v) => self.slack.remove_edge_versioned(u, v, ver),
                 }
-                // Case-1-only ops launch nothing and no later item of the
-                // stage reads their snapshot (each item reads its *own*
-                // op's adjacency): skip staging a snapshot entirely.
-                // Node-parallel kernels never index the flat arc list, so
-                // their snapshots skip the 2m-element arc staging too.
-                let has_items = planned.items().next().is_some();
-                gbufs.push(has_items.then(|| {
-                    if self.par == Parallelism::Node {
-                        GraphBuffers::from_csr_node(&self.csr_cache)
-                    } else {
-                        GraphBuffers::from_csr(&self.csr_cache)
-                    }
-                }));
                 next += 1;
                 let cut = planned.cuts_stage();
                 stage.push(planned);
@@ -501,6 +511,9 @@ impl GpuDynamicBc {
                     break;
                 }
             }
+            // Replay the stage's deltas onto the device mirror before any
+            // kernel reads it (off the simulated clock, like all staging).
+            self.store.sync(&mut self.slack);
 
             // Scratch sized by batch width: queue rows for the widest
             // snapshot, one BC-delta slab row per (op, block) pair.
@@ -509,13 +522,7 @@ impl GpuDynamicBc {
             // dynbc-lint: allow(no-wall-clock) — wall_s is an observability-only telemetry field; no model result reads it
             let exec_t = tel_on.then(std::time::Instant::now);
 
-            let max_arcs = gbufs
-                .iter()
-                .flatten()
-                .map(|g| g.num_arcs)
-                .max()
-                .unwrap_or(0);
-            self.scr.ensure_arc_capacity(max_arcs + 4096);
+            self.scr.ensure_arc_capacity(self.store.capacity + 4096);
             self.scr.ensure_bc_rows(stage.len() * self.num_blocks);
 
             let cfg = ExecConfig {
@@ -546,7 +553,7 @@ impl GpuDynamicBc {
                         &self.st,
                         &self.case_buf,
                         &stage,
-                        &gbufs,
+                        &self.store,
                         stage_idx,
                     );
                     let touched = exec::run_stage(
@@ -555,7 +562,7 @@ impl GpuDynamicBc {
                         &self.st,
                         &self.scr,
                         &stage,
-                        &gbufs,
+                        &self.store,
                         stage_idx,
                     );
                     self.scratch_t_dirty = true;
@@ -563,8 +570,14 @@ impl GpuDynamicBc {
                 }
                 Backend::Native => {
                     let workers = self.gpu.host_threads();
-                    let touched =
-                        crate::native::run_stage(cfg, &self.st, &self.scr, &stage, &gbufs, workers);
+                    let touched = crate::native::run_stage(
+                        cfg,
+                        &self.st,
+                        &self.scr,
+                        &stage,
+                        &self.store,
+                        workers,
+                    );
                     (touched, None)
                 }
                 Backend::Hybrid => {
@@ -587,7 +600,12 @@ impl GpuDynamicBc {
                         let cpu = predicted <= threshold;
                         let workers = if cpu { 1 } else { self.gpu.host_threads() };
                         let touched = crate::native::run_stage(
-                            cfg, &self.st, &self.scr, &stage, &gbufs, workers,
+                            cfg,
+                            &self.st,
+                            &self.scr,
+                            &stage,
+                            &self.store,
+                            workers,
                         );
                         // Feed the observed footprints back into the
                         // estimator, in deterministic item order.
@@ -603,6 +621,13 @@ impl GpuDynamicBc {
                     }
                 }
             };
+            // Stage epilogue: normalize the stage's epochs to settled
+            // live/tombstone form — compacting deterministically when the
+            // tombstone share crosses the threshold — and replay the
+            // resulting deltas onto the device mirror (off the clock,
+            // like all staging).
+            self.slack.settle();
+            self.store.sync(&mut self.slack);
             if tel_on {
                 if let (Some(cpu), Some(tel)) = (routed, self.telemetry.as_deref_mut()) {
                     tel.record_router_stage(cpu, route_t.elapsed().as_secs_f64());

@@ -10,10 +10,12 @@
 //!   `row % num_blocks == b` and processes them in `(op, row)` order, so
 //!   every per-source state row has exactly one writer for the whole
 //!   launch;
-//! * each item reads the graph through its op's own CSR snapshot
-//!   (`gbufs[op_slot]` reflects the graph *after* that op committed), so
-//!   fusing never shows an item a younger adjacency than the sequential
-//!   path would;
+//! * each item reads the graph through a *versioned view* of the shared
+//!   slack store ([`WorkItem::view`]): op slot `j` applies its O(degree)
+//!   delta at version `j + 1`, and its items read at that same version —
+//!   the adjacency after the op committed — so fusing never shows an
+//!   item a younger adjacency than the sequential path would, without
+//!   cloning a per-op CSR snapshot;
 //! * BC increments land in a per-*(op, block)* slab row
 //!   (`bc_slot = op_slot * num_blocks + block_slot`); draining the slab
 //!   in row order replays the exact `f64` addition order of a
@@ -25,9 +27,11 @@
 //! amortization the batch API exists for — and lets light ops pack into
 //! SMs idled by heavy ones.
 
-use super::buffers::{GraphBuffers, ScratchBuffers, StateBuffers, T_UNTOUCHED};
+use super::buffers::{ScratchBuffers, SlackGraphBuffers, StateBuffers, T_UNTOUCHED};
 use super::engine::{DedupStrategy, Parallelism};
-use super::kernels::{case2_edge, case2_node, case3_edge, case3_node, common, delete, Ctx};
+use super::kernels::{
+    case2_edge, case2_node, case3_edge, case3_node, common, delete, Ctx, GraphView,
+};
 use super::static_bc::{static_source_edge, static_source_node};
 use crate::cases::InsertionCase;
 use crate::plan::PlannedOp;
@@ -119,6 +123,24 @@ pub(crate) struct WorkItem {
     pub(crate) u_low: u32,
 }
 
+impl WorkItem {
+    /// The versioned graph view this item must read: the shared device
+    /// store as of its own op's commit (`version = op_slot + 1`). The
+    /// single place the stage-versioning invariant lives — every backend
+    /// builds its kernel context through this accessor.
+    pub(crate) fn view<'a>(&self, store: &'a SlackGraphBuffers) -> GraphView<'a> {
+        op_view(store, self.op_slot)
+    }
+}
+
+/// The graph view as of op slot `op_slot`'s commit within a stage.
+pub(crate) fn op_view(store: &SlackGraphBuffers, op_slot: usize) -> GraphView<'_> {
+    GraphView {
+        store,
+        ver: op_slot as u32 + 1,
+    }
+}
+
 /// Flattens a stage into its non-trivial work items in op-major /
 /// row-minor order — the submission order every backend must preserve
 /// per source row.
@@ -154,7 +176,7 @@ pub(super) fn charge_classification(
     st: &StateBuffers,
     case_buf: &GpuBuffer<u32>,
     stage: &[PlannedOp],
-    gbufs: &[Option<GraphBuffers>],
+    store: &SlackGraphBuffers,
     stage_idx: usize,
 ) {
     let n = st.n;
@@ -172,19 +194,17 @@ pub(super) fn charge_classification(
                 if !is_insert && du != dv {
                     // An existing edge spans adjacent levels, so both
                     // endpoints are reachable here: scan u_low's
-                    // post-removal adjacency for a surviving
-                    // predecessor, stopping at the first hit. A removal
-                    // source with `du != dv` is never Case 1, so this
-                    // op has work items and therefore a CSR snapshot.
-                    let g = gbufs[slot]
-                        .as_ref()
-                        .expect("non-trivial removal source implies a CSR snapshot");
+                    // post-removal adjacency (the store viewed at this
+                    // op's version) for a surviving predecessor,
+                    // stopping at the first hit.
+                    let g = op_view(store, slot);
                     let u_low = if du < dv { v } else { u };
                     let d_low = du.max(dv);
-                    let start = lane.read(&g.row_offsets, u_low as usize) as usize;
-                    let end = lane.read(&g.row_offsets, u_low as usize + 1) as usize;
+                    let (start, end, check) = g.row(lane, u_low);
                     for e in start..end {
-                        let x = lane.read(&g.adj, e);
+                        let Some(x) = g.slot(lane, &check, e) else {
+                            continue;
+                        };
                         let dx = lane.read(&st.d, i * n + x as usize);
                         if dx != u32::MAX && dx + 1 == d_low {
                             break;
@@ -208,7 +228,7 @@ pub(super) fn run_stage(
     st: &StateBuffers,
     scr: &ScratchBuffers,
     stage: &[PlannedOp],
-    gbufs: &[Option<GraphBuffers>],
+    store: &SlackGraphBuffers,
     stage_idx: usize,
 ) -> Vec<(usize, usize, usize)> {
     let items = stage_items(stage);
@@ -235,9 +255,7 @@ pub(super) fn run_stage(
         // submission order by the row's owning block.
         for item in items_ref.iter().filter(|it| it.row % num_blocks == b) {
             let ctx = Ctx {
-                g: gbufs[item.op_slot]
-                    .as_ref()
-                    .expect("work item implies a CSR snapshot for its op"),
+                g: item.view(store),
                 st,
                 scr,
                 block_slot: b,

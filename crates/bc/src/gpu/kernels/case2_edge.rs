@@ -23,22 +23,25 @@ use dynbc_gpusim::BlockCtx;
 /// touched level.
 pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
     block.label("case2_edge::sp");
-    let num_arcs = ctx.g.num_arcs;
+    let capacity = ctx.g.store.capacity;
     let d_low = block.read_scalar(&ctx.st.d, ctx.kn(ctx.u_low));
     let mut depth = d_low; // shared current_depth
     let mut deepest = d_low;
     loop {
         let mut done = true; // shared
-        block.parallel_for(num_arcs, |lane, e| {
-            let v = lane.read(&ctx.g.arc_tails, e);
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !ctx.g.live(lane, e) {
+                return; // gap/tombstone slot: same shape as a futile thread
+            }
+            let v = lane.read(&ctx.g.store.slot_tails, e);
             if lane.read(&ctx.st.d, ctx.kn(v)) != depth {
                 return; // the futile-thread fast path
             }
             if lane.read(&ctx.scr.t, ctx.sn(v)) == T_UNTOUCHED {
                 return; // see module docs: only touched vertices propagate
             }
-            let w = lane.read(&ctx.g.arc_heads, e);
+            let w = ctx.g.neighbour(lane, e);
             if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
                 lane.prof_edges_passed(1);
                 if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
@@ -65,23 +68,26 @@ pub fn sp_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
 /// accumulation from `deepest` up to the source.
 pub fn dep_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
     block.label("case2_edge::dep");
-    let num_arcs = ctx.g.num_arcs;
+    let capacity = ctx.g.store.capacity;
     let u_high = ctx.u_high;
     let u_low = ctx.u_low;
     let mut depth = deepest;
     while depth > 0 {
-        block.parallel_for(num_arcs, |lane, e| {
+        block.parallel_for(capacity, |lane, e| {
             // w: the deeper endpoint (at `depth`, must be touched);
             // v: its predecessor candidate (at `depth - 1`).
-            let w = lane.read(&ctx.g.arc_tails, e);
             lane.prof_edges_scanned(1);
+            if !ctx.g.live(lane, e) {
+                return;
+            }
+            let w = lane.read(&ctx.g.store.slot_tails, e);
             if lane.read(&ctx.st.d, ctx.kn(w)) != depth {
                 return;
             }
             if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
                 return;
             }
-            let v = lane.read(&ctx.g.arc_heads, e);
+            let v = ctx.g.neighbour(lane, e);
             if lane.read(&ctx.st.d, ctx.kn(v)) != depth - 1 {
                 return;
             }

@@ -39,11 +39,12 @@ pub fn sp_node(block: &mut BlockCtx, ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32
             let sig_hat_v = lane.read(&ctx.scr.sigma_hat, ctx.sn(v));
             let sig_v = lane.read(&ctx.st.sigma, ctx.kn(v));
             let push = sig_hat_v - sig_v;
-            let start = lane.read(&ctx.g.row_offsets, v as usize) as usize;
-            let end = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
+            let (start, end, check) = ctx.g.row(lane, v);
             for e in start..end {
-                let w = lane.read(&ctx.g.adj, e);
                 lane.prof_edges_scanned(1);
+                let Some(w) = ctx.g.slot(lane, &check, e) else {
+                    continue;
+                };
                 if lane.read(&ctx.st.d, ctx.kn(w)) == depth + 1 {
                     lane.prof_edges_passed(1);
                     let discovered = match dedup {
@@ -107,11 +108,12 @@ pub fn dep_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest: u32) {
             let del_hat_w = lane.read(&ctx.scr.delta_hat, ctx.sn(w));
             let sig_w = lane.read(&ctx.st.sigma, ctx.kn(w));
             let del_w = lane.read(&ctx.st.delta, ctx.kn(w));
-            let start = lane.read(&ctx.g.row_offsets, w as usize) as usize;
-            let end = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
+            let (start, end, check) = ctx.g.row(lane, w);
             for e in start..end {
-                let v = lane.read(&ctx.g.adj, e);
                 lane.prof_edges_scanned(1);
+                let Some(v) = ctx.g.slot(lane, &check, e) else {
+                    continue;
+                };
                 if lane.read(&ctx.st.d, ctx.kn(v)) != depth - 1 {
                     continue;
                 }

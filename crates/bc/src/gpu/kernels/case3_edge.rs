@@ -15,7 +15,7 @@ use dynbc_gpusim::BlockCtx;
 pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
     block.label("case3_edge::phase1");
     let n = ctx.n();
-    let num_arcs = ctx.g.num_arcs;
+    let capacity = ctx.g.store.capacity;
     let start = block.read_scalar(&ctx.scr.d_hat, ctx.sn(ctx.u_low));
     let mut level = start;
     let mut deepest = start;
@@ -32,15 +32,18 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
         });
         block.barrier();
         // Pass B: accumulate σ̂ from predecessors into this level.
-        block.parallel_for(num_arcs, |lane, e| {
-            let b = lane.read(&ctx.g.arc_tails, e);
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !ctx.g.live(lane, e) {
+                return;
+            }
+            let b = lane.read(&ctx.g.store.slot_tails, e);
             if lane.read(&ctx.scr.d_hat, ctx.sn(b)) != level
                 || lane.read(&ctx.scr.t, ctx.sn(b)) != T_DOWN
             {
                 return;
             }
-            let a = lane.read(&ctx.g.arc_heads, e);
+            let a = ctx.g.neighbour(lane, e);
             if lane.read(&ctx.scr.d_hat, ctx.sn(a)) == level - 1 {
                 lane.prof_edges_passed(1);
                 let sig_a = lane.read(&ctx.scr.sigma_hat, ctx.sn(a));
@@ -50,15 +53,18 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
         block.barrier();
         // Pass C: relocate farther neighbours and mark next-level ones.
         let mut done = true; // shared
-        block.parallel_for(num_arcs, |lane, e| {
-            let a = lane.read(&ctx.g.arc_tails, e);
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !ctx.g.live(lane, e) {
+                return;
+            }
+            let a = lane.read(&ctx.g.store.slot_tails, e);
             if lane.read(&ctx.scr.d_hat, ctx.sn(a)) != level
                 || lane.read(&ctx.scr.t, ctx.sn(a)) != T_DOWN
             {
                 return;
             }
-            let b = lane.read(&ctx.g.arc_heads, e);
+            let b = ctx.g.neighbour(lane, e);
             let db = lane.read(&ctx.scr.d_hat, ctx.sn(b));
             if db > level + 1 {
                 lane.prof_edges_passed(1);
@@ -87,17 +93,20 @@ pub fn phase1_edge(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
 /// fixpoint. Returns the deepest touched level.
 pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 {
     block.label("case3_edge::mark");
-    let num_arcs = ctx.g.num_arcs;
+    let capacity = ctx.g.store.capacity;
     block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DEPTH), deepest_down);
     loop {
         block.write_scalar(&ctx.scr.lens, ctx.li(SLOT_DONE), 1);
-        block.parallel_for(num_arcs, |lane, e| {
-            let w = lane.read(&ctx.g.arc_tails, e);
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !ctx.g.live(lane, e) {
+                return;
+            }
+            let w = lane.read(&ctx.g.store.slot_tails, e);
             if lane.read(&ctx.scr.t, ctx.sn(w)) == T_UNTOUCHED {
                 return;
             }
-            let x = lane.read(&ctx.g.arc_heads, e);
+            let x = ctx.g.neighbour(lane, e);
             if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {
                 return;
             }
@@ -128,19 +137,22 @@ pub fn mark_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
 /// accumulates without a zeroing pass (δ̂ starts at 0 from init).
 pub fn phase2_edge(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
     block.label("case3_edge::phase2");
-    let num_arcs = ctx.g.num_arcs;
+    let capacity = ctx.g.store.capacity;
     let mut depth = max_depth;
     loop {
-        block.parallel_for(num_arcs, |lane, e| {
-            let a = lane.read(&ctx.g.arc_tails, e);
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !ctx.g.live(lane, e) {
+                return;
+            }
+            let a = lane.read(&ctx.g.store.slot_tails, e);
             if lane.read(&ctx.scr.t, ctx.sn(a)) == T_UNTOUCHED {
                 return;
             }
             if lane.read(&ctx.scr.d_hat, ctx.sn(a)) != depth {
                 return;
             }
-            let b = lane.read(&ctx.g.arc_heads, e);
+            let b = ctx.g.neighbour(lane, e);
             if lane.read(&ctx.scr.d_hat, ctx.sn(b)) != depth + 1 {
                 return;
             }

@@ -50,12 +50,13 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             if lane.read(&ctx.scr.d_hat, ctx.sn(v)) != level {
                 return; // stale entry from before a relocation
             }
-            let start_e = lane.read(&ctx.g.row_offsets, v as usize) as usize;
-            let end_e = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row(lane, v);
             let mut sig = 0.0;
             for e in start_e..end_e {
-                let x = lane.read(&ctx.g.adj, e);
                 lane.prof_edges_scanned(1);
+                let Some(x) = ctx.g.slot(lane, &check, e) else {
+                    continue;
+                };
                 if lane.read(&ctx.scr.d_hat, ctx.sn(x)) == level - 1 {
                     lane.prof_edges_passed(1);
                     // Untouched x: σ̂ = σ from init. Touched x: final, its
@@ -73,11 +74,12 @@ pub fn phase1_node(block: &mut BlockCtx, ctx: &Ctx<'_>) -> u32 {
             if lane.read(&ctx.scr.d_hat, ctx.sn(v)) != level {
                 return;
             }
-            let start_e = lane.read(&ctx.g.row_offsets, v as usize) as usize;
-            let end_e = lane.read(&ctx.g.row_offsets, v as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row(lane, v);
             for e in start_e..end_e {
-                let w = lane.read(&ctx.g.adj, e);
                 lane.prof_edges_scanned(1);
+                let Some(w) = ctx.g.slot(lane, &check, e) else {
+                    continue;
+                };
                 let dw = lane.read(&ctx.scr.d_hat, ctx.sn(w));
                 if dw > level + 1 {
                     lane.prof_edges_passed(1);
@@ -133,11 +135,12 @@ pub fn mark_node(block: &mut BlockCtx, ctx: &Ctx<'_>, deepest_down: u32) -> u32 
             };
             let dw_new = lane.read(&ctx.scr.d_hat, ctx.sn(w));
             let dw_old = lane.read(&ctx.st.d, ctx.kn(w));
-            let start_e = lane.read(&ctx.g.row_offsets, w as usize) as usize;
-            let end_e = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row(lane, w);
             for e in start_e..end_e {
-                let x = lane.read(&ctx.g.adj, e);
                 lane.prof_edges_scanned(1);
+                let Some(x) = ctx.g.slot(lane, &check, e) else {
+                    continue;
+                };
                 if lane.read(&ctx.scr.t, ctx.sn(x)) != T_UNTOUCHED {
                     continue;
                 }
@@ -193,12 +196,13 @@ pub fn phase2_node(block: &mut BlockCtx, ctx: &Ctx<'_>, max_depth: u32) {
                 return; // stale/duplicate entries: pull is idempotent
             }
             let sig_hat_w = lane.read(&ctx.scr.sigma_hat, ctx.sn(w));
-            let start_e = lane.read(&ctx.g.row_offsets, w as usize) as usize;
-            let end_e = lane.read(&ctx.g.row_offsets, w as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row(lane, w);
             let mut acc = 0.0;
             for e in start_e..end_e {
-                let x = lane.read(&ctx.g.adj, e);
                 lane.prof_edges_scanned(1);
+                let Some(x) = ctx.g.slot(lane, &check, e) else {
+                    continue;
+                };
                 if lane.read(&ctx.scr.d_hat, ctx.sn(x)) != depth + 1 {
                     continue;
                 }

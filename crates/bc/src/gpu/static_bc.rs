@@ -15,10 +15,11 @@
 //! every vertex, where CAS discovery is the established approach and
 //! duplicate-tolerant queues would be pure overhead.
 
-use super::buffers::{GraphBuffers, ScratchBuffers, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN};
+use super::buffers::{ScratchBuffers, SlackGraphBuffers, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN};
 use super::engine::Parallelism;
+use super::kernels::GraphView;
 use dynbc_gpusim::{BlockCtx, CheckReport, DeviceConfig, Gpu, GpuBuffer, KernelStats};
-use dynbc_graph::{Csr, VertexId};
+use dynbc_graph::{Csr, SlackCsr, VertexId};
 
 const INF: u32 = u32::MAX;
 
@@ -92,7 +93,12 @@ fn static_bc_core(
     if let Some(threads) = host_threads {
         gpu.set_host_threads(threads);
     }
-    let g = GraphBuffers::from_csr(csr);
+    // A slack-free immutable layout: capacity equals the arc count, so
+    // the edge-parallel scans touch exactly the CSR's arcs and node rows
+    // are all clean (no epoch checks).
+    let slack = SlackCsr::from_csr_exact(csr);
+    let store = SlackGraphBuffers::from_slack(&slack);
+    let g = GraphView::settled(&store);
     // CAS-gated discovery never duplicates queue entries, so queue rows of
     // width ~n suffice (ScratchBuffers rounds up internally).
     let scr = ScratchBuffers::new(num_blocks, n, 0);
@@ -103,8 +109,8 @@ fn static_bc_core(
                 continue;
             }
             match par {
-                Parallelism::Node => static_source_node(block, &g, &scr, b, b, s),
-                Parallelism::Edge => static_source_edge(block, &g, &scr, b, b, s),
+                Parallelism::Node => static_source_node(block, g, &scr, b, b, s),
+                Parallelism::Edge => static_source_edge(block, g, &scr, b, b, s),
             }
         }
     };
@@ -131,14 +137,14 @@ fn static_bc_core(
 /// Per-source init: `d ← ∞`, `σ ← 0`, `δ ← 0`, then seed the source.
 pub(crate) fn static_init(
     block: &mut BlockCtx,
-    g: &GraphBuffers,
+    g: GraphView<'_>,
     scr: &ScratchBuffers,
     slot: usize,
     s: u32,
 ) {
     block.label("static::init");
     let row = scr.row(slot);
-    block.parallel_for(g.n, |lane, v| {
+    block.parallel_for(g.store.n, |lane, v| {
         lane.write(&scr.d_hat, row + v, INF);
         lane.write(&scr.sigma_hat, row + v, 0.0);
         lane.write(&scr.delta_hat, row + v, 0.0);
@@ -155,7 +161,7 @@ pub(crate) fn static_init(
 /// runs; the dynamic batch dispatcher passes per-*(op, block)* rows.
 fn static_accumulate_bc(
     block: &mut BlockCtx,
-    g: &GraphBuffers,
+    g: GraphView<'_>,
     scr: &ScratchBuffers,
     slot: usize,
     bc_slot: usize,
@@ -164,7 +170,7 @@ fn static_accumulate_bc(
     block.label("static::accumulate_bc");
     let row = scr.row(slot);
     let brow = scr.bc_row(bc_slot);
-    block.parallel_for(g.n, |lane, v| {
+    block.parallel_for(g.store.n, |lane, v| {
         if v != s as usize && lane.read(&scr.d_hat, row + v) != INF {
             let del = lane.read(&scr.delta_hat, row + v);
             lane.atomic_add_f64(&scr.bc_delta, brow + v, del);
@@ -177,7 +183,7 @@ fn static_accumulate_bc(
 /// level-filtered dependency sweep over the discovery order `QQ`.
 pub(crate) fn static_source_node(
     block: &mut BlockCtx,
-    g: &GraphBuffers,
+    g: GraphView<'_>,
     scr: &ScratchBuffers,
     slot: usize,
     bc_slot: usize,
@@ -199,11 +205,13 @@ pub(crate) fn static_source_node(
         block.parallel_for(q_len, |lane, tid| {
             let v = lane.read(&scr.q, qrow + tid);
             let sig_v = lane.read(&scr.sigma_hat, row + v as usize);
-            let start = lane.read(&g.row_offsets, v as usize) as usize;
-            let end = lane.read(&g.row_offsets, v as usize + 1) as usize;
+            let (start, end, check) = g.row(lane, v);
             for e in start..end {
-                let w = lane.read(&g.adj, e) as usize;
                 lane.prof_edges_scanned(1);
+                let Some(w) = g.slot(lane, &check, e) else {
+                    continue;
+                };
+                let w = w as usize;
                 let old = lane.atomic_cas_u32(&scr.d_hat, row + w, INF, depth + 1);
                 if old == INF {
                     let i = lane.atomic_add_u32(&scr.lens, lrow + SLOT_Q2LEN, 1);
@@ -245,11 +253,13 @@ pub(crate) fn static_source_node(
             }
             let sig_w = lane.read(&scr.sigma_hat, row + w);
             let del_w = lane.read(&scr.delta_hat, row + w);
-            let start = lane.read(&g.row_offsets, w) as usize;
-            let end = lane.read(&g.row_offsets, w + 1) as usize;
+            let (start, end, check) = g.row(lane, w as u32);
             for e in start..end {
-                let v = lane.read(&g.adj, e) as usize;
                 lane.prof_edges_scanned(1);
+                let Some(v) = g.slot(lane, &check, e) else {
+                    continue;
+                };
+                let v = v as usize;
                 if lane.read(&scr.d_hat, row + v) == depth - 1 {
                     lane.prof_edges_passed(1);
                     lane.compute(2);
@@ -268,7 +278,7 @@ pub(crate) fn static_source_node(
 /// both sweeps.
 pub(crate) fn static_source_edge(
     block: &mut BlockCtx,
-    g: &GraphBuffers,
+    g: GraphView<'_>,
     scr: &ScratchBuffers,
     slot: usize,
     bc_slot: usize,
@@ -277,17 +287,20 @@ pub(crate) fn static_source_edge(
     static_init(block, g, scr, slot, s);
     block.label("static::edge");
     let row = scr.row(slot);
-    let num_arcs = g.num_arcs;
+    let capacity = g.store.capacity;
     let mut depth = 0u32;
     loop {
         let mut done = true;
-        block.parallel_for(num_arcs, |lane, e| {
-            let v = lane.read(&g.arc_tails, e) as usize;
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !g.live(lane, e) {
+                return;
+            }
+            let v = lane.read(&g.store.slot_tails, e) as usize;
             if lane.read(&scr.d_hat, row + v) != depth {
                 return;
             }
-            let w = lane.read(&g.arc_heads, e) as usize;
+            let w = g.neighbour(lane, e) as usize;
             let old = lane.atomic_cas_u32(&scr.d_hat, row + w, INF, depth + 1);
             if old == INF {
                 done = false;
@@ -305,13 +318,16 @@ pub(crate) fn static_source_edge(
         depth += 1;
     }
     while depth > 0 {
-        block.parallel_for(num_arcs, |lane, e| {
-            let w = lane.read(&g.arc_tails, e) as usize;
+        block.parallel_for(capacity, |lane, e| {
             lane.prof_edges_scanned(1);
+            if !g.live(lane, e) {
+                return;
+            }
+            let w = lane.read(&g.store.slot_tails, e) as usize;
             if lane.read(&scr.d_hat, row + w) != depth {
                 return;
             }
-            let v = lane.read(&g.arc_heads, e) as usize;
+            let v = g.neighbour(lane, e) as usize;
             if lane.read(&scr.d_hat, row + v) == depth - 1 {
                 lane.prof_edges_passed(1);
                 lane.compute(2);

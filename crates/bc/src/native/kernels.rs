@@ -37,12 +37,11 @@
 //! [`host_set`]: dynbc_gpusim::GpuBuffer::host_set
 
 use crate::gpu::buffers::{
-    GraphBuffers, ScratchBuffers, SLOT_DEPTH, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN,
-    T_UNTOUCHED, T_UP,
+    ScratchBuffers, SLOT_DEPTH, SLOT_Q2LEN, SLOT_QLEN, SLOT_QQLEN, T_DOWN, T_UNTOUCHED, T_UP,
 };
 use crate::gpu::engine::DedupStrategy;
 use crate::gpu::kernels::common::SeedMode;
-use crate::gpu::kernels::Ctx;
+use crate::gpu::kernels::{Ctx, GraphView};
 
 const INF: u32 = u32::MAX;
 
@@ -252,10 +251,11 @@ pub(crate) fn sp_node(ctx: &Ctx<'_>, dedup: DedupStrategy) -> u32 {
             let sig_hat_v = ctx.scr.sigma_hat.host_get(ctx.sn(v));
             let sig_v = ctx.st.sigma.host_get(ctx.kn(v));
             let push = sig_hat_v - sig_v;
-            let start = ctx.g.row_offsets.host_get(v as usize) as usize;
-            let end = ctx.g.row_offsets.host_get(v as usize + 1) as usize;
+            let (start, end, check) = ctx.g.row_host(v);
             for e in start..end {
-                let w = ctx.g.adj.host_get(e);
+                let Some(w) = ctx.g.slot_host(&check, e) else {
+                    continue;
+                };
                 if ctx.st.d.host_get(ctx.kn(w)) == depth + 1 {
                     // Both dedup strategies gate discovery on the same
                     // test-and-set; sequentially they are identical.
@@ -320,10 +320,11 @@ pub(crate) fn dep_node(ctx: &Ctx<'_>, deepest: u32) {
             let del_hat_w = ctx.scr.delta_hat.host_get(ctx.sn(w));
             let sig_w = ctx.st.sigma.host_get(ctx.kn(w));
             let del_w = ctx.st.delta.host_get(ctx.kn(w));
-            let start = ctx.g.row_offsets.host_get(w as usize) as usize;
-            let end = ctx.g.row_offsets.host_get(w as usize + 1) as usize;
+            let (start, end, check) = ctx.g.row_host(w);
             for e in start..end {
-                let v = ctx.g.adj.host_get(e);
+                let Some(v) = ctx.g.slot_host(&check, e) else {
+                    continue;
+                };
                 if ctx.st.d.host_get(ctx.kn(v)) != depth - 1 {
                     continue;
                 }
@@ -379,11 +380,12 @@ pub(crate) fn phase1_node(ctx: &Ctx<'_>) -> u32 {
             if ctx.scr.d_hat.host_get(ctx.sn(v)) != level {
                 continue;
             }
-            let start_e = ctx.g.row_offsets.host_get(v as usize) as usize;
-            let end_e = ctx.g.row_offsets.host_get(v as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row_host(v);
             let mut sig = 0.0;
             for e in start_e..end_e {
-                let x = ctx.g.adj.host_get(e);
+                let Some(x) = ctx.g.slot_host(&check, e) else {
+                    continue;
+                };
                 if dhat(ctx, x) == level - 1 {
                     // dynbc-lint: allow(float-accumulation) — lane-local accumulator over the fixed adjacency order; single writer, drained via bc_delta
                     sig += shat(ctx, x);
@@ -397,10 +399,11 @@ pub(crate) fn phase1_node(ctx: &Ctx<'_>) -> u32 {
             if ctx.scr.d_hat.host_get(ctx.sn(v)) != level {
                 continue;
             }
-            let start_e = ctx.g.row_offsets.host_get(v as usize) as usize;
-            let end_e = ctx.g.row_offsets.host_get(v as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row_host(v);
             for e in start_e..end_e {
-                let w = ctx.g.adj.host_get(e);
+                let Some(w) = ctx.g.slot_host(&check, e) else {
+                    continue;
+                };
                 let dw = dhat(ctx, w);
                 if dw > level + 1 {
                     // Fires only for untouched `w`: a touched vertex's
@@ -451,10 +454,11 @@ pub(crate) fn mark_node(ctx: &Ctx<'_>, deepest_down: u32) -> u32 {
             };
             let dw_new = ctx.scr.d_hat.host_get(ctx.sn(w));
             let dw_old = ctx.st.d.host_get(ctx.kn(w));
-            let start_e = ctx.g.row_offsets.host_get(w as usize) as usize;
-            let end_e = ctx.g.row_offsets.host_get(w as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row_host(w);
             for e in start_e..end_e {
-                let x = ctx.g.adj.host_get(e);
+                let Some(x) = ctx.g.slot_host(&check, e) else {
+                    continue;
+                };
                 if ctx.scr.t.host_get(ctx.sn(x)) != T_UNTOUCHED {
                     continue;
                 }
@@ -516,11 +520,12 @@ pub(crate) fn phase2_node(ctx: &Ctx<'_>, max_depth: u32) {
     loop {
         for &w in &buckets[depth as usize] {
             let sig_hat_w = ctx.scr.sigma_hat.host_get(ctx.sn(w));
-            let start_e = ctx.g.row_offsets.host_get(w as usize) as usize;
-            let end_e = ctx.g.row_offsets.host_get(w as usize + 1) as usize;
+            let (start_e, end_e, check) = ctx.g.row_host(w);
             let mut acc = 0.0;
             for e in start_e..end_e {
-                let x = ctx.g.adj.host_get(e);
+                let Some(x) = ctx.g.slot_host(&check, e) else {
+                    continue;
+                };
                 if dhat(ctx, x) != depth + 1 {
                     continue;
                 }
@@ -608,7 +613,7 @@ pub(crate) fn fallback_commit(ctx: &Ctx<'_>) {
 /// accumulation): one from-scratch node-parallel source pass writing into
 /// block scratch row `slot` and BC delta row `bc_slot`.
 pub(crate) fn static_source_node(
-    g: &GraphBuffers,
+    g: GraphView<'_>,
     scr: &ScratchBuffers,
     slot: usize,
     bc_slot: usize,
@@ -618,7 +623,7 @@ pub(crate) fn static_source_node(
     let qrow = scr.qrow(slot);
     let lrow = scr.lens_row(slot);
     // static::init
-    for v in 0..g.n {
+    for v in 0..g.store.n {
         scr.d_hat.host_set(row + v, INF);
         scr.sigma_hat.host_set(row + v, 0.0);
         scr.delta_hat.host_set(row + v, 0.0);
@@ -637,10 +642,12 @@ pub(crate) fn static_source_node(
         for tid in 0..q_len {
             let v = scr.q.host_get(qrow + tid);
             let sig_v = scr.sigma_hat.host_get(row + v as usize);
-            let start = g.row_offsets.host_get(v as usize) as usize;
-            let end = g.row_offsets.host_get(v as usize + 1) as usize;
+            let (start, end, check) = g.row_host(v);
             for e in start..end {
-                let w = g.adj.host_get(e) as usize;
+                let Some(w) = g.slot_host(&check, e) else {
+                    continue;
+                };
+                let w = w as usize;
                 let old = scr.d_hat.host_get(row + w);
                 if old == INF {
                     scr.d_hat.host_set(row + w, depth + 1);
@@ -681,10 +688,12 @@ pub(crate) fn static_source_node(
             }
             let sig_w = scr.sigma_hat.host_get(row + w);
             let del_w = scr.delta_hat.host_get(row + w);
-            let start = g.row_offsets.host_get(w) as usize;
-            let end = g.row_offsets.host_get(w + 1) as usize;
+            let (start, end, check) = g.row_host(w as u32);
             for e in start..end {
-                let v = g.adj.host_get(e) as usize;
+                let Some(v) = g.slot_host(&check, e) else {
+                    continue;
+                };
+                let v = v as usize;
                 if scr.d_hat.host_get(row + v) == depth - 1 {
                     let sig_v = scr.sigma_hat.host_get(row + v);
                     scr.delta_hat.host_set(
@@ -698,7 +707,7 @@ pub(crate) fn static_source_node(
     }
     // static::accumulate_bc
     let brow = scr.bc_row(bc_slot);
-    for v in 0..g.n {
+    for v in 0..g.store.n {
         if v != s as usize && scr.d_hat.host_get(row + v) != INF {
             let del = scr.delta_hat.host_get(row + v);
             scr.bc_delta

@@ -43,7 +43,7 @@
 pub(crate) mod kernels;
 
 use crate::cases::InsertionCase;
-use crate::gpu::buffers::{GraphBuffers, ScratchBuffers, StateBuffers};
+use crate::gpu::buffers::{ScratchBuffers, SlackGraphBuffers, StateBuffers};
 use crate::gpu::engine::Parallelism;
 use crate::gpu::exec::{stage_items, ExecConfig, WorkItem};
 use crate::gpu::kernels::common::SeedMode;
@@ -70,7 +70,7 @@ pub(crate) fn run_stage(
     st: &StateBuffers,
     scr: &ScratchBuffers,
     stage: &[PlannedOp],
-    gbufs: &[Option<GraphBuffers>],
+    store: &SlackGraphBuffers,
     workers: usize,
 ) -> Vec<(usize, usize, usize)> {
     assert_eq!(
@@ -103,9 +103,7 @@ pub(crate) fn run_stage(
         for &i in &by_block[b] {
             let item = &items[i];
             let ctx = Ctx {
-                g: gbufs[item.op_slot]
-                    .as_ref()
-                    .expect("work item implies a CSR snapshot for its op"),
+                g: item.view(store),
                 st,
                 scr,
                 block_slot: b,

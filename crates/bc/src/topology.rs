@@ -1,5 +1,8 @@
-//! Minimal graph-access trait so the algorithms run on both the immutable
-//! CSR snapshot and the mutable STINGER-lite store.
+//! Minimal graph-access trait so the host-side algorithms (Brandes
+//! seeding, planning, oracles) run on both the immutable CSR form and
+//! the mutable STINGER-lite store. The device kernels are *not* generic
+//! over this trait: they read adjacency through versioned views of the
+//! engines' slack-CSR store (`gpu::kernels::GraphView`).
 
 use dynbc_graph::{Csr, DynGraph, VertexId};
 

@@ -119,8 +119,8 @@ proptest! {
             }
             let seq_bits = bits(&seq.state_snapshot().bc);
 
-            // Batched run at 1 and 8 host threads.
-            for threads in [1usize, 8] {
+            // Batched run at 1, 2, and 8 host threads.
+            for threads in [1usize, 2, 8] {
                 let mut eng = GpuDynamicBc::new(&el, &sources, device, par);
                 eng.set_host_threads(threads);
                 let br = eng.apply_batch(&ops);
@@ -153,7 +153,7 @@ proptest! {
         }
         let seq_bits = bits(&seq.bc());
 
-        for threads in [1usize, 8] {
+        for threads in [1usize, 2, 8] {
             let mut eng = MultiGpuDynamicBc::new(&el, &sources, device, Parallelism::Node, 2);
             eng.set_host_threads(threads);
             let br = eng.apply_batch(&ops);

@@ -97,7 +97,7 @@ proptest! {
         let (oracle_bits, oracle_ops) = run_single(&el, &ops, Backend::Simulator, 1);
 
         for backend in [Backend::Native, Backend::Hybrid] {
-            for threads in [1usize, 8] {
+            for threads in [1usize, 2, 8] {
                 let (got_bits, got_ops) = run_single(&el, &ops, backend, threads);
                 prop_assert_eq!(got_ops.len(), oracle_ops.len());
                 for (i, (got, want)) in got_ops.iter().zip(&oracle_ops).enumerate() {
@@ -131,7 +131,7 @@ proptest! {
         let oracle_bits = bits(&oracle.bc());
 
         for backend in [Backend::Native, Backend::Hybrid] {
-            for threads in [1usize, 8] {
+            for threads in [1usize, 2, 8] {
                 let mut eng = MultiGpuDynamicBc::new(&el, &sources, device, Parallelism::Node, 2);
                 eng.set_backend(backend);
                 eng.set_host_threads(threads);

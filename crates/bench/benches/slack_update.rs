@@ -1,0 +1,147 @@
+//! `slack_update` — prices the device-resident slack-CSR update path.
+//!
+//! Two claims ride on the slack store (DESIGN.md §4j):
+//!
+//! 1. **throughput** — replacing per-op CSR snapshots with O(degree)
+//!    versioned deltas must not cost model-clock throughput. The
+//!    harness replays `batch_throughput`'s fixed distance-fusable
+//!    64-insertion stream on the node-parallel engine and asserts the
+//!    batch=64 updates/sec stays at or above the rate the per-op
+//!    snapshot engine recorded for the same stream.
+//! 2. **delta sparsity** — the structure update itself touches
+//!    O(degree) slots per op, not O(E). Measured with the store's own
+//!    `slots_touched` counter over the same stream, against the
+//!    `ops × arc_count` slots a per-op snapshot clone moves.
+//!
+//! Scores stay bit-identical at every batch size, as everywhere else.
+
+use dynbc_bc::brandes::{brandes_state, sample_sources};
+use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
+use dynbc_bench::HarnessReport;
+use dynbc_gpusim::DeviceConfig;
+use dynbc_graph::{gen, Csr, DynGraph, EdgeOp, SlackCsr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Model-clock updates/sec the per-op-snapshot engine recorded for this
+/// exact stream (`batch_throughput`, batch=64): the floor the slack
+/// store must hold.
+const SNAPSHOT_BASELINE_BATCH64_UPS: f64 = 72110.45754477216;
+
+/// The `batch_throughput` workload, verbatim: a BA(300, 4) graph, 24
+/// sources, and 64 insertions whose endpoints sit within one BFS level
+/// for every source — so every batch fuses into a single stage.
+fn workload() -> (dynbc_graph::EdgeList, Vec<u32>, Vec<EdgeOp>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 300usize;
+    let el = gen::ba(&mut rng, n, 4);
+    let sources = sample_sources(&mut rng, n, 24);
+    let state = brandes_state(&Csr::from_edge_list(&el), &sources);
+    let mut probe = DynGraph::from_edge_list(&el);
+    let mut ops = Vec::new();
+    'outer: for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if probe.has_edge(a, b) {
+                continue;
+            }
+            let fusable = state.d.iter().all(|row| {
+                row[a as usize] != u32::MAX
+                    && row[b as usize] != u32::MAX
+                    && row[a as usize].abs_diff(row[b as usize]) <= 1
+            });
+            if fusable {
+                assert!(probe.insert_edge(a, b));
+                ops.push(EdgeOp::Insert(a, b));
+                if ops.len() == 64 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(ops.len(), 64, "graph too sparse in same-level pairs");
+    (el, sources, ops)
+}
+
+fn main() {
+    let (el, sources, ops) = workload();
+    let device = DeviceConfig::tesla_c2075();
+    let mut report = HarnessReport::new("slack_update");
+
+    // Claim 1: throughput through the engine, batch=1 vs batch=64.
+    let mut baseline_bc: Option<Vec<u64>> = None;
+    let mut ups_batch64 = f64::NAN;
+    for batch in [1usize, 64] {
+        let mut eng = GpuDynamicBc::new(&el, &sources, device, Parallelism::Node);
+        let t0 = Instant::now();
+        let mut model = 0.0f64;
+        for chunk in ops.chunks(batch) {
+            model += eng.apply_batch(chunk).model_seconds;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let bits: Vec<u64> = eng
+            .state_snapshot()
+            .bc
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        match &baseline_bc {
+            None => baseline_bc = Some(bits),
+            Some(b) => assert_eq!(b, &bits, "batch={batch}: scores must be bit-identical"),
+        }
+        let ups = ops.len() as f64 / model;
+        if batch == 64 {
+            ups_batch64 = ups;
+        }
+        report.push_row("ba300_k24", &format!("batch={batch}"), model, wall);
+        report.annotate("batch", batch as f64);
+        report.annotate("updates_per_sec", ups);
+        println!("bench slack_update batch={batch:<2} {ups:.0} updates/sec");
+    }
+    assert!(
+        ups_batch64 >= SNAPSHOT_BASELINE_BATCH64_UPS,
+        "slack store must hold the per-op-snapshot engine's batch=64 rate: \
+         {ups_batch64} vs {SNAPSHOT_BASELINE_BATCH64_UPS}"
+    );
+
+    // Claim 2: delta sparsity of the structure update itself. Replay
+    // the stream on a bare slack store with the engines' defaults and
+    // count the slots its journal actually moved; the snapshot path
+    // staged the full arc array once per op.
+    let csr = Csr::from_edge_list(&el);
+    let mut slack = SlackCsr::from_csr(&csr, 25, 25);
+    for chunk in ops.chunks(64) {
+        for (j, op) in chunk.iter().enumerate() {
+            match *op {
+                EdgeOp::Insert(u, v) => slack.insert_edge_versioned(u, v, j as u32 + 1),
+                EdgeOp::Remove(u, v) => slack.remove_edge_versioned(u, v, j as u32 + 1),
+            }
+        }
+        slack.settle();
+    }
+    let delta_slots = slack.slots_touched();
+    let snapshot_slots = (ops.len() * csr.adjacency().len()) as u64;
+    let ratio = delta_slots as f64 / snapshot_slots as f64;
+    println!(
+        "bench slack_update deltas: {delta_slots} slots touched vs {snapshot_slots} \
+         snapshot-staged ({:.2}% — {} relayouts, {} compactions)",
+        ratio * 100.0,
+        slack.relayouts(),
+        slack.compactions()
+    );
+    assert!(
+        delta_slots * 10 < snapshot_slots,
+        "versioned deltas must move well under a tenth of the snapshot bytes: \
+         {delta_slots} vs {snapshot_slots}"
+    );
+    report.annotate("delta_slots_touched", delta_slots as f64);
+    report.annotate("snapshot_slots_staged", snapshot_slots as f64);
+    report.annotate("delta_vs_snapshot", ratio);
+    report.annotate("relayouts", slack.relayouts() as f64);
+    report.annotate("compactions", slack.compactions() as f64);
+    report.annotate("baseline_batch64_ups", SNAPSHOT_BASELINE_BATCH64_UPS);
+
+    if let Some(path) = report.write_default() {
+        println!("slack_update: wrote {}", path.display());
+    }
+}

@@ -5,15 +5,18 @@
 //! expansion then becomes a contiguous, coalescible scan. Undirected edges
 //! are stored as two directed *arcs*, so `arc_count() == 2 * edge_count()`.
 //!
-//! The streaming experiments mutate a
-//! [`DynGraph`](crate::dynamic::DynGraph) and snapshot it per update (the
-//! paper explicitly neglects the cost of the graph-structure update itself,
-//! citing STINGER; we do the same and keep snapshots out of every timed
-//! region for the *simulated* clock). The native serving backend, whose
-//! wall clock does charge everything, instead keeps one `Csr` current via
-//! the in-place [`insert_edge`](Csr::insert_edge) /
-//! [`remove_edge`](Csr::remove_edge) splices — a memcpy-scale update that
-//! lands on exactly the bytes a from-scratch snapshot would produce.
+//! The streaming engines no longer snapshot a `Csr` per update: every
+//! backend reads adjacency through the device-resident
+//! [`SlackCsr`](crate::slack::SlackCsr) store, which absorbs each
+//! committed op as an O(degree) epoch delta (the paper explicitly
+//! neglects the cost of the graph-structure update itself, citing
+//! STINGER; we keep all structure maintenance out of every timed
+//! region). `Csr` remains the canonical immutable form: construction
+//! input, oracle for equivalence checks (`SlackCsr::to_csr()`
+//! canonicalizes to these exact bytes), and host-side analytics. The
+//! in-place [`insert_edge`](Csr::insert_edge) /
+//! [`remove_edge`](Csr::remove_edge) splices keep a standalone `Csr`
+//! current where one is still the right tool.
 
 use crate::edgelist::EdgeList;
 use crate::VertexId;

@@ -11,9 +11,13 @@
 //! * cache-friendly iteration (16 neighbours per block),
 //! * block recycling through a free list.
 //!
-//! Streaming experiments mutate a [`DynGraph`] and snapshot an immutable
-//! [`Csr`] for the analytics kernels (snapshots are never inside a timed
-//! region, matching the paper's methodology).
+//! Streaming experiments mutate a [`DynGraph`] for planning and
+//! validation; the analytics kernels read adjacency through the
+//! device-resident [`SlackCsr`](crate::slack::SlackCsr) store, which the
+//! engines keep current with O(degree) deltas per committed op (all
+//! structure maintenance stays outside timed regions, matching the
+//! paper's methodology). Immutable [`Csr`] snapshots remain the oracle
+//! form for equivalence checks.
 
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
@@ -374,8 +378,10 @@ impl DynGraph {
     /// Built directly from the adjacency arena — degrees to offsets, one
     /// scatter pass, then a per-row sort — rather than round-tripping
     /// through a canonical [`EdgeList`] (which sorts all `m` pairs). The
-    /// per-update engines snapshot once per committed op, so this is on
-    /// the serving path's critical wall-clock; the result is identical to
+    /// update engines no longer snapshot per op (they splice O(degree)
+    /// deltas into a [`SlackCsr`](crate::slack::SlackCsr) store instead),
+    /// so this full walk serves construction, reporting, and oracle
+    /// recomputation only; the result is identical to
     /// `Csr::from_edge_list(&self.to_edge_list())`.
     pub fn to_csr(&self) -> Csr {
         let n = self.heads.len();

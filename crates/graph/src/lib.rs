@@ -6,6 +6,9 @@
 //!   interchange format);
 //! * [`Csr`] — the immutable R/C adjacency snapshot the kernels consume;
 //! * [`DynGraph`] — a STINGER-lite blocked store for streaming updates;
+//! * [`SlackCsr`] — a slack-CSR dynamic adjacency store (per-row gaps,
+//!   tombstoned removals, epoch-versioned batch views) that the engines
+//!   mirror on the device instead of snapshotting a fresh [`Csr`] per op;
 //! * [`gen`] — synthetic generators for the seven DIMACS-10 families of the
 //!   paper's Table I;
 //! * [`suite`] — the reconstructed benchmark suite itself;
@@ -22,6 +25,7 @@ pub mod dynamic;
 pub mod edgelist;
 pub mod gen;
 pub mod io;
+pub mod slack;
 pub mod suite;
 
 /// Vertex identifier. `u32` bounds graphs at ~4.3 B vertices — far beyond
@@ -32,3 +36,4 @@ pub type VertexId = u32;
 pub use csr::Csr;
 pub use dynamic::{BatchOpError, BatchOpErrorKind, DynGraph, EdgeOp};
 pub use edgelist::EdgeList;
+pub use slack::{SlackCsr, SlackDelta};

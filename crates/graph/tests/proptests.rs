@@ -1,7 +1,7 @@
 //! Property tests for the graph substrate.
 
 use dynbc_graph::algo::{bfs, connected_components};
-use dynbc_graph::{gen, io, Csr, DynGraph, EdgeList};
+use dynbc_graph::{gen, io, Csr, DynGraph, EdgeList, SlackCsr};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -155,5 +155,75 @@ proptest! {
             }
         }
         prop_assert_eq!(g.to_edge_list(), model);
+    }
+
+    /// Satellite contract: after *any* op sequence — duplicate inserts,
+    /// removals of missing edges, self loops, compactions and row growth
+    /// included — `SlackCsr::to_csr()` is byte-identical to
+    /// `Csr::from_edge_list` over the surviving edges. Low thresholds
+    /// drive the stream across many compaction/relayout boundaries.
+    #[test]
+    fn slack_csr_canonicalizes_to_edge_list_csr(
+        el in arb_edge_list(),
+        ops in proptest::collection::vec((0u32..24, 0u32..24, any::<bool>()), 0..200),
+        slack_pct in 0u32..60,
+        compact_pct in 0u32..60,
+    ) {
+        let n = el.vertex_count();
+        let mut slack = SlackCsr::from_csr(&Csr::from_edge_list(&el), slack_pct, compact_pct);
+        let mut model = el;
+        for (u, v, insert) in ops {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if insert {
+                let a = slack.insert_edge(u, v);
+                let b = if u == v { false } else { model.insert_edge(u, v) };
+                prop_assert_eq!(a, b, "insert ({}, {})", u, v);
+            } else {
+                let a = slack.remove_edge(u, v);
+                let b = model.remove_edges(&[(u, v)]) == 1;
+                prop_assert_eq!(a, b, "remove ({}, {})", u, v);
+            }
+            prop_assert_eq!(slack.to_csr(), Csr::from_edge_list(&model));
+        }
+        prop_assert_eq!(slack.arc_count(), 2 * model.edge_count());
+    }
+
+    /// Versioned stage application settles to the same canonical CSR the
+    /// sequential commit order produces, for any stage partitioning.
+    #[test]
+    fn slack_csr_versioned_stages_settle_to_oracle(
+        el in arb_edge_list(),
+        ops in proptest::collection::vec((0u32..24, 0u32..24, any::<bool>()), 0..120),
+        stage_len in 1usize..9,
+        compact_pct in 0u32..60,
+    ) {
+        let n = el.vertex_count();
+        let mut probe = DynGraph::from_edge_list(&el);
+        let mut slack = SlackCsr::from_csr(&Csr::from_edge_list(&el), 25, compact_pct);
+        let mut ver = 0u32;
+        for (u, v, insert) in ops {
+            let (u, v) = (u % n as u32, v % n as u32);
+            // Batches are validated upstream; feed only valid ops.
+            let valid = u != v
+                && if insert { !probe.has_edge(u, v) } else { probe.has_edge(u, v) };
+            if !valid {
+                continue;
+            }
+            ver += 1;
+            if insert {
+                probe.insert_edge(u, v);
+                slack.insert_edge_versioned(u, v, ver);
+            } else {
+                probe.remove_edge(u, v);
+                slack.remove_edge_versioned(u, v, ver);
+            }
+            if (ver as usize).is_multiple_of(stage_len) {
+                slack.settle();
+                ver = 0;
+                prop_assert_eq!(slack.to_csr(), probe.to_csr());
+            }
+        }
+        slack.settle();
+        prop_assert_eq!(slack.to_csr(), probe.to_csr());
     }
 }

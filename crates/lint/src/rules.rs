@@ -1,4 +1,4 @@
-//! The rule engine: six project-specific contracts, checked lexically.
+//! The rule engine: seven project-specific contracts, checked lexically.
 //!
 //! Each rule documents the *dynamic* contract it front-runs — every one
 //! of these is already asserted by a proptest or a verify.sh tier, but
@@ -47,6 +47,11 @@ pub const FLOAT_ACCUMULATION: &str = "float-accumulation";
 /// kernel-side `GpuBuffer`s are `.named(…)`, so racecheck/prof reports
 /// stay attributable.
 pub const NAMED_LAUNCHES: &str = "named-launches";
+/// `hot-path-rebuild`: no full CSR canonicalization (`.to_csr()` /
+/// `from_edge_list(`) in the batch-update hot paths — the slack store
+/// exists so each committed op costs O(degree), not O(V + E); full
+/// rebuilds belong to construction, tests, and oracle checks.
+pub const HOT_PATH_REBUILD: &str = "hot-path-rebuild";
 /// Meta-rule for defective suppression annotations (unknown rule name
 /// or missing reason). Not suppressible.
 pub const ALLOW_ANNOTATION: &str = "allow-annotation";
@@ -59,6 +64,7 @@ pub const RULES: &[&str] = &[
     UNSAFE_SAFETY,
     FLOAT_ACCUMULATION,
     NAMED_LAUNCHES,
+    HOT_PATH_REBUILD,
 ];
 
 /// The annotation marker looked for in comment text.
@@ -172,6 +178,7 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
     unsafe_safety(&file, &allows, &mut findings);
     float_accumulation(&file, &allows, &mut findings);
     named_launches(&file, &allows, &mut findings);
+    hot_path_rebuild(&file, &allows, &mut findings);
     unused_allows(&file, &allows, &mut findings);
     findings.sort();
     findings.dedup();
@@ -191,6 +198,7 @@ fn unused_allows(file: &SourceFile, allows: &[Allow], findings: &mut Vec<Finding
     unsafe_safety(file, &none, &mut raw);
     float_accumulation(file, &none, &mut raw);
     named_launches(file, &none, &mut raw);
+    hot_path_rebuild(file, &none, &mut raw);
     for a in allows {
         if !a.has_reason {
             continue; // already reported as reasonless
@@ -606,4 +614,46 @@ fn statement_has_named(lines: &[Line], i: usize) -> bool {
     }
     let upto = joined.find(';').map_or(joined.len(), |p| p + 1);
     joined[..upto].contains(".named(")
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: hot-path-rebuild
+// ---------------------------------------------------------------------
+
+/// The batch-update hot paths: the fused exec layer, the engines, and
+/// the native backend. Graph construction, tests, and oracle
+/// recomputation live elsewhere — or carry an annotation saying why a
+/// full canonicalization is off the per-op path.
+fn hot_path_rebuild_scope(path: &str) -> bool {
+    path == "crates/bc/src/gpu/exec.rs"
+        || path == "crates/bc/src/gpu/engine.rs"
+        || path == "crates/bc/src/gpu/multi.rs"
+        || path.starts_with("crates/bc/src/native/")
+}
+
+fn hot_path_rebuild(file: &SourceFile, allows: &[Allow], findings: &mut Vec<Finding>) {
+    if !hot_path_rebuild_scope(&file.path) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if !(code.contains(".to_csr()") || code.contains("from_edge_list(")) {
+            continue;
+        }
+        if suppressed(allows, HOT_PATH_REBUILD, i) {
+            continue;
+        }
+        findings.push(Finding::new(
+            &file.path,
+            i + 1,
+            HOT_PATH_REBUILD,
+            "full CSR rebuild in a batch-update hot path: committed ops must \
+             cost O(degree) through the slack store — keep to_csr()/\
+             from_edge_list for construction, tests, and oracle checks, and \
+             annotate those sites",
+        ));
+    }
 }

@@ -1,0 +1,11 @@
+// Lint fixture: full CSR rebuilds on the batch-update hot path.
+// Linted under the virtual path crates/bc/src/gpu/engine.rs by
+// tests/lint.rs.
+use dynbc_graph::{Csr, DynGraph, EdgeList};
+
+pub fn apply_op(graph: &DynGraph, el: &EdgeList) -> Csr {
+    let snapshot = graph.to_csr();
+    let rebuilt = Csr::from_edge_list(el);
+    drop(rebuilt);
+    snapshot
+}

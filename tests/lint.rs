@@ -125,6 +125,37 @@ fn named_launches_fixture() {
 }
 
 #[test]
+fn hot_path_rebuild_fixture() {
+    expect(
+        "crates/bc/src/gpu/engine.rs",
+        "hot_path_rebuild.rs",
+        &[("hot-path-rebuild", 7), ("hot-path-rebuild", 8)],
+    );
+    // The same snippet outside the update hot paths is silent: full
+    // canonicalization is the normal idiom for construction and oracles.
+    assert!(lint_source(
+        "crates/graph/src/fixture.rs",
+        &fixture("hot_path_rebuild.rs")
+    )
+    .is_empty());
+    // An annotated construction site inside the scope is clean.
+    let annotated = fixture("hot_path_rebuild.rs").replace(
+        "    let snapshot = graph.to_csr();",
+        "    // dynbc-lint: allow(hot-path-rebuild) — fixture construction site, not the per-op path\n    \
+         let snapshot = graph.to_csr();",
+    );
+    let findings = lint_source("crates/bc/src/gpu/engine.rs", &annotated);
+    assert_eq!(
+        findings
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect::<Vec<_>>(),
+        [("hot-path-rebuild", 9)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn reasoned_annotation_suppresses() {
     // Same violation as float_accumulation.rs, but annotated with a
     // reason: clean.

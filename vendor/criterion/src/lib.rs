@@ -257,10 +257,14 @@ mod tests {
             .warm_up_time(Duration::from_millis(1));
         let mut g = c.benchmark_group("grp");
         g.bench_function("batched", |b| {
-            b.iter_batched(|| vec![3u32, 1, 2], |mut v| {
-                v.sort_unstable();
-                v
-            }, BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![3u32, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
         });
         g.finish();
     }

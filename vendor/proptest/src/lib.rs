@@ -200,7 +200,7 @@ pub mod bool {
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
-    use super::{Strategy, __rt};
+    use super::{__rt, Strategy};
 
     /// Length specification: a fixed size or a half-open range.
     pub trait IntoLenRange {
@@ -244,8 +244,8 @@ pub mod collection {
 /// The common import set, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
     };
 }
 
