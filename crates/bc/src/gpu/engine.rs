@@ -411,6 +411,14 @@ impl GpuDynamicBc {
         self.st.download()
     }
 
+    /// Downloads only the BC score vector — O(n), unlike
+    /// [`GpuDynamicBc::state_snapshot`]'s O(k·n) full-state download.
+    /// Serving layers publish score snapshots per committed batch, so the
+    /// per-source distance/sigma/delta planes must stay on the device.
+    pub fn bc_scores(&self) -> Vec<f64> {
+        self.st.bc.to_vec()
+    }
+
     /// Inserts the undirected edge `{u, v}` and updates BC on the device.
     ///
     /// A batch-of-one wrapper around [`GpuDynamicBc::apply_batch`].

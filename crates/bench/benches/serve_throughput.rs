@@ -1,0 +1,191 @@
+//! `serve_throughput` — prices the serving layer against raw engine
+//! throughput (ISSUE 9 acceptance criterion).
+//!
+//! Workload: a NetworKit-shaped interleaved removal/re-addition stream
+//! (spanning-tree tabu, fixed lag) over a BA(300, 4) graph with 24
+//! sources — the client shape of the dynamic-BC experiment scripts.
+//!
+//! Two runs over the same stream on the same engine kind:
+//!
+//! * **raw** — `CpuDynamicBc::apply_batch` in fixed batches of 64, no
+//!   service in the way: the ceiling.
+//! * **serve** — a `dynbc-serve` shard (bounded queue, adaptive width
+//!   up to 64) while **8 concurrent reader threads** issue top-k
+//!   queries against the lock-free snapshot chain, throttled to ~1ms
+//!   between queries so the single-core CI host's writer is not
+//!   starved by pure spin.
+//!
+//! The gate: sustained serve ingest within 10% of raw throughput. Read
+//! p99 is reported alongside.
+//!
+//! Correctness leg: an audit cursor steps the snapshot chain epoch by
+//! epoch ([`SnapshotReader::advance`]), recovering the exact batch
+//! partition the shard's adaptive width chose. A raw engine then
+//! replays the stream with that same partition and the served final
+//! scores must match it bit for bit. (Removal updates are *not*
+//! batch-partition-invariant — fusing removals reorders the
+//! floating-point accumulation — so comparing against the fixed-64 raw
+//! run would be ill-posed; insert-only invariance is covered by the
+//! `snapshot_consistency` suite.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynbc_bc::brandes::sample_sources;
+use dynbc_bc::CpuDynamicBc;
+use dynbc_bench::{stream, HarnessReport};
+use dynbc_gpusim::knob;
+use dynbc_graph::gen;
+use dynbc_serve::{ServeConfig, Shard, ShardEngine, SubmitError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const READERS: usize = 8;
+const TOP_K: usize = 10;
+const BATCH: usize = 64;
+
+fn main() {
+    let seed: u64 = knob::parse_from_env(knob::SEED_ENV, 20140519);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 300usize;
+    let el = gen::ba(&mut rng, n, 4);
+    let sources = sample_sources(&mut rng, n, 24);
+    let tabu = stream::spanning_forest_tabu(&el);
+    let events = stream::interleaved(&el, 256, 8, &tabu, &mut rng);
+    let total = events.len();
+
+    // --- raw ceiling: one warm pass on a throwaway engine, then the
+    // measured run on a fresh one ---------------------------------------
+    let mut warm = CpuDynamicBc::new(&el, &sources);
+    for chunk in events.chunks(BATCH) {
+        warm.apply_batch(chunk);
+    }
+    drop(warm);
+    let mut raw_eng = CpuDynamicBc::new(&el, &sources);
+    let mut raw_model = 0.0f64;
+    let t0 = Instant::now();
+    for chunk in events.chunks(BATCH) {
+        raw_model += raw_eng.apply_batch(chunk).model_seconds;
+    }
+    let raw_wall = t0.elapsed().as_secs_f64();
+    let raw_ups = total as f64 / raw_wall;
+
+    // --- serve run under concurrent readers ---------------------------
+    let cfg = ServeConfig {
+        queue_cap: 1024,
+        batch_max: BATCH,
+        telemetry: false,
+    };
+    let shard = Shard::spawn(ShardEngine::cpu(CpuDynamicBc::new(&el, &sources)), &cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let mut reader = shard.reader();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut lat_s = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let snap = reader.latest().clone();
+                    std::hint::black_box(snap.top_k(TOP_K));
+                    lat_s.push(t.elapsed().as_secs_f64());
+                    // Throttle: unthrottled spinning readers would starve
+                    // the writer on a single-core host.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                lat_s
+            })
+        })
+        .collect();
+
+    // The audit cursor is taken before any submission so it starts at
+    // epoch 0 and `advance()` observes every epoch the worker publishes;
+    // the per-epoch `ops_applied` deltas are the shard's actual batch
+    // partition.
+    let mut audit = shard.reader();
+    let mut widths: Vec<usize> = Vec::new();
+    let mut audited: u64 = audit.current().ops_applied();
+    let t0 = Instant::now();
+    for &op in &events {
+        loop {
+            match shard.submit(op) {
+                Ok(()) => break,
+                Err(SubmitError::Backpressure) => std::thread::yield_now(),
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+    }
+    while audited < total as u64 {
+        match audit.advance() {
+            Some(snap) => {
+                widths.push((snap.ops_applied() - audited) as usize);
+                audited = snap.ops_applied();
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    let serve_wall = t0.elapsed().as_secs_f64();
+    let serve_ups = total as f64 / serve_wall;
+
+    stop.store(true, Ordering::Relaxed);
+    let mut lat_s: Vec<f64> = readers
+        .into_iter()
+        .flat_map(|h| h.join().expect("reader panicked"))
+        .collect();
+    lat_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let reads = lat_s.len();
+    let p99 = lat_s[(reads * 99) / 100 - 1];
+
+    let (_engine, last) = shard.shutdown();
+
+    // Correctness: replay the shard's exact batch partition on a fresh
+    // raw engine; the served scores must match it bit for bit.
+    assert_eq!(widths.iter().sum::<usize>(), total, "audit saw every op");
+    let mut oracle = CpuDynamicBc::new(&el, &sources);
+    let mut off = 0usize;
+    for &w in &widths {
+        oracle.apply_batch(&events[off..off + w]);
+        off += w;
+    }
+    let serve_bits: Vec<u64> = last.scores().iter().map(|x| x.to_bits()).collect();
+    let oracle_bits: Vec<u64> = oracle.state().bc.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        serve_bits, oracle_bits,
+        "served scores must be bit-identical to a raw engine replaying \
+         the shard's batch partition"
+    );
+
+    let ratio = serve_ups / raw_ups;
+    let mut report = HarnessReport::new("serve_throughput");
+    report.push_row("ba300_k24_stream512", "raw_batch64", raw_model, raw_wall);
+    report.annotate("updates_per_sec", raw_ups);
+    report.push_row(
+        "ba300_k24_stream512",
+        "serve_8readers",
+        raw_model,
+        serve_wall,
+    );
+    report.annotate("updates_per_sec", serve_ups);
+    report.annotate("ingest_vs_raw", ratio);
+    report.annotate("serve_batches", widths.len() as f64);
+    report.annotate("readers", READERS as f64);
+    report.annotate("reads_total", reads as f64);
+    report.annotate("read_p99_seconds", p99);
+    println!(
+        "bench serve_throughput raw {raw_ups:.0} updates/sec, serve {serve_ups:.0} \
+         updates/sec ({:.1}% of raw) under {READERS} readers, {reads} reads, \
+         read p99 {:.1}us",
+        ratio * 100.0,
+        p99 * 1e6
+    );
+    assert!(
+        ratio >= 0.9,
+        "serve ingest {serve_ups:.0} updates/sec fell below 90% of raw \
+         {raw_ups:.0} updates/sec ({:.1}%)",
+        ratio * 100.0
+    );
+    if let Some(path) = report.write_default() {
+        println!("serve_throughput: wrote {}", path.display());
+    }
+}

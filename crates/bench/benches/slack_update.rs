@@ -17,9 +17,9 @@
 
 use dynbc_bc::brandes::{brandes_state, sample_sources};
 use dynbc_bc::gpu::{GpuDynamicBc, Parallelism};
-use dynbc_bench::HarnessReport;
+use dynbc_bench::{stream, HarnessReport};
 use dynbc_gpusim::DeviceConfig;
-use dynbc_graph::{gen, Csr, DynGraph, EdgeOp, SlackCsr};
+use dynbc_graph::{gen, Csr, EdgeOp, SlackCsr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -38,28 +38,7 @@ fn workload() -> (dynbc_graph::EdgeList, Vec<u32>, Vec<EdgeOp>) {
     let el = gen::ba(&mut rng, n, 4);
     let sources = sample_sources(&mut rng, n, 24);
     let state = brandes_state(&Csr::from_edge_list(&el), &sources);
-    let mut probe = DynGraph::from_edge_list(&el);
-    let mut ops = Vec::new();
-    'outer: for a in 0..n as u32 {
-        for b in (a + 1)..n as u32 {
-            if probe.has_edge(a, b) {
-                continue;
-            }
-            let fusable = state.d.iter().all(|row| {
-                row[a as usize] != u32::MAX
-                    && row[b as usize] != u32::MAX
-                    && row[a as usize].abs_diff(row[b as usize]) <= 1
-            });
-            if fusable {
-                assert!(probe.insert_edge(a, b));
-                ops.push(EdgeOp::Insert(a, b));
-                if ops.len() == 64 {
-                    break 'outer;
-                }
-            }
-        }
-    }
-    assert_eq!(ops.len(), 64, "graph too sparse in same-level pairs");
+    let ops = stream::fusable_insertions(&el, &state, 64);
     (el, sources, ops)
 }
 

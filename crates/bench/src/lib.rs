@@ -25,6 +25,7 @@ pub mod config;
 pub mod driver;
 pub mod paper;
 pub mod report;
+pub mod stream;
 pub mod table;
 
 pub use config::Config;

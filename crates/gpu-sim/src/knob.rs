@@ -69,6 +69,14 @@ pub const SLACK_FACTOR_ENV: &str = "DYNBC_SLACK_FACTOR";
 /// slack store compacts on settle.
 pub const SLACK_COMPACT_ENV: &str = "DYNBC_SLACK_COMPACT";
 
+/// Capacity of a serve shard's bounded ingest queue (`dynbc-serve`):
+/// submissions beyond it are rejected with backpressure.
+pub const SERVE_QUEUE_CAP_ENV: &str = "DYNBC_SERVE_QUEUE_CAP";
+
+/// Upper bound on the adaptive batch width a serve shard's writer drains
+/// into `apply_batch` (`dynbc-serve`).
+pub const SERVE_BATCH_MAX_ENV: &str = "DYNBC_SERVE_BATCH_MAX";
+
 /// One registered environment knob: its variable name, the effective
 /// default when unset, and a one-line description of its effect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +147,16 @@ pub const KNOBS: &[Knob] = &[
         name: SLACK_COMPACT_ENV,
         default: "25",
         doc: "Tombstone percentage that triggers slack-store compaction on settle",
+    },
+    Knob {
+        name: SERVE_QUEUE_CAP_ENV,
+        default: "1024",
+        doc: "Bounded ingest-queue capacity of a serve shard (backpressure beyond it)",
+    },
+    Knob {
+        name: SERVE_BATCH_MAX_ENV,
+        default: "64",
+        doc: "Upper bound on the adaptive batch width a serve shard drains per commit",
     },
 ];
 

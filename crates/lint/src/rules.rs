@@ -222,8 +222,10 @@ fn unused_allows(file: &SourceFile, allows: &[Allow], findings: &mut Vec<Finding
 // ---------------------------------------------------------------------
 
 /// Paths whose iteration order feeds committed scores or exported
-/// reports: the batch commit/exec layer, the native kernels, and the
-/// prof/telemetry aggregation + exporters.
+/// reports: the batch commit/exec layer, the native kernels, the
+/// prof/telemetry aggregation + exporters, and the serve layer (whose
+/// tenant iteration order feeds the Prometheus exposition and shutdown
+/// snapshot maps).
 fn ordered_iteration_scope(path: &str) -> bool {
     path == "crates/bc/src/gpu/exec.rs"
         || path == "crates/bc/src/gpu/engine.rs"
@@ -231,6 +233,7 @@ fn ordered_iteration_scope(path: &str) -> bool {
         || path.starts_with("crates/bc/src/native/")
         || path.starts_with("crates/prof/src/")
         || path.starts_with("crates/telemetry/src/")
+        || path.starts_with("crates/serve/src/")
 }
 
 const ITER_METHODS: &[&str] = &[

@@ -1,0 +1,69 @@
+//! Serve-layer metric families and their registry definitions.
+//!
+//! Counters and gauges derive from op counts and epochs (`Clock::Model`:
+//! bit-identical for any `DYNBC_HOST_THREADS` given the same accepted
+//! stream); the wait/commit histograms measure host wall time and are
+//! tagged `Clock::Wall` so `prometheus_deterministic()` excludes them.
+
+use dynbc_telemetry::{Clock, Registry};
+
+/// Ops accepted into a shard's ingest queue.
+pub const OPS_ENQUEUED: &str = "dynbc_serve_ops_enqueued_total";
+/// Ops rejected with backpressure (queue full).
+pub const OPS_REJECTED: &str = "dynbc_serve_ops_rejected_total";
+/// Ops committed through `apply_batch`.
+pub const OPS_COMMITTED: &str = "dynbc_serve_ops_committed_total";
+/// Batches committed (one published epoch each).
+pub const BATCHES: &str = "dynbc_serve_batches_total";
+/// Current ingest-queue depth (submitted, not yet committed).
+pub const QUEUE_DEPTH: &str = "dynbc_serve_queue_depth";
+/// Newest published snapshot epoch.
+pub const PUBLISHED_EPOCH: &str = "dynbc_serve_published_epoch";
+/// Ops per committed batch (the adaptive width actually used).
+pub const BATCH_WIDTH: &str = "dynbc_serve_batch_width_ops";
+/// Seconds the worker waited for the first op of a batch.
+pub const INGEST_WAIT: &str = "dynbc_serve_ingest_wait_seconds";
+/// Seconds per commit (`apply_batch` + snapshot publication).
+pub const COMMIT_WALL: &str = "dynbc_serve_commit_seconds";
+
+/// Defines every serve family on `reg` (idempotence is the caller's
+/// problem: the service builds a fresh registry per scrape).
+pub fn define_serve_families(reg: &mut Registry) {
+    reg.define_counter(
+        OPS_ENQUEUED,
+        "Ops accepted into the ingest queue.",
+        Clock::Model,
+    );
+    reg.define_counter(
+        OPS_REJECTED,
+        "Ops rejected with backpressure.",
+        Clock::Model,
+    );
+    reg.define_counter(
+        OPS_COMMITTED,
+        "Ops committed through apply_batch.",
+        Clock::Model,
+    );
+    reg.define_counter(
+        BATCHES,
+        "Committed batches (published epochs).",
+        Clock::Model,
+    );
+    reg.define_gauge(QUEUE_DEPTH, "Current ingest-queue depth.", Clock::Model);
+    reg.define_gauge(
+        PUBLISHED_EPOCH,
+        "Newest published snapshot epoch.",
+        Clock::Model,
+    );
+    reg.define_histogram(BATCH_WIDTH, "Ops per committed batch.", Clock::Model);
+    reg.define_histogram(
+        INGEST_WAIT,
+        "Seconds the worker waited for the first op of a batch.",
+        Clock::Wall,
+    );
+    reg.define_histogram(
+        COMMIT_WALL,
+        "Seconds per commit: apply_batch plus snapshot publication.",
+        Clock::Wall,
+    );
+}

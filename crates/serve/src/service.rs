@@ -1,0 +1,175 @@
+//! Multi-tenant façade: named shards plus one labelled Prometheus
+//! exposition.
+//!
+//! Tenants live in a `BTreeMap`, so every scrape walks them in sorted
+//! name order and — together with the registry's sorted-series
+//! rendering — the exposition layout is independent of registration or
+//! commit order.
+
+use std::collections::BTreeMap;
+
+use dynbc_telemetry::Registry;
+
+use crate::shard::{Shard, ShardEngine};
+use crate::snapshot::Snapshot;
+use crate::{family, ServeConfig};
+
+/// A set of named serving shards sharing one configuration.
+#[derive(Debug, Default)]
+pub struct BcService {
+    cfg: ServeConfig,
+    shards: BTreeMap<String, Shard>,
+}
+
+impl BcService {
+    /// A service configured from the `DYNBC_SERVE_*` environment knobs.
+    pub fn from_env() -> Self {
+        Self::with_config(ServeConfig::from_env())
+    }
+
+    /// A service with an explicit configuration.
+    pub fn with_config(cfg: ServeConfig) -> Self {
+        Self {
+            cfg,
+            shards: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration new shards are spawned with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Spawns a shard for `tenant` around `engine`.
+    ///
+    /// # Panics
+    /// Panics if the tenant already has a shard — silently replacing a
+    /// live shard would orphan its queue.
+    pub fn add_shard(&mut self, tenant: &str, engine: ShardEngine) -> &Shard {
+        assert!(
+            !self.shards.contains_key(tenant),
+            "tenant {tenant:?} already has a shard"
+        );
+        self.shards
+            .entry(tenant.to_string())
+            .or_insert_with(|| Shard::spawn(engine, &self.cfg))
+    }
+
+    /// The shard serving `tenant`, if any.
+    pub fn shard(&self, tenant: &str) -> Option<&Shard> {
+        self.shards.get(tenant)
+    }
+
+    /// Tenant names in sorted order.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.shards.keys().map(String::as_str)
+    }
+
+    /// Renders every shard's serve metrics as one Prometheus exposition
+    /// with a `{tenant="…"}` label per series. Built fresh per scrape
+    /// from the shards' counters, so no stale registry state survives a
+    /// shard's removal.
+    pub fn prometheus(&self) -> String {
+        self.registry().prometheus()
+    }
+
+    /// [`BcService::prometheus`] restricted to the `Clock::Model`
+    /// families — the subset bit-identical for any `DYNBC_HOST_THREADS`
+    /// given the same accepted stream.
+    pub fn prometheus_deterministic(&self) -> String {
+        self.registry().prometheus_deterministic()
+    }
+
+    fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        family::define_serve_families(&mut reg);
+        for (tenant, shard) in &self.shards {
+            shard.fill_registry(&mut reg, &[("tenant", tenant)]);
+        }
+        reg
+    }
+
+    /// Shuts every shard down (draining queues) and returns each
+    /// tenant's final snapshot.
+    pub fn shutdown(self) -> BTreeMap<String, Snapshot> {
+        self.shards
+            .into_iter()
+            .map(|(tenant, shard)| {
+                let (_engine, snap) = shard.shutdown();
+                (tenant, snap)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynbc_bc::CpuDynamicBc;
+    use dynbc_graph::{EdgeList, EdgeOp};
+
+    fn engine(n: u32) -> ShardEngine {
+        let el = EdgeList::from_pairs(n as usize, (0..n - 1).map(|u| (u, u + 1)));
+        let sources: Vec<u32> = (0..n).collect();
+        ShardEngine::cpu(CpuDynamicBc::new(&el, &sources))
+    }
+
+    #[test]
+    fn scrape_labels_every_tenant_and_sorts_them() {
+        let mut svc = BcService::with_config(ServeConfig::default());
+        // Register out of order: the exposition must still sort.
+        svc.add_shard("zeta", engine(5));
+        svc.add_shard("alpha", engine(5));
+        svc.shard("alpha")
+            .unwrap()
+            .submit(EdgeOp::Insert(0, 2))
+            .unwrap();
+        assert_eq!(svc.tenants().collect::<Vec<_>>(), ["alpha", "zeta"]);
+        let text = svc.prometheus();
+        let a = text
+            .find("dynbc_serve_ops_enqueued_total{tenant=\"alpha\"}")
+            .unwrap();
+        let z = text
+            .find("dynbc_serve_ops_enqueued_total{tenant=\"zeta\"}")
+            .unwrap();
+        assert!(a < z, "tenants must sort in exposition output:\n{text}");
+        let snaps = svc.shutdown();
+        assert_eq!(snaps["alpha"].ops_applied(), 1);
+        assert_eq!(snaps["zeta"].ops_applied(), 0);
+    }
+
+    #[test]
+    fn deterministic_scrape_reflects_committed_ops_only() {
+        let mut svc = BcService::with_config(ServeConfig::default());
+        svc.add_shard("t0", engine(4));
+        let shard = svc.shard("t0").unwrap();
+        shard.submit(EdgeOp::Insert(0, 2)).unwrap();
+        shard.submit(EdgeOp::Insert(0, 3)).unwrap();
+        // Wait for both commits so the scrape is stable.
+        let mut r = shard.reader();
+        while r.latest().ops_applied() < 2 {
+            std::thread::yield_now();
+        }
+        let text = svc.prometheus_deterministic();
+        assert!(
+            text.contains("dynbc_serve_ops_committed_total{tenant=\"t0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dynbc_serve_batch_width_ops_count{tenant=\"t0\"}"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("dynbc_serve_commit_seconds"),
+            "wall families must not render deterministically:\n{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a shard")]
+    fn duplicate_tenant_panics() {
+        let mut svc = BcService::with_config(ServeConfig::default());
+        svc.add_shard("t", engine(3));
+        svc.add_shard("t", engine(3));
+    }
+}

@@ -226,28 +226,50 @@ impl Histogram {
     /// line (cumulative counts stay correct because `le` is cumulative);
     /// the `+Inf` bucket is always present.
     pub fn prometheus_lines(&self, name: &str, out: &mut String) {
+        self.prometheus_lines_labelled(name, "", out);
+    }
+
+    /// [`Histogram::prometheus_lines`] for a labelled series: `labels` is
+    /// the rendered label set of the series (`{tenant="a"}`, or empty for
+    /// the unlabelled series) and is merged into each sample line —
+    /// `name_bucket{tenant="a",le="…"}`, `name_sum{tenant="a"}`, ….
+    pub fn prometheus_lines_labelled(&self, name: &str, labels: &str, out: &mut String) {
+        // The series labels minus their braces, ready to prefix `le`.
+        let inner = labels
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or("");
+        let le_open = if inner.is_empty() {
+            "{".to_string()
+        } else {
+            format!("{{{inner},")
+        };
         let mut cum = 0u64;
         if self.zero > 0 {
             cum += self.zero;
-            let _ = writeln!(out, "{name}_bucket{{le=\"0\"}} {cum}");
+            let _ = writeln!(out, "{name}_bucket{le_open}le=\"0\"}} {cum}");
         }
         if self.underflow > 0 {
             cum += self.underflow;
             let _ = writeln!(
                 out,
-                "{name}_bucket{{le=\"{}\"}} {cum}",
+                "{name}_bucket{le_open}le=\"{}\"}} {cum}",
                 f64::exp2(MIN_EXP as f64)
             );
         }
         for (idx, &c) in self.buckets.iter().enumerate() {
             if c > 0 {
                 cum += c;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", Self::upper(idx));
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{le_open}le=\"{}\"}} {cum}",
+                    Self::upper(idx)
+                );
             }
         }
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
-        let _ = writeln!(out, "{name}_sum {}", self.sum);
-        let _ = writeln!(out, "{name}_count {}", self.count);
+        let _ = writeln!(out, "{name}_bucket{le_open}le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum{labels} {}", self.sum);
+        let _ = writeln!(out, "{name}_count{labels} {}", self.count);
     }
 }
 

@@ -162,6 +162,17 @@ impl Registry {
             .observe(value);
     }
 
+    /// Merge a pre-aggregated [`Histogram`] into a histogram series —
+    /// for exporters that aggregate outside the registry and label the
+    /// result at scrape time (e.g. per-tenant serving shards).
+    pub fn merge_histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.series_mut(name, labels)
+            .hist
+            .as_mut()
+            .expect("merge_histogram on non-histogram family")
+            .merge(h);
+    }
+
     /// Current value of a counter series, if it exists.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let rendered = render_labels(labels);
@@ -246,7 +257,12 @@ impl Registry {
             };
             let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
             let _ = writeln!(out, "# TYPE {} {}", fam.name, kind);
-            for s in &fam.series {
+            // Series render in sorted label order, not first-touch order:
+            // exposition output is then independent of which thread (or
+            // tenant) touched a family first.
+            let mut series: Vec<&Series> = fam.series.iter().collect();
+            series.sort_by(|a, b| a.labels.cmp(&b.labels));
+            for s in series {
                 match fam.kind {
                     Kind::Counter => {
                         let _ = writeln!(out, "{}{} {}", fam.name, s.labels, s.counter);
@@ -255,10 +271,8 @@ impl Registry {
                         let _ = writeln!(out, "{}{} {}", fam.name, s.labels, s.gauge);
                     }
                     Kind::Histogram => {
-                        // Labelled histograms are not used; render the
-                        // unlabelled series.
                         if let Some(h) = s.hist.as_deref() {
-                            h.prometheus_lines(&fam.name, &mut out);
+                            h.prometheus_lines_labelled(&fam.name, &s.labels, &mut out);
                         }
                     }
                 }
@@ -304,6 +318,53 @@ mod tests {
         assert!(det.contains("model_lat"), "{det}");
         assert!(!det.contains("wall_lat"), "{det}");
         assert!(r.prometheus().contains("wall_lat"));
+    }
+
+    #[test]
+    fn exposition_sorts_labels_regardless_of_touch_order() {
+        // Two registries touch the same tenant series in opposite order —
+        // e.g. under different DYNBC_HOST_THREADS the first commit may come
+        // from a different shard — yet the exposition must be bit-identical.
+        let mk = |tenants: &[&str]| {
+            let mut r = Registry::new();
+            r.define_counter("ops_total", "Ops.", Clock::Model);
+            r.define_histogram("lat", "Latency.", Clock::Model);
+            for (i, t) in tenants.iter().enumerate() {
+                r.inc("ops_total", &[("tenant", t)], 1 + i as u64);
+                r.observe("lat", &[("tenant", t)], 1.0);
+            }
+            r
+        };
+        let mut fwd = mk(&["a", "b"]);
+        let mut rev = mk(&["b", "a"]);
+        // Equalize the values (mk gives the first-touched tenant 1).
+        fwd.inc("ops_total", &[("tenant", "a")], 2);
+        fwd.inc("ops_total", &[("tenant", "b")], 1);
+        rev.inc("ops_total", &[("tenant", "a")], 1);
+        rev.inc("ops_total", &[("tenant", "b")], 2);
+        assert_eq!(
+            fwd.prometheus_deterministic(),
+            rev.prometheus_deterministic()
+        );
+        let text = fwd.prometheus();
+        let a = text.find("ops_total{tenant=\"a\"}").unwrap();
+        let b = text.find("ops_total{tenant=\"b\"}").unwrap();
+        assert!(a < b, "label sets must sort in exposition output:\n{text}");
+    }
+
+    #[test]
+    fn labelled_histograms_render_with_labels() {
+        let mut r = Registry::new();
+        r.define_histogram("lat", "Latency.", Clock::Model);
+        r.observe("lat", &[("tenant", "t0")], 1.0);
+        r.observe("lat", &[("tenant", "t0")], 1.0);
+        let text = r.prometheus();
+        assert!(
+            text.contains("lat_bucket{tenant=\"t0\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("lat_sum{tenant=\"t0\"} 2"), "{text}");
+        assert!(text.contains("lat_count{tenant=\"t0\"} 2"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Serve a live top-k betweenness leaderboard from a streaming shard.
+//!
+//! Spins up one `dynbc-serve` shard over the CPU dynamic engine, feeds
+//! it a deterministic insertion stream with backpressure-aware
+//! submission, watches the top-k set change through a `RankWatcher`,
+//! and cross-checks the final served scores against a raw
+//! `CpuDynamicBc` oracle replaying the same ops.
+//!
+//! ```sh
+//! cargo run --release --example serve_topk
+//! DYNBC_SERVE_BATCH_MAX=8 cargo run --release --example serve_topk
+//! ```
+
+use dynbc::prelude::*;
+use dynbc::serve::{BcService, ShardEngine, SubmitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOP_K: usize = 5;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20140519);
+    let n = 200usize;
+    let graph = dynbc::graph::gen::ws(&mut rng, n, 3, 0.1);
+    let sources = sample_sources(&mut rng, n, 16);
+
+    // A deterministic stream of fresh chords (skipping edges the graph
+    // already has — inserting a present edge is a contract violation).
+    let mut present: std::collections::BTreeSet<(u32, u32)> = graph
+        .edges()
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    let mut ops = Vec::new();
+    while ops.len() < 96 {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && present.insert((u.min(v), u.max(v))) {
+            ops.push(EdgeOp::Insert(u.min(v), u.max(v)));
+        }
+    }
+
+    let mut svc = BcService::from_env();
+    svc.add_shard(
+        "leaderboard",
+        ShardEngine::cpu(CpuDynamicBc::new(&graph, &sources)),
+    );
+    let shard = svc.shard("leaderboard").expect("shard registered");
+    let mut watcher = shard.watch_top_k(TOP_K);
+
+    for &op in &ops {
+        loop {
+            match shard.submit(op) {
+                Ok(()) => break,
+                Err(SubmitError::Backpressure) => std::thread::yield_now(),
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+        while let Some(change) = watcher.poll() {
+            println!(
+                "epoch {:>3}: v{} entered the top-{TOP_K}, v{} left",
+                change.epoch,
+                change
+                    .entered
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/v"),
+                change
+                    .exited
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/v"),
+            );
+        }
+    }
+
+    let snapshots = svc.shutdown();
+    let last = &snapshots["leaderboard"];
+    println!(
+        "\nfinal leaderboard (epoch {}, {} ops):",
+        last.epoch(),
+        last.ops_applied()
+    );
+    for (v, bc) in last.top_k(TOP_K) {
+        println!("  v{v:<4} {bc:>10.3}");
+    }
+
+    // Oracle: the served scores are exactly what the raw engine computes.
+    let mut oracle = CpuDynamicBc::new(&graph, &sources);
+    for chunk in ops.chunks(4) {
+        oracle.apply_batch(chunk);
+    }
+    assert_eq!(
+        last.scores(),
+        &oracle.state().bc[..],
+        "served scores must match the raw engine"
+    );
+    println!("\nserved scores match the CpuDynamicBc oracle bit for bit");
+}

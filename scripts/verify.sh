@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Repo verification gate: the dynbc-lint static analysis, tier-1
 # build+tests, the host-thread determinism regression at 1 and 4 threads,
-# the racecheck tier, a profiler smoke test, and a clippy-clean /
+# the racecheck tier, profiler and serve smoke tests, and a clippy-clean /
 # warnings-clean / rustdoc-warning-clean workspace.
 # Run from anywhere inside the repo; exits non-zero on the first failure.
 set -eu
@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 echo "== formatting gate (first-party crates; vendor/ is exempt) =="
 cargo fmt --check \
     -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
-    -p dynbc-gpusim -p dynbc-lint -p dynbc-prof -p dynbc-telemetry
+    -p dynbc-gpusim -p dynbc-lint -p dynbc-prof -p dynbc-serve \
+    -p dynbc-telemetry
 
 echo "== static analysis gate: dynbc-lint =="
 # Cheap (tens of ms once built) and run before the expensive builds so
@@ -87,6 +88,14 @@ grep -q '"event": "update"' "$PROF_DIR/events.jsonl" || {
     echo "events.jsonl missing update events"; exit 1; }
 rm -rf "$PROF_DIR"
 
+echo "== serve smoke test: shard ingest + top-k vs the CpuDynamicBc oracle =="
+# One shard over the CPU engine, a short insertion stream with
+# backpressure-aware submission, rank-change subscription, and a final
+# bit-identity check of the served scores against a raw engine replay.
+cargo run --release --example serve_topk | grep -q \
+    'served scores match the CpuDynamicBc oracle bit for bit' || {
+    echo "serve_topk smoke test failed its oracle check"; exit 1; }
+
 echo "== hybrid routing smoke test: DYNBC_BACKEND=hybrid router counters =="
 # The same trace under the hybrid backend must record router decisions
 # (the per-stage CPU-vs-native choice) in the Prometheus exposition.
@@ -106,6 +115,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== rustdoc-warning-clean first-party crates =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p dynbc -p dynbc-bc -p dynbc-bench -p dynbc-ds -p dynbc-graph \
-    -p dynbc-gpusim -p dynbc-lint -p dynbc-prof -p dynbc-telemetry
+    -p dynbc-gpusim -p dynbc-lint -p dynbc-prof -p dynbc-serve \
+    -p dynbc-telemetry
 
 echo "verify.sh: all gates passed"

@@ -48,6 +48,7 @@
 //! | [`bc`] | `dynbc-bc` | Brandes, the Case 1/2/3 taxonomy, dynamic CPU engine, GPU kernels and engines |
 //! | [`ds`] | `dynbc-ds` | bitonic sort, prefix scans, duplicate removal, multi-level queues |
 //! | [`telemetry`] | `dynbc-telemetry` | update-lifecycle metrics registry, span tracing, Prometheus/JSONL/Perfetto exporters |
+//! | [`serve`] | `dynbc-serve` | streaming service layer: per-tenant shards, bounded ingest, lock-free score snapshots |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +57,7 @@ pub use dynbc_bc as bc;
 pub use dynbc_ds as ds;
 pub use dynbc_gpusim as gpusim;
 pub use dynbc_graph as graph;
+pub use dynbc_serve as serve;
 pub use dynbc_telemetry as telemetry;
 
 /// The one-import surface for applications.

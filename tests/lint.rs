@@ -42,6 +42,13 @@ fn ordered_iteration_fixture() {
         &fixture("ordered_iteration.rs")
     )
     .is_empty());
+    // The serve layer is in scope: its tenant iteration order feeds the
+    // Prometheus exposition and the shutdown snapshot map.
+    expect(
+        "crates/serve/src/fixture.rs",
+        "ordered_iteration.rs",
+        &[("ordered-iteration", 9)],
+    );
     // Maps arriving as typed fn parameters are tracked too, not just
     // let bindings.
     let param = "pub fn f(m: &std::collections::HashMap<u32, u32>) -> u32 {\n    \
