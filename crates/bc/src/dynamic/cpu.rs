@@ -362,6 +362,8 @@ impl CpuDynamicBc {
                 tel.push_span(s);
             }
             let n = self.state.bc.len();
+            // The CPU baseline has no cache model: empty counters keep the
+            // memsim families undefined in its telemetry.
             tel.record_update(&batch_observation(
                 &per_op,
                 n,
@@ -369,6 +371,7 @@ impl CpuDynamicBc {
                 wall_seconds,
                 batch_ops.queue_ops,
                 0,
+                dynbc_telemetry::CacheCounters::default(),
             ));
         }
 

@@ -46,7 +46,10 @@ use crate::obs::batch_observation;
 use crate::plan::{self, PlannedOp};
 use crate::state::BcState;
 use dynbc_gpusim::knob;
-use dynbc_gpusim::{telemetry_from_env, DeviceConfig, Gpu, GpuBuffer, KernelStats, ProfileReport};
+use dynbc_gpusim::{
+    telemetry_from_env, CacheConfig, CacheCounters, DeviceConfig, Gpu, GpuBuffer, KernelStats,
+    ProfileReport,
+};
 use dynbc_graph::{Csr, DynGraph, EdgeList, EdgeOp, SlackCsr, VertexId};
 use dynbc_telemetry::{Span, Telemetry};
 
@@ -329,6 +332,41 @@ impl GpuDynamicBc {
     /// True when launches run under the profiler.
     pub fn profiling(&self) -> bool {
         self.gpu.profiling()
+    }
+
+    /// Enables/disables the memsim cache-hierarchy model for every launch
+    /// this engine performs (builder form). Overrides `DYNBC_MEMSIM`.
+    /// Memsim implies profiling: each launch's `LaunchProfile` carries
+    /// L1/L2 hit/miss/eviction counters and per-buffer miss attribution.
+    /// Results are unaffected — the model observes the memory-transaction
+    /// stream but never feeds the cost model — and the counters are
+    /// bit-identical for any host-thread count.
+    pub fn with_memsim(mut self, on: bool) -> Self {
+        self.gpu.set_memsim(on);
+        self
+    }
+
+    /// Enables/disables the memsim cache-hierarchy model for every launch.
+    pub fn set_memsim(&mut self, on: bool) {
+        self.gpu.set_memsim(on);
+    }
+
+    /// True when launches run under the cache-hierarchy model.
+    pub fn memsim(&self) -> bool {
+        self.gpu.memsim()
+    }
+
+    /// Overrides the modeled cache geometry (builder form). Overrides the
+    /// `DYNBC_L1_*`/`DYNBC_L2_*` knobs and resets the device's persistent
+    /// L2 state.
+    pub fn with_cache_config(mut self, cfg: CacheConfig) -> Self {
+        self.gpu.set_cache_config(cfg);
+        self
+    }
+
+    /// Overrides the modeled cache geometry and resets the L2 state.
+    pub fn set_cache_config(&mut self, cfg: CacheConfig) {
+        self.gpu.set_cache_config(cfg);
     }
 
     /// The profiles accumulated by launches that ran with profiling on.
@@ -708,11 +746,14 @@ impl GpuDynamicBc {
             for s in stage_spans {
                 tel.push_span(s);
             }
-            // Queue/dedup volume comes from the profiler's kernel-annotated
-            // counters: attributed to this batch via the launches it added.
+            // Queue/dedup volume and cache counters come from the
+            // profiler's kernel-annotated counters: attributed to this
+            // batch via the launches it added.
+            let mut cache = CacheCounters::default();
             let (queue_ops, dedup_ops) = self.gpu.profile_report().launches[prof_launches_before..]
                 .iter()
                 .fold((0, 0), |(q, d), l| {
+                    cache.merge(&l.total.cache);
                     (q + l.total.queue_pushes, d + l.total.dedup_ops)
                 });
             tel.record_update(&batch_observation(
@@ -722,6 +763,7 @@ impl GpuDynamicBc {
                 wall_seconds,
                 queue_ops,
                 dedup_ops,
+                cache,
             ));
         }
 

@@ -17,7 +17,7 @@ use super::engine::{GpuDynamicBc, Parallelism};
 use super::exec::Backend;
 use crate::dynamic::result::{BatchResult, UpdateResult};
 use crate::obs::batch_observation;
-use dynbc_gpusim::{telemetry_from_env, DeviceConfig, ProfileReport};
+use dynbc_gpusim::{telemetry_from_env, CacheConfig, CacheCounters, DeviceConfig, ProfileReport};
 use dynbc_graph::{DynGraph, EdgeList, EdgeOp, VertexId};
 use dynbc_telemetry::{Span, Telemetry};
 
@@ -64,6 +64,14 @@ forward_device_knobs! {
     set set_profiling(bool),
         #[doc = " Enables/disables profiled execution on every device (see \
                   [`GpuDynamicBc::set_profiling`])."];
+    set set_memsim(bool),
+        #[doc = " Enables/disables the memsim cache-hierarchy model on every \
+                  device (see [`GpuDynamicBc::set_memsim`]); each device \
+                  models its own L1s and shared L2."];
+    set set_cache_config(CacheConfig),
+        #[doc = " Overrides the modeled cache geometry on every device and \
+                  resets each device's persistent L2 state (see \
+                  [`GpuDynamicBc::set_cache_config`])."];
     set set_backend(Backend),
         #[doc = " Selects the execution backend on every device (see \
                   [`GpuDynamicBc::set_backend`]); results are bit-identical \
@@ -228,8 +236,10 @@ impl MultiGpuDynamicBc {
         }
         let wall_seconds = wall_start.elapsed().as_secs_f64();
         if tel_on {
-            // Queue/dedup volume: kernel-annotated profiler counters from
-            // the launches this batch added, summed in device-index order.
+            // Queue/dedup volume and cache counters: kernel-annotated
+            // profiler counters from the launches this batch added, summed
+            // in device-index order.
+            let mut cache = CacheCounters::default();
             let (queue_ops, dedup_ops) =
                 self.devices
                     .iter()
@@ -238,6 +248,7 @@ impl MultiGpuDynamicBc {
                         dev.profile_report().launches[before..]
                             .iter()
                             .fold((q, d), |(q, d), l| {
+                                cache.merge(&l.total.cache);
                                 (q + l.total.queue_pushes, d + l.total.dedup_ops)
                             })
                     });
@@ -269,6 +280,7 @@ impl MultiGpuDynamicBc {
                 wall_seconds,
                 queue_ops,
                 dedup_ops,
+                cache,
             ));
         }
         BatchResult {

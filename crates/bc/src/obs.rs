@@ -3,7 +3,7 @@
 
 use crate::cases::InsertionCase;
 use crate::dynamic::result::OpOutcome;
-use dynbc_telemetry::UpdateObservation;
+use dynbc_telemetry::{CacheCounters, UpdateObservation};
 
 /// Builds the metrics contribution of one batch from its per-op outcomes.
 ///
@@ -21,6 +21,7 @@ pub(crate) fn batch_observation(
     wall_seconds: f64,
     queue_ops: u64,
     dedup_ops: u64,
+    cache: CacheCounters,
 ) -> UpdateObservation {
     let n = n.max(1) as f64;
     let mut obs = UpdateObservation {
@@ -29,6 +30,7 @@ pub(crate) fn batch_observation(
         wall_seconds,
         queue_ops,
         dedup_ops,
+        cache,
         touched_fractions: Vec::with_capacity(per_op.len()),
         ..UpdateObservation::default()
     };

@@ -1,0 +1,271 @@
+//! Cache-model figure (ours): the paper's locality story, restated in
+//! L1/L2 hit rates by the dynbc-memsim cache hierarchy.
+//!
+//! Two experiments per suite graph, both driven by the Section-IV
+//! removal/reinsertion protocol:
+//!
+//! 1. **Decomposition locality** (Fermi prefer-L1 geometry: the C2075
+//!    can split its 64 KiB SRAM as 48 KiB L1 / 16 KiB shared via
+//!    `cudaFuncCachePreferL1`, and at that size the compact region a
+//!    dynamic update touches fits in cache): edge-parallel rescans the
+//!    whole arc list every BFS level — a stream whose spatial locality
+//!    is already absorbed by warp coalescing, leaving the L1 little to
+//!    hit — while node-parallel walks only frontier adjacency,
+//!    revisiting the same compact rows and queue slots. Shape check:
+//!    node-parallel L1 hit rate strictly above edge-parallel on
+//!    **every** graph.
+//!
+//! 2. **Degree-sorted CSR reordering** (node-parallel, deliberately
+//!    small 64 KiB L2 so the per-source working set cannot just sit in
+//!    cache): relabeling vertices by descending degree packs the hub
+//!    rows — the ones every traversal touches — into a dense prefix of
+//!    the address space, so a hot entry no longer drags a 128 B line of
+//!    cold neighbours in with it. Our skewed generators (pref, kron,
+//!    caida) already hand hubs low ids, so their natural layout is
+//!    close to degree-sorted and the gain is ~0 there; the families
+//!    whose labels are uncorrelated with degree (delaunay's point
+//!    order, above all) are where the reordering has room to win.
+//!    Shape check: at least one suite graph improves its L2 hit rate
+//!    measurably (≥ 0.01 absolute), and the model stays
+//!    observability-only — BC bits with memsim on equal memsim off for
+//!    both layouts, and the two layouts agree on every vertex's score
+//!    modulo the relabeling.
+//!
+//! Emits one `cache_model` section to `BENCH_dynbc.json`: per-graph
+//! rows for both decompositions (experiment 1) and both layouts
+//! (experiment 2) carrying hit rates, request/eviction volumes, and
+//! hot-buffer attribution.
+
+use dynbc_bc::gpu::{Backend, Parallelism};
+use dynbc_bench::table::Table;
+use dynbc_bench::{build_setup, run_gpu_backend, run_gpu_memsim, Config, HarnessReport, Setup};
+use dynbc_gpusim::{CacheConfig, CacheCounters, DeviceConfig, ProfileReport};
+use dynbc_graph::suite::TABLE_I;
+use dynbc_graph::{EdgeList, VertexId};
+
+/// The Fermi prefer-L1 split for the decomposition experiment: 48 KiB
+/// L1 (the `cudaFuncCachePreferL1` configuration of the C2075's 64 KiB
+/// per-SM SRAM), default L2. At the default 16 KiB the update's touched
+/// region overflows the L1 for *both* decompositions and their hit
+/// rates converge toward the compulsory-miss floor.
+fn prefer_l1() -> CacheConfig {
+    CacheConfig {
+        l1_kb: 48,
+        ..CacheConfig::default()
+    }
+}
+
+/// The deliberately small L2 for the reordering experiment: default L1,
+/// but a 64 KiB L2 the per-source working set of every suite graph at
+/// bench scale overflows — at the default 768 KiB the natural layout
+/// already fits and reordering has nothing to win.
+fn small_l2() -> CacheConfig {
+    CacheConfig {
+        l2_kb: 64,
+        ..CacheConfig::default()
+    }
+}
+
+/// `new_id[old]` relabeling vertices by descending degree (ties by old
+/// id, so the permutation is deterministic). Hubs get the lowest ids
+/// and therefore the lowest addresses in every per-vertex device buffer
+/// and the front of the CSR adjacency array.
+fn degree_sort_permutation(el: &EdgeList) -> Vec<VertexId> {
+    let deg = el.degrees();
+    let mut order: Vec<VertexId> = (0..el.vertex_count() as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(deg[v as usize]), v));
+    let mut new_id = vec![0 as VertexId; order.len()];
+    for (rank, &old) in order.iter().enumerate() {
+        new_id[old as usize] = rank as VertexId;
+    }
+    new_id
+}
+
+/// The same experiment on the isomorphic degree-sorted graph: start
+/// edges, insertion stream, and source set all mapped through `new_id`.
+fn relabel(setup: &Setup, new_id: &[VertexId]) -> Setup {
+    let map = |&(u, v): &(VertexId, VertexId)| (new_id[u as usize], new_id[v as usize]);
+    Setup {
+        name: setup.name,
+        start: EdgeList::from_pairs(
+            setup.start.vertex_count(),
+            setup.start.edges().iter().map(map),
+        ),
+        insertions: setup.insertions.iter().map(map).collect(),
+        sources: setup.sources.iter().map(|&s| new_id[s as usize]).collect(),
+    }
+}
+
+/// Hottest buffer by attributed L1 misses (deterministic tie-break).
+fn hottest(report: &ProfileReport) -> (String, u64) {
+    let mut hot = report.buffer_totals();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    hot.into_iter().next().unwrap_or(("none".to_string(), 0))
+}
+
+fn annotate_cache(report: &mut HarnessReport, c: &CacheCounters) {
+    report.annotate("l1_hit_rate", c.l1_hit_rate());
+    report.annotate("l2_hit_rate", c.l2_hit_rate());
+    report.annotate("l1_requests", c.l1_requests() as f64);
+    report.annotate("l2_requests", c.l2_requests() as f64);
+    report.annotate("l1_evictions", c.l1_evictions as f64);
+    report.annotate("l2_evictions", c.l2_evictions as f64);
+    report.annotate("l2_sector_fills", c.l2_sector_fills as f64);
+}
+
+fn main() {
+    let cfg = Config::from_env(0.1, 12, 10);
+    let device = DeviceConfig::tesla_c2075();
+    println!(
+        "== Cache model: L1 locality by decomposition, L2 locality by layout \
+         ({}; device = {}) ==\n",
+        cfg.describe(),
+        device.name
+    );
+
+    let mut table = Table::new(vec![
+        "Graph",
+        "Edge L1",
+        "Node L1",
+        "Node L2",
+        "Base L2(64K)",
+        "Sorted L2(64K)",
+        "dL2",
+    ]);
+    let mut fig = HarnessReport::new("cache_model");
+    let mut node_l1_above_edge_everywhere = true;
+    let mut sorted_wins = 0usize;
+    let mut best_gain = f64::NEG_INFINITY;
+    let mut best_graph = "";
+    for entry in &TABLE_I {
+        let setup = build_setup(entry, &cfg);
+        eprintln!(
+            "[cache] {}: n={} m={} ... ",
+            entry.short,
+            setup.n(),
+            setup.m()
+        );
+
+        // Experiment 1: edge- vs node-parallel L1 hit rate under the
+        // prefer-L1 split.
+        let mut l1 = [0.0f64; 2];
+        let mut node_l2 = 0.0f64;
+        for (i, par) in [Parallelism::Edge, Parallelism::Node]
+            .into_iter()
+            .enumerate()
+        {
+            let (run, profile, _) = run_gpu_memsim(&setup, device, par, Some(prefer_l1()));
+            let c = profile.total().cache;
+            l1[i] = c.l1_hit_rate();
+            if par == Parallelism::Node {
+                node_l2 = c.l2_hit_rate();
+            }
+            fig.push_row(
+                entry.short,
+                &format!("GPU {par}"),
+                run.total_model_seconds,
+                run.total_wall_seconds,
+            );
+            annotate_cache(&mut fig, &c);
+            let (name, misses) = hottest(&profile);
+            fig.annotate(&format!("hot_buffer_{name}_l1_misses"), misses as f64);
+        }
+        node_l1_above_edge_everywhere &= l1[1] > l1[0];
+
+        // Experiment 2: natural vs degree-sorted layout, node-parallel,
+        // small L2. Memsim must not move a bit: compare against a
+        // memsim-off run of the identical stream first.
+        let new_id = degree_sort_permutation(&setup.start);
+        let sorted_setup = relabel(&setup, &new_id);
+        let mut l2 = [0.0f64; 2];
+        let mut bc_by_layout: Vec<Vec<f64>> = Vec::with_capacity(2);
+        for (i, (layout, s)) in [("baseline", &setup), ("degree-sorted", &sorted_setup)]
+            .into_iter()
+            .enumerate()
+        {
+            let (run, profile, bc) = run_gpu_memsim(s, device, Parallelism::Node, Some(small_l2()));
+            let (off, bc_off) =
+                run_gpu_backend(s, device, Parallelism::Node, Backend::Simulator, 0);
+            assert_eq!(
+                bc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                bc_off.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{}/{layout}: memsim must not change a BC bit",
+                entry.short
+            );
+            assert_eq!(
+                run.total_model_seconds.to_bits(),
+                off.total_model_seconds.to_bits(),
+                "{}/{layout}: memsim must not change the modeled clock",
+                entry.short
+            );
+            let c = profile.total().cache;
+            l2[i] = c.l2_hit_rate();
+            bc_by_layout.push(bc);
+            fig.push_row(
+                &format!("{}/layout", entry.short),
+                layout,
+                run.total_model_seconds,
+                run.total_wall_seconds,
+            );
+            annotate_cache(&mut fig, &c);
+        }
+        // The two layouts compute the same analytic: scores agree on
+        // every vertex modulo the relabeling (tolerance, not bits — the
+        // relabeled run accumulates floats in a different order).
+        for (v, &base) in bc_by_layout[0].iter().enumerate() {
+            let sorted = bc_by_layout[1][new_id[v] as usize];
+            let tol = 1e-6 * base.abs().max(1.0);
+            assert!(
+                (base - sorted).abs() <= tol,
+                "{}: BC[{v}] = {base} vs degree-sorted {sorted}",
+                entry.short
+            );
+        }
+        let gain = l2[1] - l2[0];
+        sorted_wins += usize::from(gain > 0.0);
+        if gain > best_gain {
+            best_gain = gain;
+            best_graph = entry.short;
+        }
+        fig.annotate("l2_hit_rate_gain", gain);
+
+        table.row(vec![
+            entry.short.to_string(),
+            format!("{:.4}", l1[0]),
+            format!("{:.4}", l1[1]),
+            format!("{:.4}", node_l2),
+            format!("{:.4}", l2[0]),
+            format!("{:.4}", l2[1]),
+            format!("{:+.4}", l2[1] - l2[0]),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(path) = fig.write_default() {
+        println!("machine-readable rows appended to {}", path.display());
+    }
+
+    println!(
+        "\npaper-shape check: node L1 hit rate above edge on all graphs = \
+         {node_l1_above_edge_everywhere} => {}",
+        if node_l1_above_edge_everywhere {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "layout check: degree-sorted L2 hit rate above baseline on {sorted_wins}/{} graphs, \
+         best gain {best_gain:+.4} ({best_graph}) => {}",
+        TABLE_I.len(),
+        if best_gain >= 0.01 { "PASS" } else { "FAIL" }
+    );
+    assert!(
+        node_l1_above_edge_everywhere,
+        "node-parallel L1 hit rate must be strictly above edge-parallel on every graph"
+    );
+    assert!(
+        best_gain >= 0.01,
+        "degree-sorted CSR must measurably improve the small-L2 hit rate on at least \
+         one suite graph; best gain {best_gain:+.4} on {best_graph}"
+    );
+}

@@ -452,11 +452,130 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     report.write_default();
 }
 
+/// [`scaling_launch`] with the dynbc-memsim cache model toggled
+/// explicitly — the disabled/enabled pair `bench_memsim_overhead`
+/// compares (at an explicit block count so the 14-block same-host
+/// calibration can share it).
+fn scaling_launch_memsim(memsim: bool, blocks: usize) -> (f64, Vec<u32>, Vec<u32>) {
+    scaling_launch_on(
+        Gpu::new(DeviceConfig::tesla_c2075())
+            .with_host_threads(1)
+            .with_memsim(memsim),
+        blocks,
+    )
+    .0
+}
+
+/// Wall-clock cost of the dynbc-memsim cache-hierarchy model on the same
+/// fixed launch. Three interleaved modes as in `bench_telemetry_overhead`:
+/// `baseline` never touches the knob, `disabled` sets it off explicitly
+/// (one predictable branch per memory access), `enabled` drives every
+/// 32 B transaction through the L1/L2 tag arrays. The model is
+/// observability-only — simulated seconds and buffer contents are first
+/// compared bit-for-bit, and a profiled memsim-off run must serialize
+/// byte-identically to a profiled run on a simulator without the knob.
+fn bench_memsim_overhead(c: &mut Criterion) {
+    let baseline = scaling_launch_mode(1, false);
+    for memsim in [false, true] {
+        let got = scaling_launch_memsim(memsim, 56);
+        assert_eq!(
+            got.0.to_bits(),
+            baseline.0.to_bits(),
+            "memsim={memsim}: seconds"
+        );
+        assert_eq!(got.1, baseline.1, "memsim={memsim}: rows");
+        assert_eq!(got.2, baseline.2, "memsim={memsim}: histogram");
+    }
+    // Byte-identical existing reports when off: a profiled memsim-off
+    // simulator serializes exactly what a plain profiled one does.
+    let profiled = |memsim: Option<bool>| {
+        let mut g = Gpu::new(DeviceConfig::tesla_c2075());
+        if let Some(on) = memsim {
+            g.set_memsim(on);
+        }
+        g.set_profiling(true);
+        scaling_launch_on(g, 56).1.take_profile_report()
+    };
+    let (plain, off) = (profiled(None), profiled(Some(false)));
+    assert_eq!(plain.to_json(), off.to_json());
+    assert_eq!(plain.chrome_trace_json(), off.chrome_trace_json());
+
+    type Mode = (&'static str, fn() -> (f64, Vec<u32>, Vec<u32>));
+    let modes: [Mode; 3] = [
+        ("baseline", || scaling_launch_mode(1, false)),
+        ("disabled", || scaling_launch_memsim(false, 56)),
+        ("enabled", || scaling_launch_memsim(true, 56)),
+    ];
+    let iters = 12;
+    let mut walls = [const { Vec::new() }; 3];
+    for (_, run) in &modes {
+        black_box(run()); // warm-up, untimed
+    }
+    for _ in 0..iters {
+        for (m, (_, run)) in modes.iter().enumerate() {
+            let t0 = Instant::now();
+            black_box(run());
+            walls[m].push(t0.elapsed().as_secs_f64());
+        }
+    }
+    let mean = |w: &[f64]| w.iter().sum::<f64>() / w.len() as f64;
+    let min = |w: &[f64]| w.iter().copied().fold(f64::INFINITY, f64::min);
+    let (base_mean, base_min) = (mean(&walls[0]), min(&walls[0]));
+
+    let mut report = HarnessReport::new("memsim_overhead");
+    let mut min_ratios = [f64::NAN; 3];
+    for (m, (engine, run)) in modes.iter().enumerate() {
+        min_ratios[m] = min(&walls[m]) / base_min;
+        report.push_row("blocks56", engine, baseline.0, mean(&walls[m]));
+        report.annotate("overhead_vs_baseline", mean(&walls[m]) / base_mean);
+        report.annotate("min_overhead_vs_baseline", min_ratios[m]);
+        c.bench_function(&format!("memsim_overhead_56blocks_{engine}"), |b| {
+            b.iter(|| black_box(run()))
+        });
+    }
+    // Budgets. Disabled is one predictable branch per access: the flat
+    // 1.10x cap every off-by-default layer gets. Enabled probes two tag
+    // arrays per transaction, so its budget is calibrated on this host
+    // (as in `bench_racecheck_overhead`): price the enabled/baseline
+    // ratio on a one-wave 14-block launch, then require the 56-block
+    // sweep to stay within 3x of it — the model must scale with the
+    // traffic, not superlinearly in blocks. A 15x absolute floor keeps
+    // sub-measurable calibration ratios on fast hosts from turning
+    // jitter into failures.
+    let calib_base = min_wall(8, || {
+        black_box(scaling_launch_memsim(false, 14));
+    });
+    let calib_enabled = min_wall(8, || {
+        black_box(scaling_launch_memsim(true, 14));
+    });
+    let calib = calib_enabled / calib_base;
+    let budget = (3.0 * calib).max(15.0);
+    report.annotate("calibration_overhead_14blocks", calib);
+    report.annotate("budget", budget);
+    println!(
+        "bench memsim_overhead 56 blocks disabled {:.3}x enabled {:.1}x, 14-block \
+         calibration {calib:.1}x, budget {budget:.1}x",
+        min_ratios[1], min_ratios[2]
+    );
+    assert!(
+        min_ratios[1] <= 1.10,
+        "disabled-memsim overhead {:.3}x exceeds the 1.10x budget",
+        min_ratios[1]
+    );
+    assert!(
+        min_ratios[2] <= budget,
+        "enabled-memsim overhead {:.1}x exceeds the calibrated budget {budget:.1}x \
+         (14-block same-host ratio {calib:.1}x)",
+        min_ratios[2]
+    );
+    report.write_default();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_sorting, bench_dedup, bench_mlq, bench_graph, bench_dynamic_update,
         bench_launch_scaling, bench_batch_throughput, bench_racecheck_overhead,
-        bench_telemetry_overhead
+        bench_telemetry_overhead, bench_memsim_overhead
 }
 criterion_main!(benches);

@@ -15,7 +15,7 @@ use crate::config::Config;
 use dynbc_bc::brandes::{brandes_state, sample_sources};
 use dynbc_bc::dynamic::{CpuDynamicBc, UpdateResult};
 use dynbc_bc::gpu::{Backend, GpuDynamicBc, Parallelism};
-use dynbc_gpusim::{DeviceConfig, ProfileReport};
+use dynbc_gpusim::{CacheConfig, DeviceConfig, ProfileReport};
 use dynbc_graph::suite::SuiteEntry;
 use dynbc_graph::{Csr, EdgeList, VertexId};
 use rand::rngs::StdRng;
@@ -241,6 +241,46 @@ pub fn run_gpu_profiled(
     (
         DynRun::from_results(format!("GPU {par} ({})", device.name), results),
         profile,
+    )
+}
+
+/// Runs the insertion stream through a simulated-GPU engine with the
+/// profiler *and* the dynbc-memsim cache-hierarchy model enabled,
+/// returning the timing run, the [`ProfileReport`] (whose counters carry
+/// L1/L2 hit/miss/eviction totals and per-buffer miss attribution), and
+/// the final BC scores — locality benches compare those scores *bitwise*
+/// against memsim-off runs, which the tolerance check cannot express.
+///
+/// `cache` overrides the modeled geometry (e.g. a deliberately small L2
+/// so a reordering experiment's working set exceeds it); `None` keeps
+/// the default C2075-flavoured hierarchy. The simulator backend is
+/// pinned (`DYNBC_BACKEND` notwithstanding): the cache model only
+/// observes simulated lanes, so a native run would report nothing.
+pub fn run_gpu_memsim(
+    setup: &Setup,
+    device: DeviceConfig,
+    par: Parallelism,
+    cache: Option<CacheConfig>,
+) -> (DynRun, ProfileReport, Vec<f64>) {
+    let mut engine = GpuDynamicBc::new(&setup.start, &setup.sources, device, par)
+        .with_backend(Backend::Simulator);
+    engine.set_profiling(true);
+    engine.set_memsim(true);
+    if let Some(cfg) = cache {
+        engine.set_cache_config(cfg);
+    }
+    let results: Vec<UpdateResult> = setup
+        .insertions
+        .iter()
+        .map(|&(u, v)| engine.insert_edge(u, v))
+        .collect();
+    let snapshot = engine.state_snapshot();
+    verify_final_state(setup, &snapshot.bc, &format!("gpu-{par}-memsim"));
+    let profile = engine.take_profile_report();
+    (
+        DynRun::from_results(format!("GPU {par} ({})", device.name), results),
+        profile,
+        snapshot.bc,
     )
 }
 

@@ -28,6 +28,7 @@
 //! [`Gpu::launch`](crate::Gpu::launch)); cross-block traffic must then
 //! follow the sharing contract documented in [`crate::mem`].
 
+use crate::cache::{BlockCache, BlockCacheOut, CacheConfig};
 use crate::checker::{
     AccessKind, AccessRecord, AtomicKind, DivergenceRecord, OobRecord, Recorder, SCALAR_LANE,
 };
@@ -130,6 +131,8 @@ pub struct BlockCtx {
     recorder: Option<Box<Recorder>>,
     // Profile collector (None ⇒ same no-op guarantee as `recorder`).
     prof: Option<Box<BlockProfile>>,
+    // Memsim cache collector (None ⇒ same no-op guarantee; see `cache`).
+    cache: Option<Box<BlockCache>>,
     label: &'static str,
     /// Ordered program region: bumped at `parallel_for` boundaries and
     /// block barriers. Accesses in different regions never race.
@@ -149,7 +152,13 @@ pub struct BlockCtx {
 }
 
 impl BlockCtx {
-    pub(crate) fn new(dev: DeviceConfig, block_id: usize, record: bool, profile: bool) -> Self {
+    pub(crate) fn new(
+        dev: DeviceConfig,
+        block_id: usize,
+        record: bool,
+        profile: bool,
+        cache: Option<CacheConfig>,
+    ) -> Self {
         Self {
             dev,
             block_id,
@@ -164,6 +173,7 @@ impl BlockCtx {
             stats: KernelStats::default(),
             recorder: record.then(|| Box::new(Recorder::new(block_id))),
             prof: profile.then(|| Box::new(BlockProfile::new())),
+            cache: cache.map(|cfg| Box::new(BlockCache::new(&cfg))),
             label: "",
             region: 0,
             epoch: 0,
@@ -186,6 +196,9 @@ impl BlockCtx {
         self.label = label;
         if let Some(p) = &mut self.prof {
             p.set_label(label);
+        }
+        if let Some(c) = &mut self.cache {
+            c.set_label(label);
         }
     }
 
@@ -335,7 +348,7 @@ impl BlockCtx {
     pub fn read_scalar<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
         self.begin_warp();
         self.lane_events = 0;
-        self.touch(buf.addr(i));
+        self.touch(buf.addr(i), buf.name());
         self.max_lane_events = self.lane_events;
         if let Some(p) = &mut self.prof {
             p.lane_retired(self.lane_events);
@@ -352,7 +365,7 @@ impl BlockCtx {
     pub fn write_scalar<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
         self.begin_warp();
         self.lane_events = 0;
-        self.touch(buf.addr(i));
+        self.touch(buf.addr(i), buf.name());
         self.max_lane_events = self.lane_events;
         if let Some(p) = &mut self.prof {
             p.lane_retired(self.lane_events);
@@ -402,12 +415,17 @@ impl BlockCtx {
     }
 
     #[inline]
-    fn touch(&mut self, addr: u64) {
+    fn touch(&mut self, addr: u64, buffer: &'static str) {
         self.lane_events += 1;
         self.stats.lane_events += 1;
         if self.seg_set.insert(addr >> 5) {
             self.stats.mem_segments += 1;
             self.mem_cycles += self.dev.seg_cycles;
+            // Memsim sees exactly the transactions the cost model charges:
+            // one L1 request per distinct 32-byte segment per warp.
+            if let Some(c) = &mut self.cache {
+                c.access(addr, buffer);
+            }
         }
         if let Some(p) = &mut self.prof {
             p.touch_seg(addr >> 5);
@@ -426,12 +444,12 @@ impl BlockCtx {
     /// [`Self::finish_full`]).
     #[cfg(test)]
     pub(crate) fn finish(self) -> (f64, KernelStats) {
-        let (cycles, stats, _, _) = self.finish_full();
+        let (cycles, stats, _, _, _) = self.finish_full();
         (cycles, stats)
     }
 
     /// Finalization that also surrenders the shadow logs (checked mode's
-    /// access records, profiling's counter buckets).
+    /// access records, profiling's counter buckets, memsim's cache state).
     pub(crate) fn finish_full(
         mut self,
     ) -> (
@@ -439,14 +457,17 @@ impl BlockCtx {
         KernelStats,
         Option<Box<Recorder>>,
         Option<BlockBuckets>,
+        Option<BlockCacheOut>,
     ) {
         self.commit_interval();
         let buckets = self.prof.take().map(|p| p.into_buckets());
+        let cache = self.cache.take().map(|c| c.finish());
         (
             self.committed_cycles,
             self.stats,
             self.recorder.take(),
             buckets,
+            cache,
         )
     }
 
@@ -473,7 +494,7 @@ impl Lane<'_> {
     /// Global-memory read of `buf[i]`.
     #[inline]
     pub fn read<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
-        self.block.touch(buf.addr(i));
+        self.block.touch(buf.addr(i), buf.name());
         if self.block.record_access(buf, i, AccessKind::Read, 0) {
             buf.get(i)
         } else {
@@ -484,7 +505,7 @@ impl Lane<'_> {
     /// Global-memory write of `buf[i] = v`.
     #[inline]
     pub fn write<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
-        self.block.touch(buf.addr(i));
+        self.block.touch(buf.addr(i), buf.name());
         if self
             .block
             .record_access(buf, i, AccessKind::Write, v.to_raw_bits())
@@ -500,7 +521,7 @@ impl Lane<'_> {
     /// apply — no annotation makes a cross-block plain race safe).
     #[inline]
     pub fn read_volatile<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize) -> T {
-        self.block.touch(buf.addr(i));
+        self.block.touch(buf.addr(i), buf.name());
         if self
             .block
             .record_access(buf, i, AccessKind::VolatileRead, 0)
@@ -517,7 +538,7 @@ impl Lane<'_> {
     /// intra-block hazard reporting, still a write for cross-block checks.
     #[inline]
     pub fn write_volatile<T: DeviceValue>(&mut self, buf: &GpuBuffer<T>, i: usize, v: T) {
-        self.block.touch(buf.addr(i));
+        self.block.touch(buf.addr(i), buf.name());
         if self
             .block
             .record_access(buf, i, AccessKind::VolatileWrite, v.to_raw_bits())
@@ -593,7 +614,7 @@ impl Lane<'_> {
     /// order instead of contending here.
     #[inline]
     pub fn atomic_add_f64(&mut self, buf: &GpuBuffer<f64>, i: usize, v: f64) -> f64 {
-        self.record_atomic(buf.addr(i));
+        self.record_atomic(buf.addr(i), buf.name());
         if !self.block.record_access(
             buf,
             i,
@@ -622,7 +643,7 @@ impl Lane<'_> {
     /// tail-allocation idiom).
     #[inline]
     pub fn atomic_add_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
-        self.record_atomic(buf.addr(i));
+        self.record_atomic(buf.addr(i), buf.name());
         if !self
             .block
             .record_access(buf, i, AccessKind::Atomic(AtomicKind::AddU32), u64::from(v))
@@ -635,7 +656,7 @@ impl Lane<'_> {
     /// `atomicMax` on a `u32` cell; returns the previous value.
     #[inline]
     pub fn atomic_max_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, v: u32) -> u32 {
-        self.record_atomic(buf.addr(i));
+        self.record_atomic(buf.addr(i), buf.name());
         if !self
             .block
             .record_access(buf, i, AccessKind::Atomic(AtomicKind::MaxU32), u64::from(v))
@@ -650,7 +671,7 @@ impl Lane<'_> {
     /// idiom: CAS the distance from ∞).
     #[inline]
     pub fn atomic_cas_u32(&mut self, buf: &GpuBuffer<u32>, i: usize, expect: u32, new: u32) -> u32 {
-        self.record_atomic(buf.addr(i));
+        self.record_atomic(buf.addr(i), buf.name());
         if !self.block.record_access(
             buf,
             i,
@@ -671,7 +692,7 @@ impl Lane<'_> {
     /// previous value, storing `new` only if it equalled `expect`.
     #[inline]
     pub fn atomic_cas_u8(&mut self, buf: &GpuBuffer<u8>, i: usize, expect: u8, new: u8) -> u8 {
-        self.record_atomic(buf.addr(i));
+        self.record_atomic(buf.addr(i), buf.name());
         if !self.block.record_access(
             buf,
             i,
@@ -689,8 +710,8 @@ impl Lane<'_> {
     }
 
     #[inline]
-    fn record_atomic(&mut self, addr: u64) {
-        self.block.touch(addr);
+    fn record_atomic(&mut self, addr: u64, buffer: &'static str) {
+        self.block.touch(addr, buffer);
         self.block.atomic_addrs.push(addr);
         self.block.stats.atomics += 1;
     }
@@ -702,7 +723,7 @@ mod tests {
     use crate::device::DeviceConfig;
 
     fn ctx() -> BlockCtx {
-        BlockCtx::new(DeviceConfig::test_tiny(), 0, false, false)
+        BlockCtx::new(DeviceConfig::test_tiny(), 0, false, false, None)
     }
 
     #[test]
@@ -745,14 +766,14 @@ mod tests {
     fn lockstep_charges_longest_lane() {
         let dev = DeviceConfig::test_tiny();
         // Warp A: every lane does 1 event. Warp B: one lane does 4 events.
-        let mut a = BlockCtx::new(dev, 0, false, false);
+        let mut a = BlockCtx::new(dev, 0, false, false, None);
         let buf = GpuBuffer::<u32>::new(64, 0);
         a.parallel_for(4, |lane, i| {
             lane.read(&buf, i);
         });
         let (cycles_a, _) = a.finish();
 
-        let mut b = BlockCtx::new(dev, 0, false, false);
+        let mut b = BlockCtx::new(dev, 0, false, false, None);
         b.parallel_for(4, |lane, i| {
             if i == 0 {
                 for j in 0..4 {
@@ -819,7 +840,7 @@ mod tests {
     #[test]
     fn barrier_commits_max_of_compute_and_memory() {
         let dev = DeviceConfig::test_tiny();
-        let mut b = BlockCtx::new(dev, 0, false, false);
+        let mut b = BlockCtx::new(dev, 0, false, false, None);
         let buf = GpuBuffer::<u32>::new(256, 0);
         // One warp, 4 lanes, one scattered read each: compute = base 1 +
         // 1 event * 1 = 2; mem = 4 segments * 2 = 8. Interval = max = 8.

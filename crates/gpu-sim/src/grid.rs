@@ -31,6 +31,7 @@
 //! bandwidth.
 
 use crate::block::BlockCtx;
+use crate::cache::{self, BlockCacheOut, CacheConfig, L2Cache};
 use crate::checker::{self, CheckReport, Recorder};
 use crate::device::DeviceConfig;
 use crate::profile::{self, BlockBuckets};
@@ -78,6 +79,7 @@ type BlockOut = (
     KernelStats,
     Option<Box<Recorder>>,
     Option<BlockBuckets>,
+    Option<BlockCacheOut>,
 );
 
 pub use crate::knob::HOST_THREADS_ENV;
@@ -112,6 +114,14 @@ pub fn telemetry_from_env() -> bool {
     crate::knob::flag_from_env(TELEMETRY_ENV)
 }
 
+pub use crate::knob::MEMSIM_ENV;
+
+/// Resolves the memsim default from [`MEMSIM_ENV`] (what [`Gpu::new`]
+/// uses; public so harnesses can report the setting).
+pub fn memsim_from_env() -> bool {
+    crate::knob::flag_from_env(MEMSIM_ENV)
+}
+
 /// Resolves the effective host-thread count from [`HOST_THREADS_ENV`]
 /// (what [`Gpu::new`] uses; public so harnesses can report the setting).
 pub fn host_threads_from_env() -> usize {
@@ -139,6 +149,12 @@ pub struct Gpu {
     profile: ProfileReport,
     span_log: bool,
     launch_spans: Vec<LaunchSpan>,
+    memsim: bool,
+    cache_cfg: CacheConfig,
+    /// The device's shared L2 tag array: created on the first memsim
+    /// launch, persists across launches (cross-launch locality is the
+    /// point), only ever probed single-threaded during launch reduction.
+    l2: Option<Box<L2Cache>>,
 }
 
 impl Gpu {
@@ -160,6 +176,9 @@ impl Gpu {
             profile: ProfileReport::new(),
             span_log: telemetry_from_env(),
             launch_spans: Vec::new(),
+            memsim: memsim_from_env(),
+            cache_cfg: CacheConfig::from_env(),
+            l2: None,
         }
     }
 
@@ -231,6 +250,52 @@ impl Gpu {
     /// (harnesses profile one phase, take the report, and continue).
     pub fn take_profile_report(&mut self) -> ProfileReport {
         std::mem::take(&mut self.profile)
+    }
+
+    /// Builder-style override of the memsim cache model (see
+    /// [`Gpu::set_memsim`]). Prefer this over mutating the environment
+    /// in tests: process-global env writes race between test threads.
+    pub fn with_memsim(mut self, on: bool) -> Self {
+        self.set_memsim(on);
+        self
+    }
+
+    /// Enables/disables the cache-hierarchy model for subsequent launches.
+    /// When on, every launch is profiled (memsim counters ride in the
+    /// [`LaunchProfile`]) and additionally runs the L1/L2 tag-array model:
+    /// per-block L1s during execution, one shared per-device L2 replayed
+    /// in block-index order at reduction. Results (simulated seconds,
+    /// stats, buffer contents) are unaffected — the model is
+    /// observability-only and never feeds the cost clock. When off, the
+    /// hook is one predictable branch per memory transaction.
+    pub fn set_memsim(&mut self, on: bool) {
+        self.memsim = on;
+    }
+
+    /// True when launches run under the cache-hierarchy model.
+    pub fn memsim(&self) -> bool {
+        self.memsim
+    }
+
+    /// Builder-style override of the modeled cache geometry (see
+    /// [`Gpu::set_cache_config`]).
+    pub fn with_cache_config(mut self, cfg: CacheConfig) -> Self {
+        self.set_cache_config(cfg);
+        self
+    }
+
+    /// Replaces the modeled cache geometry (default: the `DYNBC_L1_*`/
+    /// `DYNBC_L2_*` knobs) and discards the device's accumulated L2 state.
+    /// Prefer this over mutating the environment in tests: process-global
+    /// env writes race between test threads.
+    pub fn set_cache_config(&mut self, cfg: CacheConfig) {
+        self.cache_cfg = cfg;
+        self.l2 = None;
+    }
+
+    /// The modeled cache geometry.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache_cfg
     }
 
     /// Builder-style override of the launch span log (see
@@ -331,7 +396,7 @@ impl Gpu {
             assert!(!check.has_errors(), "DYNBC_RACECHECK failed:\n{check}");
             report
         } else {
-            self.run_launch(name, num_blocks, false, self.profiling, &f)
+            self.run_launch(name, num_blocks, false, self.profiling, self.memsim, &f)
                 .0
         }
     }
@@ -350,13 +415,39 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
-        let (report, _) = self.run_launch(name, num_blocks, false, true, &f);
+        let (report, _) = self.run_launch(name, num_blocks, false, true, self.memsim, &f);
         let prof = self
             .profile
             .launches
             .last()
             .cloned()
             .expect("profiled launch records a profile");
+        (report, prof)
+    }
+
+    /// Runs the kernel with the cache-hierarchy model (and therefore
+    /// profiling) unconditionally on and returns the launch's
+    /// [`LaunchProfile`] — its `total.cache` and per-stage `buffer_misses`
+    /// carry the memsim data — alongside the cost report. The profile is
+    /// *also* appended to [`Gpu::profile_report`]. Simulated seconds,
+    /// stats and buffer contents are identical to an unmodeled launch;
+    /// counters are bit-identical for any `DYNBC_HOST_THREADS` value.
+    pub fn launch_memsim<F>(
+        &mut self,
+        name: &str,
+        num_blocks: usize,
+        f: F,
+    ) -> (LaunchReport, LaunchProfile)
+    where
+        F: Fn(&mut BlockCtx, usize) + Sync,
+    {
+        let (report, _) = self.run_launch(name, num_blocks, false, true, true, &f);
+        let prof = self
+            .profile
+            .launches
+            .last()
+            .cloned()
+            .expect("memsim launch records a profile");
         (report, prof)
     }
 
@@ -374,26 +465,32 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
-        let (report, recorders) = self.run_launch(name, num_blocks, true, self.profiling, &f);
+        let (report, recorders) =
+            self.run_launch(name, num_blocks, true, self.profiling, self.memsim, &f);
         let check = checker::analyze(name, &self.dev, &recorders);
         self.checked_launches += 1;
         (report, check)
     }
 
     /// Shared launch body; `record` selects checked execution, `profiled`
-    /// counter collection. Shadow logs and counter buckets come back in
-    /// block-index order, matching the reduction order.
+    /// counter collection, `cached` the memsim cache model (which implies
+    /// `profiled` — memsim counters ride in the launch profile). Shadow
+    /// logs, counter buckets and cache streams come back in block-index
+    /// order, matching the reduction order.
     fn run_launch<F>(
         &mut self,
         name: &str,
         num_blocks: usize,
         record: bool,
         profiled: bool,
+        cached: bool,
         f: &F,
     ) -> (LaunchReport, Vec<Recorder>)
     where
         F: Fn(&mut BlockCtx, usize) + Sync,
     {
+        let profiled = profiled || cached;
+        let cache_cfg = cached.then_some(self.cache_cfg);
         let threads = self
             .host_threads
             .min(self.host_cores)
@@ -408,20 +505,21 @@ impl Gpu {
             // reduction order the parallel path must reproduce.
             (0..num_blocks)
                 .map(|b| {
-                    let mut ctx = BlockCtx::new(self.dev, b, record, profiled);
+                    let mut ctx = BlockCtx::new(self.dev, b, record, profiled, cache_cfg);
                     f(&mut ctx, b);
                     ctx.finish_full()
                 })
                 .collect()
         } else {
-            self.run_blocks_parallel(num_blocks, threads, record, profiled, f)
+            self.run_blocks_parallel(num_blocks, threads, record, profiled, cache_cfg, f)
         };
 
         let mut block_cycles = Vec::with_capacity(num_blocks);
         let mut stats = KernelStats::default();
         let mut recorders = Vec::new();
         let mut block_buckets: Vec<BlockBuckets> = Vec::new();
-        for (cycles, block_stats, recorder, buckets) in per_block {
+        let mut block_caches: Vec<BlockCacheOut> = Vec::new();
+        for (cycles, block_stats, recorder, buckets, cache_out) in per_block {
             block_cycles.push(cycles);
             stats.add(&block_stats);
             if let Some(r) = recorder {
@@ -429,6 +527,9 @@ impl Gpu {
             }
             if let Some(bk) = buckets {
                 block_buckets.push(bk);
+            }
+            if let Some(c) = cache_out {
+                block_caches.push(c);
             }
         }
         let makespan_cycles = schedule_makespan(&block_cycles, self.dev.num_sms);
@@ -448,7 +549,15 @@ impl Gpu {
             // Per-block buckets arrive (and merge) in block-index order —
             // the same contract that makes `bc_delta` reduction exact —
             // so this profile is bit-identical for any host-thread count.
-            let (stages, total) = profile::reduce_blocks(block_buckets);
+            let (mut stages, mut total) = profile::reduce_blocks(block_buckets);
+            if cached {
+                // Memsim's shared-L2 replay: single-threaded, block-index
+                // order, against the device's persistent L2 — deterministic
+                // for any host-thread count, like every reduction here.
+                let cfg = self.cache_cfg;
+                let l2 = self.l2.get_or_insert_with(|| Box::new(L2Cache::new(&cfg)));
+                cache::fold_into_stages(block_caches, &cfg, l2, &mut stages, &mut total);
+            }
             let blocks = profile::block_spans(
                 &block_cycles,
                 self.dev.num_sms,
@@ -494,6 +603,7 @@ impl Gpu {
         threads: usize,
         record: bool,
         profiled: bool,
+        cache_cfg: Option<CacheConfig>,
         f: &F,
     ) -> Vec<BlockOut>
     where
@@ -513,7 +623,7 @@ impl Gpu {
                     break;
                 }
                 for b in start..(start + chunk).min(num_blocks) {
-                    let mut ctx = BlockCtx::new(dev, b, record, profiled);
+                    let mut ctx = BlockCtx::new(dev, b, record, profiled, cache_cfg);
                     f(&mut ctx, b);
                     out.push((b, ctx.finish_full()));
                 }
@@ -778,8 +888,8 @@ mod tests {
         let par_buf = GpuBuffer::<u32>::new(BLOCKS * 32, 0);
         let par_hist = GpuBuffer::<u32>::new(8, 0);
         let f = kernel(&par_buf, &par_hist);
-        let per_block = par_gpu.run_blocks_parallel(BLOCKS, 4, false, false, &f);
-        let cycles: Vec<f64> = per_block.iter().map(|(c, _, _, _)| *c).collect();
+        let per_block = par_gpu.run_blocks_parallel(BLOCKS, 4, false, false, None, &f);
+        let cycles: Vec<f64> = per_block.iter().map(|(c, _, _, _, _)| *c).collect();
         assert_eq!(seq.block_cycles, cycles, "per-block cycles");
         assert_eq!(seq_buf.to_vec(), par_buf.to_vec(), "row buffer");
         assert_eq!(seq_hist.to_vec(), par_hist.to_vec(), "histogram");

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod cache;
 pub mod checker;
 pub mod cpu_model;
 pub mod device;
@@ -57,16 +58,20 @@ mod profile;
 pub mod stats;
 
 pub use block::{BlockCtx, Lane};
+pub use cache::CacheConfig;
 pub use checker::{AccessKind, AtomicKind, CheckReport, DiagClass, Diagnostic, Severity};
 pub use cpu_model::OpCounter;
 pub use device::{CpuConfig, DeviceConfig};
 pub use grid::{
-    host_threads_from_env, profile_from_env, racecheck_from_env, telemetry_from_env, Gpu,
-    LaunchReport, LaunchSpan, HOST_THREADS_ENV, PROFILE_ENV, RACECHECK_ENV, TELEMETRY_ENV,
+    host_threads_from_env, memsim_from_env, profile_from_env, racecheck_from_env,
+    telemetry_from_env, Gpu, LaunchReport, LaunchSpan, HOST_THREADS_ENV, MEMSIM_ENV, PROFILE_ENV,
+    RACECHECK_ENV, TELEMETRY_ENV,
 };
 pub use mem::{DeviceValue, GpuBuffer};
 pub use stats::KernelStats;
 
 // The profile data model lives in the dependency-free `dynbc-prof` crate;
 // re-exported here so engines and harnesses need only one dependency.
-pub use dynbc_prof::{BlockSpan, Counters, LaunchProfile, ProfileReport, StageProfile};
+pub use dynbc_prof::{
+    BlockSpan, CacheCounters, Counters, LaunchProfile, ProfileReport, StageProfile,
+};

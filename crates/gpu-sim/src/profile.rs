@@ -188,6 +188,7 @@ pub(crate) fn reduce_blocks(blocks: Vec<BlockBuckets>) -> (Vec<StageProfile>, Co
                 None => stages.push(StageProfile {
                     label: label.to_string(),
                     counters: c,
+                    buffer_misses: Vec::new(),
                 }),
             }
         }

@@ -1,0 +1,198 @@
+//! Unit tests for dynbc-memsim: hand-built kernels with known cache
+//! footprints (L1 request population, L2 sectoring, cross-launch reuse,
+//! evictions under a tiny geometry), plus the determinism contract (a
+//! memsim report is bit-identical for any host-thread count) and the
+//! no-op-when-off guarantee (reports without memsim carry no cache
+//! fields at all).
+
+use dynbc_gpusim::{CacheConfig, DeviceConfig, Gpu, GpuBuffer, ProfileReport};
+
+#[test]
+fn l1_requests_equal_mem_transactions() {
+    let mut gpu = Gpu::new(DeviceConfig::test_tiny());
+    let buf = GpuBuffer::<u32>::new(4096, 0);
+    let (_r, launch) = gpu.launch_memsim("scan", 4, |block, b| {
+        block.parallel_for(256, |lane, i| {
+            lane.read(&buf, (i * (b + 3)) % 4096);
+        });
+        block.barrier();
+    });
+    let c = launch.total;
+    assert!(c.mem_transactions > 0);
+    assert_eq!(
+        c.cache.l1_requests(),
+        c.mem_transactions,
+        "one L1 request per 32-byte transaction the cost model charges"
+    );
+    // Every L1 miss requests exactly one 32 B L2 sector at the default
+    // 32 B L1 line.
+    assert_eq!(c.cache.l2_requests(), c.cache.l1_misses);
+}
+
+#[test]
+fn l2_persists_across_launches_and_sectors_fill() {
+    let mut gpu = Gpu::new(DeviceConfig::test_tiny()).with_memsim(true);
+    gpu.set_profiling(true);
+    // 1024 u32 = 4 KiB = 128 sectors = 32 L2 lines. One block per
+    // launch; with warp size 4, two consecutive warps share each sector.
+    let buf = GpuBuffer::<u32>::new(1024, 0);
+    let kernel = |block: &mut dynbc_gpusim::BlockCtx, _b: usize| {
+        block.parallel_for(1024, |lane, i| {
+            lane.read(&buf, i);
+        });
+        block.barrier();
+    };
+    gpu.launch_named("first", 1, kernel);
+    gpu.launch_named("second", 1, kernel);
+    let report = gpu.take_profile_report();
+    let first = &report.launches[0].total.cache;
+    let second = &report.launches[1].total.cache;
+    // Launch 1: each sector missed by its first warp, hit by its second.
+    assert_eq!(first.l1_misses, 128);
+    assert_eq!(first.l1_hits, 128);
+    // Cold L2: 32 line misses, then 3 sector fills per 128 B line.
+    assert_eq!(first.l2_misses, 32);
+    assert_eq!(first.l2_sector_fills, 96);
+    assert_eq!(first.l2_hits, 0);
+    // Launch 2: L1 is fresh (per launch), but the shared L2 kept every
+    // sector — the cross-launch reuse CSR reordering optimizes for.
+    assert_eq!(second.l1_misses, 128);
+    assert_eq!(second.l2_hits, 128);
+    assert_eq!(second.l2_misses, 0);
+    assert_eq!(second.l2_sector_fills, 0);
+    // Per-buffer attribution names the unnamed buffer's default.
+    assert_eq!(
+        report.buffer_totals(),
+        vec![("unnamed".to_string(), 256)],
+        "all L1 misses attribute to the one buffer"
+    );
+}
+
+#[test]
+fn tiny_geometry_forces_l1_and_l2_evictions() {
+    // 1 KiB 2-way L1 (16 sets, 32 lines) and 1 KiB 2-way L2 (4 sets,
+    // 8 lines): a 64-line working set thrashes both.
+    let mut gpu = Gpu::new(DeviceConfig::test_tiny()).with_memsim(true);
+    gpu.set_cache_config(CacheConfig {
+        l1_kb: 1,
+        l1_ways: 2,
+        l1_line: 32,
+        l2_kb: 1,
+        l2_ways: 2,
+    });
+    gpu.set_profiling(true);
+    let buf = GpuBuffer::<u32>::new(4096, 0);
+    gpu.launch_named("thrash", 1, |block, _| {
+        // Two passes over 64 distinct sectors (stride 8 u32 = 32 B).
+        for _pass in 0..2 {
+            block.parallel_for(64, |lane, i| {
+                lane.read(&buf, i * 8);
+            });
+            block.barrier();
+        }
+    });
+    let c = gpu.take_profile_report().total().cache;
+    assert!(c.l1_evictions > 0, "64 lines cannot fit 32 L1 slots: {c:?}");
+    assert!(
+        c.l2_evictions > 0,
+        "64 sectors span 16 L2 lines > 8 slots: {c:?}"
+    );
+    assert!(
+        c.l1_hit_rate() < 0.5,
+        "thrashing working set must mostly miss: {}",
+        c.l1_hit_rate()
+    );
+}
+
+#[test]
+fn set_cache_config_resets_the_persistent_l2() {
+    let mut gpu = Gpu::new(DeviceConfig::test_tiny()).with_memsim(true);
+    gpu.set_profiling(true);
+    let buf = GpuBuffer::<u32>::new(256, 0);
+    let kernel = |block: &mut dynbc_gpusim::BlockCtx, _b: usize| {
+        block.parallel_for(256, |lane, i| {
+            lane.read(&buf, i);
+        });
+        block.barrier();
+    };
+    gpu.launch_named("warm", 1, kernel);
+    // Same geometry, but setting it drops the warmed L2 state.
+    gpu.set_cache_config(CacheConfig::default());
+    gpu.launch_named("cold", 1, kernel);
+    let report = gpu.take_profile_report();
+    assert_eq!(
+        report.launches[1].total.cache.l2_hits, 0,
+        "reconfigured L2 must start cold"
+    );
+}
+
+#[test]
+fn reports_without_memsim_carry_no_cache_fields() {
+    let mut gpu = Gpu::new(DeviceConfig::test_tiny());
+    gpu.set_profiling(true);
+    assert!(!gpu.memsim());
+    let buf = GpuBuffer::<u32>::new(256, 0);
+    gpu.launch_named("plain", 2, |block, _| {
+        block.parallel_for(64, |lane, i| {
+            lane.read(&buf, i);
+        });
+        block.barrier();
+    });
+    let report = gpu.take_profile_report();
+    assert!(report.total().cache.is_empty());
+    assert!(report.buffer_totals().is_empty());
+    // The serialized sinks are byte-identical to a build without memsim:
+    // no cache keys appear anywhere.
+    let json = report.to_json();
+    assert!(!json.contains("\"cache\""), "{json}");
+    assert!(!json.contains("buffer_misses"), "{json}");
+    let trace = report.chrome_trace_json();
+    assert!(!trace.contains("hit_rate"), "{trace}");
+}
+
+/// A multi-block kernel with block-dependent footprints (the
+/// `profile_counters` determinism fixture, with memsim on).
+fn run_at(threads: usize) -> ProfileReport {
+    let mut gpu = Gpu::new(DeviceConfig::test_tiny());
+    gpu.set_host_threads(threads);
+    gpu.set_profiling(true);
+    gpu.set_memsim(true);
+    let buf = GpuBuffer::<u32>::new(4096, 0).named("adj");
+    let acc = GpuBuffer::<u32>::new(8, 0).named("bc");
+    for round in 0..3usize {
+        let (buf, acc) = (&buf, &acc);
+        gpu.launch_named("varied", 8, move |block, b| {
+            block.label("scan");
+            block.parallel_for(4 + b * 3 + round, |lane, i| {
+                lane.read(buf, (i * (b + 1)) % 4096);
+            });
+            block.barrier();
+            block.label("contend");
+            block.parallel_for(4, |lane, _| {
+                lane.atomic_add_u32(acc, b % 8, 1);
+            });
+            block.barrier();
+        });
+    }
+    gpu.take_profile_report()
+}
+
+#[test]
+fn memsim_report_is_bit_identical_across_host_threads() {
+    let baseline = run_at(1);
+    assert!(
+        !baseline.total().cache.is_empty(),
+        "fixture must exercise the cache model"
+    );
+    assert!(!baseline.buffer_totals().is_empty());
+    for threads in [2usize, 8] {
+        let got = run_at(threads);
+        assert_eq!(
+            baseline, got,
+            "memsim report must not depend on host-thread count ({threads} threads)"
+        );
+    }
+    // And the serialized sinks are therefore byte-identical too.
+    assert_eq!(baseline.to_json(), run_at(8).to_json());
+    assert_eq!(baseline.chrome_trace_json(), run_at(8).chrome_trace_json());
+}

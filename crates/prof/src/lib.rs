@@ -73,6 +73,97 @@ pub struct Counters {
     pub queue_pushes: u64,
     /// Dedup pipeline operations (bitonic-sort compare/scan/scatter steps).
     pub dedup_ops: u64,
+    /// Cache-hierarchy counters from `dynbc-memsim` (`DYNBC_MEMSIM=1`);
+    /// all-zero when the memory-hierarchy model is off.
+    pub cache: CacheCounters,
+}
+
+/// Cache-hierarchy counters from the memsim tag-array model.
+///
+/// One L1 request is one 32-byte memory transaction (the same population
+/// [`Counters::mem_transactions`] counts); one L2 request is one L1 miss.
+/// `l2_sector_fills` are requests that found their 128-byte L2 line
+/// resident but had to fetch the missing 32-byte sector into it, so
+/// `l2_hits + l2_misses + l2_sector_fills` equals `l1_misses`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// L1 requests that hit a resident line.
+    pub l1_hits: u64,
+    /// L1 requests that missed (and were forwarded to L2).
+    pub l1_misses: u64,
+    /// Valid L1 lines evicted to make room for a fill.
+    pub l1_evictions: u64,
+    /// L2 requests that hit a resident line with the sector present.
+    pub l2_hits: u64,
+    /// L2 requests whose line was absent (line allocate + DRAM fetch).
+    pub l2_misses: u64,
+    /// L2 requests whose line was resident but whose sector was not
+    /// (sector fetched from DRAM into the existing line).
+    pub l2_sector_fills: u64,
+    /// Valid L2 lines evicted to make room for an allocate.
+    pub l2_evictions: u64,
+}
+
+impl CacheCounters {
+    /// Folds `other` into `self` (all fields are volumes; all add).
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l1_evictions += other.l1_evictions;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_sector_fills += other.l2_sector_fills;
+        self.l2_evictions += other.l2_evictions;
+    }
+
+    /// True when no cache event was recorded (memsim off or no traffic).
+    pub fn is_empty(&self) -> bool {
+        *self == CacheCounters::default()
+    }
+
+    /// Total L1 lookups (`l1_hits + l1_misses`).
+    pub fn l1_requests(&self) -> u64 {
+        self.l1_hits + self.l1_misses
+    }
+
+    /// Total L2 lookups (`l2_hits + l2_misses + l2_sector_fills`).
+    pub fn l2_requests(&self) -> u64 {
+        self.l2_hits + self.l2_misses + self.l2_sector_fills
+    }
+
+    /// L1 hit rate; `0.0` when no L1 request was issued.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_requests() == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.l1_requests() as f64
+        }
+    }
+
+    /// L2 hit rate (sector fills count as misses to DRAM); `0.0` when no
+    /// L2 request was issued.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_requests() == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.l2_requests() as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"l1_hits\": {}, \"l1_misses\": {}, \"l1_evictions\": {}, \
+             \"l2_hits\": {}, \"l2_misses\": {}, \"l2_sector_fills\": {}, \
+             \"l2_evictions\": {}}}",
+            self.l1_hits,
+            self.l1_misses,
+            self.l1_evictions,
+            self.l2_hits,
+            self.l2_misses,
+            self.l2_sector_fills,
+            self.l2_evictions,
+        )
+    }
 }
 
 impl Counters {
@@ -94,6 +185,7 @@ impl Counters {
         self.edges_passed += other.edges_passed;
         self.queue_pushes += other.queue_pushes;
         self.dedup_ops += other.dedup_ops;
+        self.cache.merge(&other.cache);
     }
 
     /// Fraction of scanned edges that did **not** pass the frontier test —
@@ -128,6 +220,13 @@ impl Counters {
     }
 
     fn json(&self) -> String {
+        // The `cache` block is emitted only when memsim recorded traffic,
+        // so memsim-off reports stay byte-identical to pre-memsim ones.
+        let cache = if self.cache.is_empty() {
+            String::new()
+        } else {
+            format!(", \"cache\": {}", self.cache.json())
+        };
         format!(
             "{{\"warp_execs\": {}, \"active_lanes\": {}, \"lane_slots\": {}, \
              \"divergent_warps\": {}, \"divergence_stalls\": {}, \
@@ -135,7 +234,7 @@ impl Counters {
              \"uncoalesced_transactions\": {}, \"atomic_ops\": {}, \
              \"atomic_conflicts\": {}, \"max_contention_depth\": {}, \
              \"barriers\": {}, \"edges_scanned\": {}, \"edges_passed\": {}, \
-             \"queue_pushes\": {}, \"dedup_ops\": {}}}",
+             \"queue_pushes\": {}, \"dedup_ops\": {}{}}}",
             self.warp_execs,
             self.active_lanes,
             self.lane_slots,
@@ -152,6 +251,7 @@ impl Counters {
             self.edges_passed,
             self.queue_pushes,
             self.dedup_ops,
+            cache,
         )
     }
 }
@@ -164,6 +264,9 @@ pub struct StageProfile {
     pub label: String,
     /// Counters accumulated while that label was active.
     pub counters: Counters,
+    /// Memsim hot-set attribution: L1 misses per named `GpuBuffer`, in
+    /// deterministic first-miss order. Empty when memsim is off.
+    pub buffer_misses: Vec<(String, u64)>,
 }
 
 /// Simulated placement of one block on an SM (for timeline rendering).
@@ -225,6 +328,16 @@ impl PartialEq for LaunchProfile {
 }
 
 impl LaunchProfile {
+    /// Memsim L1 misses per named buffer over all stages, in deterministic
+    /// first-appearance order. Empty when memsim is off.
+    pub fn buffer_miss_totals(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for st in &self.stages {
+            merge_buffer_misses(&mut out, &st.buffer_misses);
+        }
+        out
+    }
+
     fn json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(
@@ -244,9 +357,10 @@ impl LaunchProfile {
             }
             let _ = write!(
                 out,
-                "{{\"label\": {}, \"counters\": {}}}",
+                "{{\"label\": {}, \"counters\": {}{}}}",
                 json_string(&st.label),
-                st.counters.json()
+                st.counters.json(),
+                json_buffer_misses(&st.buffer_misses),
             );
         }
         out.push_str("]}");
@@ -325,8 +439,39 @@ impl ProfileReport {
         out
     }
 
+    /// Memsim L1 misses per named buffer over the whole report, in
+    /// first-appearance order. Empty when memsim is off.
+    pub fn buffer_totals(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for l in &self.launches {
+            for st in &l.stages {
+                merge_buffer_misses(&mut out, &st.buffer_misses);
+            }
+        }
+        out
+    }
+
+    /// Memsim L1 misses per named buffer, grouped by kernel name in
+    /// first-appearance order. Kernels with no misses are omitted.
+    pub fn kernel_buffer_totals(&self) -> Vec<(String, Vec<(String, u64)>)> {
+        let mut out: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+        for l in &self.launches {
+            let misses = l.buffer_miss_totals();
+            if misses.is_empty() {
+                continue;
+            }
+            match out.iter_mut().find(|(k, _)| *k == l.kernel) {
+                Some((_, dst)) => merge_buffer_misses(dst, &misses),
+                None => out.push((l.kernel.clone(), misses)),
+            }
+        }
+        out
+    }
+
     /// Serializes the full report as a JSON object:
     /// `{"total": {...}, "kernels": [...], "stages": [...], "launches": [...]}`.
+    /// When memsim recorded traffic a `"buffer_misses"` array (per-buffer
+    /// L1 misses, first-appearance order) is appended.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(out, "\"total\": {}, \"kernels\": [", self.total().json());
@@ -353,7 +498,9 @@ impl ProfileReport {
                 c.json()
             );
         }
-        out.push_str("], \"launches\": [");
+        out.push(']');
+        out.push_str(&json_buffer_misses(&self.buffer_totals()));
+        out.push_str(", \"launches\": [");
         for (i, l) in self.launches.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -374,7 +521,8 @@ impl ProfileReport {
     /// * pid 1 "SM &lt;n&gt;" — one event per block, on the SM the greedy
     ///   scheduler placed it on (tid = SM id);
     /// * counter (`"C"`) events on pid 0 tracking cumulative futile vs
-    ///   useful edges after each launch.
+    ///   useful edges after each launch, plus — when memsim recorded
+    ///   traffic — an "L1/L2 hit rate" counter track per launch.
     pub fn chrome_trace_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\": [\n");
         let mut first = true;
@@ -387,11 +535,20 @@ impl ProfileReport {
         let mut useful = 0u64;
         for l in &self.launches {
             sep(&mut out);
+            let cache_args = if l.total.cache.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", \"l1_hit_rate\": {}, \"l2_hit_rate\": {}",
+                    json_number(l.total.cache.l1_hit_rate()),
+                    json_number(l.total.cache.l2_hit_rate()),
+                )
+            };
             let _ = write!(
                 out,
                 "{{\"name\": {}, \"cat\": \"launch\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \
                  \"ts\": {}, \"dur\": {}, \"args\": {{\"index\": {}, \"num_blocks\": {}, \
-                 \"edges_scanned\": {}, \"edges_passed\": {}, \"occupancy\": {}}}}}",
+                 \"edges_scanned\": {}, \"edges_passed\": {}, \"occupancy\": {}{}}}}}",
                 json_string(&l.kernel),
                 json_number(l.start_s * 1e6),
                 json_number(l.seconds * 1e6),
@@ -400,6 +557,7 @@ impl ProfileReport {
                 l.total.edges_scanned,
                 l.total.edges_passed,
                 json_number(l.total.occupancy()),
+                cache_args,
             );
             for b in &l.blocks {
                 sep(&mut out);
@@ -426,6 +584,17 @@ impl ProfileReport {
                 futile,
                 useful,
             );
+            if !l.total.cache.is_empty() {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"L1/L2 hit rate\", \"ph\": \"C\", \"pid\": 0, \"ts\": {}, \
+                     \"args\": {{\"l1\": {}, \"l2\": {}}}}}",
+                    json_number((l.start_s + l.seconds) * 1e6),
+                    json_number(l.total.cache.l1_hit_rate()),
+                    json_number(l.total.cache.l2_hit_rate()),
+                );
+            }
         }
         out.push_str("\n],\n\"displayTimeUnit\": \"ms\",\n");
         let _ = writeln!(
@@ -435,6 +604,34 @@ impl ProfileReport {
         );
         out
     }
+}
+
+/// Folds one per-buffer miss list into another, preserving `dst`'s
+/// first-appearance order (new names append).
+pub fn merge_buffer_misses(dst: &mut Vec<(String, u64)>, src: &[(String, u64)]) {
+    for (name, misses) in src {
+        match dst.iter_mut().find(|(n, _)| n == name) {
+            Some((_, m)) => *m += misses,
+            None => dst.push((name.clone(), *misses)),
+        }
+    }
+}
+
+/// `, "buffer_misses": [["name", n], ...]` — or `""` when the list is
+/// empty, keeping memsim-off JSON byte-identical to pre-memsim output.
+fn json_buffer_misses(misses: &[(String, u64)]) -> String {
+    if misses.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(", \"buffer_misses\": [");
+    for (i, (name, m)) in misses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{}, {}]", json_string(name), m);
+    }
+    out.push(']');
+    out
 }
 
 /// JSON string literal with the escapes kernel/stage names can contain.
@@ -492,6 +689,7 @@ mod tests {
             stages: vec![StageProfile {
                 label: format!("{kernel}::stage"),
                 counters: c,
+                buffer_misses: Vec::new(),
             }],
             total: c,
             blocks: vec![BlockSpan {
@@ -586,6 +784,59 @@ mod tests {
         assert!(trace.contains("\"ph\": \"C\""), "{trace}");
         assert!(trace.contains("\"cat\": \"block\""), "{trace}");
         assert!(trace.contains("\"displayTimeUnit\""), "{trace}");
+    }
+
+    #[test]
+    fn cache_counters_merge_rates_and_conditional_json() {
+        let mut c = CacheCounters {
+            l1_hits: 30,
+            l1_misses: 10,
+            l2_hits: 6,
+            l2_misses: 2,
+            l2_sector_fills: 2,
+            ..CacheCounters::default()
+        };
+        assert!((c.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((c.l2_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(c.l2_requests(), c.l1_misses);
+        c.merge(&c.clone());
+        assert_eq!(c.l1_hits, 60);
+        assert_eq!(c.l2_evictions, 0);
+        assert_eq!(CacheCounters::default().l1_hit_rate(), 0.0);
+        assert_eq!(CacheCounters::default().l2_hit_rate(), 0.0);
+
+        // Off ⇒ byte-identical pre-memsim JSON (no "cache" key anywhere).
+        let plain = launch("k", 0, bucket(10, 5, 1));
+        let r = ProfileReport {
+            launches: vec![plain],
+        };
+        assert!(!r.to_json().contains("cache"), "{}", r.to_json());
+        assert!(!r.chrome_trace_json().contains("hit rate"));
+
+        // On ⇒ the cache block and hit-rate tracks appear.
+        let mut hot = bucket(10, 5, 1);
+        hot.cache = c;
+        let mut l = launch("k", 0, hot);
+        l.stages[0].buffer_misses = vec![("sigma".into(), 7), ("adj".into(), 3)];
+        let r = ProfileReport { launches: vec![l] };
+        let json = r.to_json();
+        assert!(json.contains("\"cache\": {\"l1_hits\": 60"), "{json}");
+        assert!(json.contains("\"buffer_misses\": [[\"sigma\", 7], [\"adj\", 3]]"));
+        assert_eq!(
+            r.buffer_totals(),
+            vec![("sigma".into(), 7), ("adj".into(), 3)]
+        );
+        assert_eq!(r.kernel_buffer_totals()[0].0, "k");
+        let trace = r.chrome_trace_json();
+        assert!(trace.contains("L1/L2 hit rate"), "{trace}");
+        assert!(trace.contains("\"l1_hit_rate\""), "{trace}");
+    }
+
+    #[test]
+    fn buffer_miss_merge_keeps_first_appearance_order() {
+        let mut dst = vec![("a".to_string(), 1u64)];
+        merge_buffer_misses(&mut dst, &[("b".to_string(), 2), ("a".to_string(), 4)]);
+        assert_eq!(dst, vec![("a".to_string(), 5), ("b".to_string(), 2)]);
     }
 
     #[test]

@@ -104,11 +104,22 @@ pub fn unified_chrome_trace(trace: &Trace, devices: &[(String, &ProfileReport)])
         let pid = 1 + d;
         for l in &report.launches {
             sep(&mut out);
+            // Memsim hit rates ride along only when the launch carried
+            // cache counters, so traces without DYNBC_MEMSIM are unchanged.
+            let cache = if l.total.cache.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", \"l1_hit_rate\": {}, \"l2_hit_rate\": {}",
+                    json_number(l.total.cache.l1_hit_rate()),
+                    json_number(l.total.cache.l2_hit_rate()),
+                )
+            };
             let _ = write!(
                 out,
                 "{{\"name\": {}, \"cat\": \"launch\", \"ph\": \"X\", \"pid\": {pid}, \
                  \"tid\": 0, \"ts\": {}, \"dur\": {}, \"args\": {{\"index\": {}, \
-                 \"num_blocks\": {}, \"occupancy\": {}}}}}",
+                 \"num_blocks\": {}, \"occupancy\": {}{cache}}}}}",
                 json_string(&l.kernel),
                 json_number(l.start_s * 1e6),
                 json_number(l.seconds * 1e6),
@@ -116,6 +127,18 @@ pub fn unified_chrome_trace(trace: &Trace, devices: &[(String, &ProfileReport)])
                 l.num_blocks,
                 json_number(l.total.occupancy()),
             );
+            if !l.total.cache.is_empty() {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"L1/L2 hit rate\", \"cat\": \"memsim\", \"ph\": \"C\", \
+                     \"pid\": {pid}, \"tid\": 0, \"ts\": {}, \"args\": {{\"l1\": {}, \
+                     \"l2\": {}}}}}",
+                    json_number(l.start_s * 1e6),
+                    json_number(l.total.cache.l1_hit_rate()),
+                    json_number(l.total.cache.l2_hit_rate()),
+                );
+            }
             for b in &l.blocks {
                 sep(&mut out);
                 let _ = write!(
@@ -144,6 +167,49 @@ pub fn unified_chrome_trace(trace: &Trace, devices: &[(String, &ProfileReport)])
 mod tests {
     use super::*;
     use crate::trace::Span;
+    use dynbc_prof::{CacheCounters, Counters, LaunchProfile};
+
+    fn report(cache: CacheCounters) -> ProfileReport {
+        let mut report = ProfileReport::default();
+        report.launches.push(LaunchProfile {
+            kernel: "k".to_string(),
+            index: 0,
+            num_blocks: 1,
+            start_s: 0.0,
+            seconds: 1e-6,
+            stages: Vec::new(),
+            total: Counters {
+                cache,
+                ..Counters::default()
+            },
+            blocks: Vec::new(),
+            wall_s: 0.0,
+        });
+        report
+    }
+
+    #[test]
+    fn memsim_counters_add_a_hit_rate_track_only_when_present() {
+        let t = Trace::new();
+        let plain = report(CacheCounters::default());
+        let json = unified_chrome_trace(&t, &[("gpu0".to_string(), &plain)]);
+        assert!(!json.contains("hit_rate"), "{json}");
+        assert!(!json.contains("\"ph\": \"C\""), "{json}");
+
+        let cached = report(CacheCounters {
+            l1_hits: 3,
+            l1_misses: 1,
+            l2_hits: 1,
+            l2_misses: 0,
+            l2_sector_fills: 0,
+            ..CacheCounters::default()
+        });
+        let json = unified_chrome_trace(&t, &[("gpu0".to_string(), &cached)]);
+        assert!(json.contains("\"l1_hit_rate\": 0.75"), "{json}");
+        assert!(json.contains("\"L1/L2 hit rate\""), "{json}");
+        assert!(json.contains("\"ph\": \"C\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
 
     #[test]
     fn unified_trace_has_process_tracks_and_both_event_kinds() {

@@ -40,7 +40,7 @@ mod trace;
 
 use std::fmt::Write as _;
 
-pub use dynbc_prof::ProfileReport;
+pub use dynbc_prof::{CacheCounters, ProfileReport};
 pub use export::unified_chrome_trace;
 pub use hist::Histogram;
 pub use registry::{Clock, Registry};
@@ -80,6 +80,24 @@ pub const ROUTER_CPU_LATENCY_WALL: &str = "dynbc_router_cpu_latency_wall_seconds
 /// Family: wall-clock latency of stages executed by the parallel native
 /// backend (histogram, host wall clock).
 pub const ROUTER_NATIVE_LATENCY_WALL: &str = "dynbc_router_native_latency_wall_seconds";
+/// Family: modeled L1 requests, labelled `outcome="hit|miss"` (counter;
+/// requires `DYNBC_MEMSIM=1` on a GPU engine). Defined lazily on the
+/// first observation carrying cache counters, so exposition output
+/// without memsim stays byte-identical.
+pub const MEMSIM_L1_TOTAL: &str = "dynbc_memsim_l1_requests_total";
+/// Family: modeled L2 requests, labelled
+/// `outcome="hit|miss|sector_fill"` (counter; a sector fill is a request
+/// that hit the line's tag but had to fetch its 32 B sector).
+pub const MEMSIM_L2_TOTAL: &str = "dynbc_memsim_l2_requests_total";
+/// Family: modeled cache-line evictions, labelled `level="l1|l2"`
+/// (counter).
+pub const MEMSIM_EVICTIONS_TOTAL: &str = "dynbc_memsim_evictions_total";
+/// Family: cumulative modeled L1 hit ratio (gauge; recomputed from the
+/// accumulated counters after every batch).
+pub const MEMSIM_L1_HIT_RATIO: &str = "dynbc_memsim_l1_hit_ratio";
+/// Family: cumulative modeled L2 hit ratio (gauge; sector fills count as
+/// misses — the line tag matched but DRAM was still touched).
+pub const MEMSIM_L2_HIT_RATIO: &str = "dynbc_memsim_l2_hit_ratio";
 
 /// Everything one engine batch contributes to the metrics registry.
 ///
@@ -107,6 +125,9 @@ pub struct UpdateObservation {
     pub queue_ops: u64,
     /// Dedup operations attributed to the batch (0 when not measured).
     pub dedup_ops: u64,
+    /// Modeled cache-hierarchy counters attributed to the batch (empty
+    /// unless the engine ran with `DYNBC_MEMSIM=1`).
+    pub cache: CacheCounters,
 }
 
 /// Telemetry collector owned by one engine: metrics registry, lifecycle
@@ -215,12 +236,15 @@ impl Telemetry {
             r.observe(TOUCHED_FRACTION, &[], f);
             max_touched = max_touched.max(f);
         }
+        if !obs.cache.is_empty() {
+            self.record_cache(&obs.cache);
+        }
         let mut rec = String::with_capacity(160);
         let _ = write!(
             rec,
             "{{\"event\": \"update\", \"seq\": {}, \"ops\": {}, \"model_seconds\": {}, \
              \"wall_seconds\": {}, \"case_same\": {}, \"case_adjacent\": {}, \
-             \"case_distant\": {}, \"max_touched_fraction\": {}}}",
+             \"case_distant\": {}, \"max_touched_fraction\": {}",
             self.updates,
             obs.ops,
             export::json_number(obs.model_seconds),
@@ -230,7 +254,99 @@ impl Telemetry {
             obs.case_distant,
             export::json_number(max_touched),
         );
+        if !obs.cache.is_empty() {
+            let _ = write!(
+                rec,
+                ", \"l1_hit_rate\": {}, \"l2_hit_rate\": {}",
+                export::json_number(obs.cache.l1_hit_rate()),
+                export::json_number(obs.cache.l2_hit_rate()),
+            );
+        }
+        rec.push('}');
         self.events.push(rec);
+    }
+
+    /// Feeds one batch's cache counters into the `dynbc_memsim_*`
+    /// families, defining them on first use (a collector that never sees
+    /// memsim data exposes no memsim families at all). Ratio gauges are
+    /// recomputed from the *accumulated* counters, so at scrape time they
+    /// read as run-to-date hit rates, not last-batch rates.
+    fn record_cache(&mut self, cache: &CacheCounters) {
+        let r = &mut self.registry;
+        if !r.is_defined(MEMSIM_L1_TOTAL) {
+            r.define_counter(
+                MEMSIM_L1_TOTAL,
+                "Modeled L1 requests per outcome (dynbc-memsim).",
+                Clock::Model,
+            );
+            r.define_counter(
+                MEMSIM_L2_TOTAL,
+                "Modeled shared-L2 requests per outcome (dynbc-memsim).",
+                Clock::Model,
+            );
+            r.define_counter(
+                MEMSIM_EVICTIONS_TOTAL,
+                "Modeled cache-line evictions per hierarchy level (dynbc-memsim).",
+                Clock::Model,
+            );
+            r.define_gauge(
+                MEMSIM_L1_HIT_RATIO,
+                "Cumulative modeled L1 hit ratio (dynbc-memsim).",
+                Clock::Model,
+            );
+            r.define_gauge(
+                MEMSIM_L2_HIT_RATIO,
+                "Cumulative modeled L2 hit ratio; sector fills count as misses (dynbc-memsim).",
+                Clock::Model,
+            );
+        }
+        r.inc(MEMSIM_L1_TOTAL, &[("outcome", "hit")], cache.l1_hits);
+        r.inc(MEMSIM_L1_TOTAL, &[("outcome", "miss")], cache.l1_misses);
+        r.inc(MEMSIM_L2_TOTAL, &[("outcome", "hit")], cache.l2_hits);
+        r.inc(MEMSIM_L2_TOTAL, &[("outcome", "miss")], cache.l2_misses);
+        r.inc(
+            MEMSIM_L2_TOTAL,
+            &[("outcome", "sector_fill")],
+            cache.l2_sector_fills,
+        );
+        r.inc(
+            MEMSIM_EVICTIONS_TOTAL,
+            &[("level", "l1")],
+            cache.l1_evictions,
+        );
+        r.inc(
+            MEMSIM_EVICTIONS_TOTAL,
+            &[("level", "l2")],
+            cache.l2_evictions,
+        );
+        let l1_hits = r
+            .counter_value(MEMSIM_L1_TOTAL, &[("outcome", "hit")])
+            .unwrap_or(0);
+        let l1_misses = r
+            .counter_value(MEMSIM_L1_TOTAL, &[("outcome", "miss")])
+            .unwrap_or(0);
+        if l1_hits + l1_misses > 0 {
+            r.set_gauge(
+                MEMSIM_L1_HIT_RATIO,
+                &[],
+                l1_hits as f64 / (l1_hits + l1_misses) as f64,
+            );
+        }
+        let l2_hits = r
+            .counter_value(MEMSIM_L2_TOTAL, &[("outcome", "hit")])
+            .unwrap_or(0);
+        let l2_other = r
+            .counter_value(MEMSIM_L2_TOTAL, &[("outcome", "miss")])
+            .unwrap_or(0)
+            + r.counter_value(MEMSIM_L2_TOTAL, &[("outcome", "sector_fill")])
+                .unwrap_or(0);
+        if l2_hits + l2_other > 0 {
+            r.set_gauge(
+                MEMSIM_L2_HIT_RATIO,
+                &[],
+                l2_hits as f64 / (l2_hits + l2_other) as f64,
+            );
+        }
     }
 
     /// Record one hybrid-router stage decision and the wall-clock latency
@@ -335,6 +451,7 @@ mod tests {
             touched_fractions: vec![0.01, 0.02, 0.3, 0.04],
             queue_ops: 12,
             dedup_ops: 3,
+            cache: CacheCounters::default(),
         }
     }
 
@@ -353,15 +470,68 @@ mod tests {
         assert_eq!(t.histogram(UPDATE_LATENCY_MODEL).unwrap().count(), 1);
         assert_eq!(t.histogram(TOUCHED_FRACTION).unwrap().count(), 4);
         assert_eq!(t.updates(), 1);
+        // A cache-empty observation must leave no memsim trace anywhere:
+        // the families are defined lazily so off-path output is unchanged.
+        assert!(!r.is_defined(MEMSIM_L1_TOTAL));
+        assert!(!t.prometheus().contains("dynbc_memsim"));
         let line = t.events_jsonl();
         assert!(line.contains("\"event\": \"update\""), "{line}");
         assert!(line.contains("\"max_touched_fraction\": 0.3"), "{line}");
+        assert!(!line.contains("l1_hit_rate"), "{line}");
+    }
+
+    #[test]
+    fn memsim_families_define_lazily_and_accumulate() {
+        let cache = CacheCounters {
+            l1_hits: 30,
+            l1_misses: 10,
+            l1_evictions: 2,
+            l2_hits: 6,
+            l2_misses: 3,
+            l2_sector_fills: 1,
+            l2_evictions: 1,
+        };
+        let mut t = Telemetry::new();
+        t.record_update(&UpdateObservation { cache, ..obs() });
+        let r = t.registry();
+        assert_eq!(
+            r.counter_value(MEMSIM_L1_TOTAL, &[("outcome", "hit")]),
+            Some(30)
+        );
+        assert_eq!(
+            r.counter_value(MEMSIM_L2_TOTAL, &[("outcome", "sector_fill")]),
+            Some(1)
+        );
+        assert_eq!(
+            r.counter_value(MEMSIM_EVICTIONS_TOTAL, &[("level", "l1")]),
+            Some(2)
+        );
+        assert_eq!(r.gauge_value(MEMSIM_L1_HIT_RATIO, &[]), Some(0.75));
+        assert_eq!(r.gauge_value(MEMSIM_L2_HIT_RATIO, &[]), Some(0.6));
+        let line = t.events_jsonl();
+        assert!(line.contains("\"l1_hit_rate\": 0.75"), "{line}");
+        assert!(line.contains("\"l2_hit_rate\": 0.6"), "{line}");
+        // A second batch doubles the counters; the ratio gauges are
+        // cumulative, so they stay put.
+        t.record_update(&UpdateObservation { cache, ..obs() });
+        let r = t.registry();
+        assert_eq!(
+            r.counter_value(MEMSIM_L1_TOTAL, &[("outcome", "miss")]),
+            Some(20)
+        );
+        assert_eq!(r.gauge_value(MEMSIM_L1_HIT_RATIO, &[]), Some(0.75));
     }
 
     #[test]
     fn prometheus_output_has_one_help_and_type_per_family() {
         let mut t = Telemetry::new();
-        t.record_update(&obs());
+        t.record_update(&UpdateObservation {
+            cache: CacheCounters {
+                l1_hits: 1,
+                ..CacheCounters::default()
+            },
+            ..obs()
+        });
         t.set_device_utilization(0, 1.0);
         t.record_router_stage(true, 1e-5);
         t.record_router_stage(false, 2e-4);
@@ -380,6 +550,11 @@ mod tests {
             ROUTER_DECISIONS_TOTAL,
             ROUTER_CPU_LATENCY_WALL,
             ROUTER_NATIVE_LATENCY_WALL,
+            MEMSIM_L1_TOTAL,
+            MEMSIM_L2_TOTAL,
+            MEMSIM_EVICTIONS_TOTAL,
+            MEMSIM_L1_HIT_RATIO,
+            MEMSIM_L2_HIT_RATIO,
         ] {
             assert_eq!(
                 text.matches(&format!("# HELP {fam} ")).count(),

@@ -120,6 +120,14 @@ impl Registry {
         self.define(name, help, Kind::Histogram, clock);
     }
 
+    /// Whether a family named `name` has been defined. Lets collectors
+    /// define opt-in families (e.g. the memsim set) on first use, so the
+    /// exposition output of runs that never feed them stays byte-identical
+    /// to builds that predate the family.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.families.iter().any(|f| f.name == name)
+    }
+
     /// Find or create the series for `labels` in family `name`.
     fn series_mut(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Series {
         let fam = self

@@ -1,8 +1,9 @@
 //! Profile a dynamic-BC update stream and export a Chrome trace.
 //!
 //! Runs a short mixed insert/delete stream through the node-parallel GPU
-//! engine with the hardware-counter profiler enabled, prints the nvprof
-//! style per-kernel summary, and writes two artifacts:
+//! engine with the hardware-counter profiler and the memsim
+//! cache-hierarchy model enabled, prints the nvprof style per-kernel
+//! summary plus modeled L1/L2 hit rates, and writes these artifacts:
 //!
 //! * `profile_trace.json` — Chrome trace-event file; open it at
 //!   <https://ui.perfetto.dev> (or `chrome://tracing`) to see every
@@ -42,6 +43,7 @@ fn main() {
     let device = DeviceConfig::tesla_c2075();
     let mut engine = GpuDynamicBc::new(&graph, &sources, device, Parallelism::Node);
     engine.set_profiling(true);
+    engine.set_memsim(true);
     engine.set_telemetry(true);
 
     println!(
@@ -77,12 +79,30 @@ fn main() {
     );
     println!(
         "occupancy {:.3}, coalesced fraction {:.3}, atomic conflicts {}, \
-         peak contention depth {}\n",
+         peak contention depth {}",
         total.occupancy(),
         total.coalesced_fraction(),
         total.atomic_conflicts,
         total.max_contention_depth
     );
+    println!(
+        "memsim: L1 {:.3} hit rate ({} requests), L2 {:.3} hit rate ({} requests)",
+        total.cache.l1_hit_rate(),
+        total.cache.l1_requests(),
+        total.cache.l2_hit_rate(),
+        total.cache.l2_requests()
+    );
+    let mut hot = report.buffer_totals();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if !hot.is_empty() {
+        let shown = hot.len().min(4);
+        print!("hottest buffers by L1 misses:");
+        for (name, misses) in &hot[..shown] {
+            print!(" {name}={misses}");
+        }
+        println!();
+    }
+    println!();
 
     println!(
         "{:<28} {:>12} {:>12} {:>8} {:>8}",

@@ -8,9 +8,10 @@
 # OUT_DIR/profile_report.json (the structured per-kernel/per-stage
 # counter report), OUT_DIR/unified_trace.json (the merged telemetry +
 # profiler trace: one Perfetto process for the host update pipeline, one
-# per device), OUT_DIR/metrics.prom (Prometheus text exposition), and
-# OUT_DIR/events.jsonl (per-update event log). OUT_DIR defaults to the
-# current directory.
+# per device, with memsim L1/L2 hit-rate counter tracks),
+# OUT_DIR/metrics.prom (Prometheus text exposition including the
+# dynbc_memsim_* families), and OUT_DIR/events.jsonl (per-update event
+# log). OUT_DIR defaults to the current directory.
 set -eu
 
 cd "$(dirname "$0")/.."

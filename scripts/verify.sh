@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Repo verification gate: the dynbc-lint static analysis, tier-1
 # build+tests, the host-thread determinism regression at 1 and 4 threads,
-# the racecheck tier, profiler and serve smoke tests, and a clippy-clean /
-# warnings-clean / rustdoc-warning-clean workspace.
+# the racecheck tier, profiler, memsim, and serve smoke tests, and a
+# clippy-clean / warnings-clean / rustdoc-warning-clean workspace.
 # Run from anywhere inside the repo; exits non-zero on the first failure.
 set -eu
 
@@ -54,7 +54,8 @@ echo "== profiler + telemetry smoke test: DYNBC_PROFILE=1 DYNBC_TELEMETRY=1 end-
 PROF_DIR="$(mktemp -d)"
 DYNBC_PROFILE=1 DYNBC_TELEMETRY=1 \
     cargo run --release --example profile_trace -- "$PROF_DIR" > /dev/null
-for marker in '"edges_scanned"' '"kernels"' '"batch::fused::node#0"'; do
+for marker in '"edges_scanned"' '"kernels"' '"batch::fused::node#0"' \
+    '"cache"' '"l1_hits"' '"buffer_misses"'; do
     grep -q "$marker" "$PROF_DIR/profile_report.json" || {
         echo "profile_report.json missing $marker"; exit 1; }
 done
@@ -69,7 +70,10 @@ for family in dynbc_batches_total dynbc_ops_total dynbc_cases_total \
     dynbc_update_latency_model_seconds dynbc_update_latency_wall_seconds \
     dynbc_batch_size_ops dynbc_touched_fraction \
     dynbc_router_decisions_total dynbc_router_cpu_latency_wall_seconds \
-    dynbc_router_native_latency_wall_seconds; do
+    dynbc_router_native_latency_wall_seconds \
+    dynbc_memsim_l1_requests_total dynbc_memsim_l2_requests_total \
+    dynbc_memsim_evictions_total dynbc_memsim_l1_hit_ratio \
+    dynbc_memsim_l2_hit_ratio; do
     grep -q "^# HELP $family " "$PROF_DIR/metrics.prom" || {
         echo "metrics.prom missing HELP for $family"; exit 1; }
     grep -q "^# TYPE $family " "$PROF_DIR/metrics.prom" || {
@@ -80,13 +84,22 @@ grep -q 'le="+Inf"' "$PROF_DIR/metrics.prom" || {
 DUP_FAMILIES="$(grep '^# TYPE' "$PROF_DIR/metrics.prom" | sort | uniq -d)"
 [ -z "$DUP_FAMILIES" ] || {
     echo "metrics.prom declares families twice:"; echo "$DUP_FAMILIES"; exit 1; }
-for marker in '"host pipeline"' '"cat": "pipeline"' '"cat": "block"'; do
+for marker in '"host pipeline"' '"cat": "pipeline"' '"cat": "block"' \
+    '"L1/L2 hit rate"' '"cat": "memsim"'; do
     grep -q "$marker" "$PROF_DIR/unified_trace.json" || {
         echo "unified_trace.json missing $marker"; exit 1; }
 done
 grep -q '"event": "update"' "$PROF_DIR/events.jsonl" || {
     echo "events.jsonl missing update events"; exit 1; }
 rm -rf "$PROF_DIR"
+
+echo "== memsim tier: DYNBC_MEMSIM=1 observability-only contract =="
+# The cache-hierarchy model must fill every report sink while changing
+# no BC bit and no simulated second relative to a memsim-off run;
+# tests/memsim.rs drives suite-family graphs through both the single-
+# and multi-GPU engines and checks exactly that, plus report
+# bit-determinism across host-thread counts.
+DYNBC_MEMSIM=1 cargo test -q --test memsim
 
 echo "== serve smoke test: shard ingest + top-k vs the CpuDynamicBc oracle =="
 # One shard over the CPU engine, a short insertion stream with
